@@ -1,0 +1,72 @@
+// Command riocrash reproduces Table 1 of the Rio paper: the crash-test
+// campaign that measures how often operating-system crashes corrupt
+// permanent file data on three systems — a disk-based write-through
+// baseline, Rio without protection (warm reboot only), and Rio with
+// protection.
+//
+// Usage:
+//
+//	riocrash [-runs N] [-seed S] [-quiet]
+//
+// The paper ran 50 crashing runs per (fault type, system) cell — 1950
+// crashes in 6 machine-months. The simulator replays the same protocol in
+// minutes; -runs scales the per-cell count.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rio"
+)
+
+func main() {
+	runs := flag.Int("runs", 50, "crashing runs per (fault, system) cell")
+	seed := flag.Uint64("seed", 1, "campaign seed (reproducible)")
+	quiet := flag.Bool("quiet", false, "suppress per-cell progress")
+	flag.Parse()
+
+	opts := rio.CampaignOptions{RunsPerCell: *runs, Seed: *seed}
+	if !*quiet {
+		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	fmt.Fprintf(os.Stderr, "running %d crashes per cell x 13 faults x 3 systems...\n", *runs)
+	res, err := rio.RunCrashCampaign(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "riocrash:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("Table 1: Comparing Disk and Memory Reliability")
+	fmt.Println("(corruptions per cell; blank = none)")
+	fmt.Println()
+	fmt.Print(res.Table())
+	fmt.Println()
+
+	names := res.SystemNames()
+	for i, name := range names {
+		crashes, corrupted := res.Totals(i)
+		rate := 0.0
+		if crashes > 0 {
+			rate = 100 * float64(corrupted) / float64(crashes)
+		}
+		mttf := res.MTTFYears(i)
+		mttfs := "unbounded at this sample size"
+		if mttf > 0 {
+			mttfs = fmt.Sprintf("%.1f years", mttf)
+		}
+		fmt.Printf("%-12s %d of %d crashes corrupted data (%.1f%%); MTTF at 1 crash/2 months: %s\n",
+			name, corrupted, crashes, rate, mttfs)
+	}
+	fmt.Println()
+	fmt.Printf("Rio protection trapped an illegal file-cache store in %d crashes\n",
+		res.ProtectionInvocations())
+	fmt.Println()
+	fmt.Println("Crash manifestations (Rio with protection):")
+	fmt.Print(res.CrashKindBreakdown(2))
+	fmt.Println()
+	fmt.Println("Paper reference: disk 7/650 (1.1%), Rio w/o protection 10/650 (1.5%),")
+	fmt.Println("Rio w/ protection 4/650 (0.6%); 8 protection invocations; MTTF 15y / 11y.")
+}

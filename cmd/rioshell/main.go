@@ -1,0 +1,237 @@
+// Command rioshell is an interactive shell on a simulated Rio machine:
+// create and inspect files, inject the paper's faults, crash the machine,
+// and watch a warm reboot bring the file cache back.
+//
+// Usage:
+//
+//	rioshell [-policy rio|ufs|mfs|...] [-seed S]
+//
+// Commands: ls [dir], cat <file>, write <file> <text...>, append <file>
+// <text...>, mkdir <dir>, rm <path>, mv <old> <new>, stat <path>, stats,
+// faults, inject <fault>, crash, warmboot, coldboot, policies, help, quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rio"
+)
+
+func main() {
+	policy := flag.String("policy", "rio", "file-system policy")
+	seed := flag.Uint64("seed", 1, "machine seed")
+	flag.Parse()
+
+	sys, err := rio.New(rio.Config{
+		Policy:      rio.Policy(*policy),
+		Seed:        *seed,
+		Interpreted: true, // so inject works
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rioshell:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("rio shell — policy %s (type 'help')\n", *policy)
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		if crashed, why := sys.Crashed(); crashed {
+			fmt.Printf("[machine crashed: %s]\n", why)
+		}
+		fmt.Print("rio> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		args := strings.Fields(line)
+		if done := execute(sys, args); done {
+			return
+		}
+	}
+}
+
+func execute(sys *rio.System, args []string) (quit bool) {
+	fail := func(err error) {
+		if err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+	switch args[0] {
+	case "quit", "exit":
+		return true
+	case "help":
+		fmt.Println("ls [dir] | cat f | write f text | append f text | mkdir d |",
+			"rm p | mv a b | ln t l | readlink l | stat p | stats | faults |",
+			"inject <fault> | crash | warmboot | coldboot | ups | powerfail |",
+			"upsboot | policies | quit")
+	case "ls":
+		dir := "/"
+		if len(args) > 1 {
+			dir = args[1]
+		}
+		ents, err := sys.ReadDir(dir)
+		if err != nil {
+			fail(err)
+			return
+		}
+		for _, e := range ents {
+			kind := "file"
+			if e.IsDir {
+				kind = "dir "
+			}
+			fmt.Printf("%s %8d  %s\n", kind, e.Size, e.Name)
+		}
+	case "cat":
+		if len(args) < 2 {
+			fmt.Println("usage: cat <file>")
+			return
+		}
+		data, err := sys.ReadFile(args[1])
+		if err != nil {
+			fail(err)
+			return
+		}
+		fmt.Println(string(data))
+	case "write", "append":
+		if len(args) < 3 {
+			fmt.Println("usage:", args[0], "<file> <text...>")
+			return
+		}
+		text := strings.Join(args[2:], " ")
+		if args[0] == "write" {
+			fail(sys.WriteFile(args[1], []byte(text)))
+			return
+		}
+		f, err := sys.Open(args[1])
+		if err != nil {
+			fail(err)
+			return
+		}
+		sz, _ := f.Size()
+		_, err = f.WriteAt([]byte(text), sz)
+		fail(err)
+		fail(f.Close())
+	case "mkdir":
+		if len(args) < 2 {
+			fmt.Println("usage: mkdir <dir>")
+			return
+		}
+		fail(sys.Mkdir(args[1]))
+	case "rm":
+		if len(args) < 2 {
+			fmt.Println("usage: rm <path>")
+			return
+		}
+		fail(sys.Remove(args[1]))
+	case "mv":
+		if len(args) < 3 {
+			fmt.Println("usage: mv <old> <new>")
+			return
+		}
+		fail(sys.Rename(args[1], args[2]))
+	case "ln":
+		if len(args) < 3 {
+			fmt.Println("usage: ln <target> <link>")
+			return
+		}
+		fail(sys.Symlink(args[1], args[2]))
+	case "readlink":
+		if len(args) < 2 {
+			fmt.Println("usage: readlink <link>")
+			return
+		}
+		tgt, err := sys.Readlink(args[1])
+		if err != nil {
+			fail(err)
+			return
+		}
+		fmt.Println(tgt)
+	case "stat":
+		if len(args) < 2 {
+			fmt.Println("usage: stat <path>")
+			return
+		}
+		st, err := sys.Stat(args[1])
+		if err != nil {
+			fail(err)
+			return
+		}
+		fmt.Printf("%+v\n", st)
+	case "stats":
+		st := sys.Stats()
+		fmt.Printf("simulated time %.3fs, %d syscalls, disk %d reads / %d writes (%d bytes),\n",
+			st.SimulatedSeconds, st.Syscalls, st.DiskReads, st.DiskWrites, st.DiskBytesWritten)
+		fmt.Printf("cache %d hits / %d misses, %d dirty buffers, %d MMU traps, %d kernel steps\n",
+			st.CacheHits, st.CacheMisses, st.DirtyBuffers, st.ProtectionFaults, st.KernelSteps)
+	case "faults":
+		for _, ft := range rio.FaultTypes() {
+			fmt.Println(" ", ft)
+		}
+	case "inject":
+		if len(args) < 2 {
+			fmt.Println("usage: inject <fault> (see 'faults')")
+			return
+		}
+		if err := sys.InjectFault(rio.FaultType(args[1])); err != nil {
+			fail(err)
+			return
+		}
+		fmt.Println("fault armed; keep using the machine until it crashes")
+	case "crash":
+		sys.Crash("operator-induced crash")
+		fmt.Println("machine halted; 'warmboot' restores the file cache, 'coldboot' loses memory")
+	case "warmboot":
+		rep, err := sys.WarmReboot()
+		if err != nil {
+			fail(err)
+			return
+		}
+		fmt.Printf("warm reboot: %d registry entries (%d bad), %d meta + %d data buffers restored,\n",
+			rep.RegistryEntries, rep.BadEntries, rep.MetaRestored, rep.DataRestored)
+		fmt.Printf("%d checksum mismatches, %d mid-write; fsck: %s\n",
+			rep.ChecksumMismatches, rep.Changing, rep.FsckSummary)
+	case "coldboot":
+		fail(sys.ColdReboot())
+		fmt.Println("cold reboot complete; memory contents were lost")
+	case "ups":
+		if err := sys.AttachUPS(); err != nil {
+			fail(err)
+			return
+		}
+		fmt.Println("UPS attached (swap disk sized to memory)")
+	case "powerfail":
+		battery, err := sys.PowerFail()
+		if err != nil {
+			fail(err)
+			return
+		}
+		if battery > 0 {
+			fmt.Printf("power lost; UPS dumped memory to swap in %v of battery\n", battery)
+			fmt.Println("recover with 'upsboot'")
+		} else {
+			fmt.Println("power lost; no UPS — memory is gone ('coldboot' to recover the disk)")
+		}
+	case "upsboot":
+		rep, err := sys.RecoverFromUPS()
+		if err != nil {
+			fail(err)
+			return
+		}
+		fmt.Printf("recovered from UPS dump: %d meta + %d data buffers restored\n",
+			rep.MetaRestored, rep.DataRestored)
+	case "policies":
+		for _, p := range rio.Policies() {
+			fmt.Println(" ", p)
+		}
+	default:
+		fmt.Printf("unknown command %q (try 'help')\n", args[0])
+	}
+	return false
+}

@@ -1,0 +1,40 @@
+// Perftable: regenerate the paper's Table 2 at reduced scale.
+//
+// Runs cp+rm, Sdet, and Andrew under all eight file-system configurations
+// and prints the timing table plus the headline speedups (Rio vs the
+// write-through, default-UFS, and delayed baselines).
+//
+// Run: go run ./examples/perftable
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"rio"
+)
+
+func main() {
+	res, err := rio.RunPerfTable(rio.PerfOptions{
+		Scale:    0.5, // half-size workloads: quick but representative
+		Progress: func(s string) { fmt.Fprintln(os.Stderr, s) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Table 2 (simulated time, scaled workloads)")
+	fmt.Println()
+	fmt.Print(res.Table())
+	fmt.Println()
+
+	sp := res.Speedups()
+	fmt.Printf("Rio vs write-through-on-write: %.1fx / %.1fx / %.1fx (paper band: 4-22x)\n",
+		sp.VsWriteThroughWrite[0], sp.VsWriteThroughWrite[1], sp.VsWriteThroughWrite[2])
+	fmt.Printf("Rio vs default UFS:            %.1fx / %.1fx / %.1fx (paper band: 2-14x)\n",
+		sp.VsUFS[0], sp.VsUFS[1], sp.VsUFS[2])
+	fmt.Printf("Rio vs delayed UFS:            %.1fx / %.1fx / %.1fx (paper band: 1-3x)\n",
+		sp.VsDelayed[0], sp.VsDelayed[1], sp.VsDelayed[2])
+	fmt.Printf("Rio vs memory file system:     %.2fx / %.2fx / %.2fx (paper: ~1x)\n",
+		sp.VsMFS[0], sp.VsMFS[1], sp.VsMFS[2])
+}

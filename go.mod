@@ -1,0 +1,3 @@
+module rio
+
+go 1.22

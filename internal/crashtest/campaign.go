@@ -1,0 +1,196 @@
+package crashtest
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+
+	"rio/internal/fault"
+	"rio/internal/kernel"
+)
+
+// CampaignConfig parameterises a full Table 1 campaign.
+type CampaignConfig struct {
+	// Seed drives the whole campaign; the same seed reproduces the same
+	// table.
+	Seed uint64
+	// RunsPerCell is the number of *crashing* runs per (system, fault)
+	// cell. The paper used 50, discarding runs that did not crash.
+	RunsPerCell int
+	// MaxAttemptsFactor bounds attempts per cell at RunsPerCell × factor
+	// (some fault types crash rarely).
+	MaxAttemptsFactor int
+	// Run is the per-run configuration template (its Seed is overridden).
+	Run RunConfig
+	// Progress, if non-nil, receives a line per completed cell.
+	Progress func(string)
+}
+
+// DefaultCampaignConfig mirrors the paper's protocol at 50 runs/cell.
+func DefaultCampaignConfig(seed uint64) CampaignConfig {
+	return CampaignConfig{
+		Seed:              seed,
+		RunsPerCell:       50,
+		MaxAttemptsFactor: 6,
+		Run:               DefaultRunConfig(0),
+	}
+}
+
+// Cell aggregates one (system, fault) cell of Table 1.
+type Cell struct {
+	Crashes    int // runs that crashed (counted toward RunsPerCell)
+	Discarded  int // runs that survived MaxOps (discarded, as in paper)
+	Corrupted  int // crashing runs with corrupted durable data
+	Checksum   int // corruptions (or intact runs) flagged by checksums
+	Protection int // crashes where Rio protection trapped the store
+	ByKind     map[kernel.CrashKind]int
+	Errors     int // harness errors (should be zero)
+	LastError  string
+}
+
+// Report is a full campaign result.
+type Report struct {
+	Config CampaignConfig
+	Cells  map[System]map[fault.Type]*Cell
+}
+
+// Totals sums a system's column.
+func (r *Report) Totals(sys System) (crashes, corrupted int) {
+	for _, c := range r.Cells[sys] {
+		crashes += c.Crashes
+		corrupted += c.Corrupted
+	}
+	return
+}
+
+// ProtectionInvocations counts protection-trap crashes for a system.
+func (r *Report) ProtectionInvocations(sys System) int {
+	n := 0
+	for _, c := range r.Cells[sys] {
+		n += c.Protection
+	}
+	return n
+}
+
+// RunCampaign executes the full crash matrix.
+func RunCampaign(cfg CampaignConfig) (*Report, error) {
+	rep := &Report{
+		Config: cfg,
+		Cells:  make(map[System]map[fault.Type]*Cell),
+	}
+	seed := cfg.Seed
+	for _, sys := range Systems {
+		rep.Cells[sys] = make(map[fault.Type]*Cell)
+		for _, ft := range fault.AllTypes {
+			cell := &Cell{ByKind: make(map[kernel.CrashKind]int)}
+			rep.Cells[sys][ft] = cell
+			attempts := 0
+			maxAttempts := cfg.RunsPerCell * cfg.MaxAttemptsFactor
+			for cell.Crashes < cfg.RunsPerCell && attempts < maxAttempts {
+				attempts++
+				seed++
+				run := cfg.Run
+				run.Seed = seed*2654435761 + uint64(sys)<<32 + uint64(ft)<<40
+				// Memory tripwire: a faulted simulator can, in principle,
+				// drive some path into pathological allocation. Surface
+				// the run rather than letting the OS OOM-kill a campaign.
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > 4<<30 {
+					return rep, fmt.Errorf("crashtest: heap ballooned to %d MB before run sys=%v fault=%v seed=%d",
+						ms.HeapAlloc>>20, sys, ft, run.Seed)
+				}
+				res, err := RunOne(sys, ft, run)
+				if err != nil {
+					cell.Errors++
+					cell.LastError = err.Error()
+					continue
+				}
+				if !res.Crashed {
+					cell.Discarded++
+					continue
+				}
+				cell.Crashes++
+				cell.ByKind[res.CrashKind]++
+				if res.Corrupted {
+					cell.Corrupted++
+				}
+				if res.ChecksumDetected {
+					cell.Checksum++
+				}
+				if res.ProtectionInvoked {
+					cell.Protection++
+				}
+			}
+			if cfg.Progress != nil {
+				cfg.Progress(fmt.Sprintf("%-12s %-20s crashes=%d corrupted=%d discarded=%d errors=%d",
+					sys, ft, cell.Crashes, cell.Corrupted, cell.Discarded, cell.Errors))
+			}
+		}
+	}
+	return rep, nil
+}
+
+// Table renders the report in the layout of the paper's Table 1.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %12s %12s %12s\n", "Fault Type",
+		"Disk-Based", "Rio w/o Prot", "Rio w/ Prot")
+	for _, ft := range fault.AllTypes {
+		fmt.Fprintf(&b, "%-22s", ft)
+		for _, sys := range Systems {
+			c := r.Cells[sys][ft]
+			if c == nil || c.Corrupted == 0 {
+				fmt.Fprintf(&b, " %12s", "")
+			} else {
+				fmt.Fprintf(&b, " %12d", c.Corrupted)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-22s", "Total")
+	for _, sys := range Systems {
+		crashes, corrupted := r.Totals(sys)
+		pct := 0.0
+		if crashes > 0 {
+			pct = 100 * float64(corrupted) / float64(crashes)
+		}
+		fmt.Fprintf(&b, " %d of %d (%.1f%%)", corrupted, crashes, pct)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// CrashKindBreakdown summarises how systems died (the paper cites 74
+// unique error messages; we report by manifestation class).
+func (r *Report) CrashKindBreakdown(sys System) string {
+	agg := make(map[kernel.CrashKind]int)
+	for _, c := range r.Cells[sys] {
+		for k, n := range c.ByKind {
+			agg[k] += n
+		}
+	}
+	kinds := make([]kernel.CrashKind, 0, len(agg))
+	for k := range agg {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return agg[kinds[i]] > agg[kinds[j]] })
+	var b strings.Builder
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %-35s %d\n", k, agg[k])
+	}
+	return b.String()
+}
+
+// MTTFYears converts a corruption rate into the paper's §3.3 illustration:
+// with one crash every two months, MTTF (years) = 2 months / p(corruption)
+// expressed in years.
+func MTTFYears(corrupted, crashes int) float64 {
+	if corrupted == 0 {
+		return -1 // effectively unbounded at this sample size
+	}
+	p := float64(corrupted) / float64(crashes)
+	crashesPerYear := 6.0 // one every two months
+	return 1 / (p * crashesPerYear)
+}

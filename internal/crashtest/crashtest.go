@@ -1,0 +1,287 @@
+// Package crashtest implements the paper's reliability experiment (§3):
+// crash a running system with injected faults, reboot, and measure how
+// often file data is corrupted. It reproduces Table 1's three columns:
+//
+//	disk-based write-through — fsync after every write, cold reboot + fsck
+//	Rio without protection   — no reliability writes, warm reboot
+//	Rio with protection      — plus file-cache write protection
+//
+// Corruption is detected two ways, as in the paper: registry checksums
+// catch direct corruption of any file-cache buffer, and the memTest oracle
+// catches both direct and indirect corruption of its own files. Static
+// duplicate files provide a final cross-check.
+package crashtest
+
+import (
+	"bytes"
+	"fmt"
+
+	"rio/internal/fault"
+	"rio/internal/fs"
+	"rio/internal/kernel"
+	"rio/internal/machine"
+	"rio/internal/sim"
+	"rio/internal/warmreboot"
+	"rio/internal/workload"
+)
+
+// System selects a Table 1 column.
+type System int
+
+const (
+	DiskWT System = iota
+	RioNoProt
+	RioProt
+)
+
+var systemNames = [...]string{"disk-based", "rio-noprot", "rio-prot"}
+
+func (s System) String() string {
+	if s >= 0 && int(s) < len(systemNames) {
+		return systemNames[s]
+	}
+	return fmt.Sprintf("System(%d)", int(s))
+}
+
+// Systems lists the three columns in Table 1 order.
+var Systems = []System{DiskWT, RioNoProt, RioProt}
+
+// RunConfig parameterises one crash run.
+type RunConfig struct {
+	Seed         uint64
+	WarmupOps    int // ops before injection
+	MaxOps       int // ops after injection before the run is discarded
+	FaultCount   int // faults injected per run (paper: 20)
+	MemTestBytes int // memTest file-set budget
+	VMBudget     uint64
+}
+
+// DefaultRunConfig returns the standard parameters, scaled from the paper
+// to simulator volumes.
+func DefaultRunConfig(seed uint64) RunConfig {
+	return RunConfig{
+		Seed:         seed,
+		WarmupOps:    30,
+		MaxOps:       250,
+		FaultCount:   fault.DefaultCount,
+		MemTestBytes: 1 << 21, // 2 MB file set
+		VMBudget:     400_000,
+	}
+}
+
+// RunResult is the outcome of one crash run.
+type RunResult struct {
+	System System
+	Fault  fault.Type
+	Seed   uint64
+
+	// Crashed is false when the faults never took the system down within
+	// MaxOps; such runs are discarded, as in the paper (about half their
+	// runs).
+	Crashed     bool
+	CrashKind   kernel.CrashKind
+	CrashReason string
+	OpsToCrash  int
+
+	// Corrupted is true when any durable file data was wrong after
+	// recovery.
+	Corrupted   bool
+	Corruptions []workload.Corruption
+	// StaticCorrupted: the untouched duplicate files differed.
+	StaticCorrupted bool
+	// ChecksumDetected: the registry checksum mechanism flagged direct
+	// corruption at warm reboot (Rio systems only).
+	ChecksumDetected bool
+	// ProtectionInvoked: the crash was Rio's protection trap halting an
+	// illegal file-cache store.
+	ProtectionInvoked bool
+}
+
+const nStatic = 3
+
+func staticPath(i int, copyB bool) string {
+	c := "a"
+	if copyB {
+		c = "b"
+	}
+	return fmt.Sprintf("/static/%s%d", c, i)
+}
+
+func staticContent(i int) []byte {
+	return kernel.FillBytes(3000+700*i, (0x57a71c+uint64(i))|1)
+}
+
+// buildMachine assembles the system under test.
+func buildMachine(sys System, cfg RunConfig) (*machine.Machine, error) {
+	var pol fs.Policy
+	switch sys {
+	case DiskWT:
+		pol = fs.DefaultPolicy(fs.PolicyUFSWTWrite)
+	case RioNoProt:
+		pol = fs.DefaultPolicy(fs.PolicyRio)
+		pol.Protect = false
+	case RioProt:
+		pol = fs.DefaultPolicy(fs.PolicyRio)
+		pol.Protect = true
+	}
+	opt := machine.DefaultOptions(pol)
+	opt.FastPath = false // faults act on interpreted kernel code
+	opt.Checksums = true
+	opt.Seed = cfg.Seed
+	// Crash runs use a larger physical memory than the cache occupies, as
+	// on the paper's machines, so a wild physical address usually misses
+	// the file cache.
+	opt.MemPages = 2048
+	m, err := machine.New(opt, nil)
+	if err != nil {
+		return nil, err
+	}
+	m.Kernel.VM.Budget = cfg.VMBudget
+	// Register noise: between kernel entries the register file has been
+	// churned by unrelated kernel code, so stale registers rarely still
+	// hold live file-cache pointers.
+	noise := sim.NewRand(cfg.Seed ^ 0x9e3779b97f4a7c15)
+	m.Kernel.VM.RegNoise = func() (uint64, bool) {
+		if noise.Float64() < 0.85 {
+			return noise.Uint64(), true
+		}
+		return 0, false
+	}
+	return m, nil
+}
+
+// setupStatic writes the untouched duplicate files.
+func setupStatic(m *machine.Machine) error {
+	if err := m.FS.Mkdir("/static"); err != nil {
+		return err
+	}
+	for i := 0; i < nStatic; i++ {
+		for _, b := range []bool{false, true} {
+			f, err := m.FS.Create(staticPath(i, b))
+			if err != nil {
+				return err
+			}
+			if _, err := f.Write(staticContent(i)); err != nil {
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func checkStatic(m *machine.Machine) bool {
+	read := func(p string) []byte {
+		f, err := m.FS.Open(p)
+		if err != nil {
+			return nil
+		}
+		defer f.Close()
+		st, err := m.FS.Stat(p)
+		if err != nil || st.Size > 1<<20 {
+			return nil // a corrupt inode size is corruption too
+		}
+		buf := make([]byte, st.Size)
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			return nil
+		}
+		return buf
+	}
+	for i := 0; i < nStatic; i++ {
+		want := staticContent(i)
+		a := read(staticPath(i, false))
+		b := read(staticPath(i, true))
+		if !bytes.Equal(a, want) || !bytes.Equal(b, want) {
+			return true // corrupted
+		}
+	}
+	return false
+}
+
+// RunOne executes a single crash run: boot, warm up, inject, run to crash,
+// recover, verify.
+func RunOne(sys System, ft fault.Type, cfg RunConfig) (res RunResult, err error) {
+	// Fault injection drives the simulator into states no normal workload
+	// reaches; a simulator-level panic must surface as a harness error on
+	// this one run, not kill a 2000-run campaign.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("crashtest: simulator panic (sys=%v fault=%v seed=%d): %v",
+				sys, ft, cfg.Seed, r)
+		}
+	}()
+	res = RunResult{System: sys, Fault: ft, Seed: cfg.Seed}
+	root := sim.NewRand(cfg.Seed)
+	faultRng := root.Fork()
+	mtSeed := root.Uint64()
+
+	m, err := buildMachine(sys, cfg)
+	if err != nil {
+		return res, err
+	}
+	if err := setupStatic(m); err != nil {
+		return res, fmt.Errorf("crashtest: static setup: %w", err)
+	}
+
+	mt := workload.NewMemTest(mtSeed, cfg.MemTestBytes)
+	mt.WriteThrough = sys == DiskWT
+
+	for i := 0; i < cfg.WarmupOps; i++ {
+		if err := mt.Step(m.FS); err != nil {
+			return res, fmt.Errorf("crashtest: warmup step %d: %w", i, err)
+		}
+	}
+
+	if err := fault.Inject(m, ft, cfg.FaultCount, faultRng); err != nil {
+		return res, err
+	}
+
+	for i := 0; i < cfg.MaxOps; i++ {
+		err := mt.Step(m.FS)
+		if c := m.Crashed(); c != nil {
+			res.Crashed = true
+			res.CrashKind = c.Kind
+			res.CrashReason = c.Reason
+			res.OpsToCrash = i + 1
+			res.ProtectionInvoked = c.Kind == kernel.CrashProtection
+			break
+		}
+		if err != nil {
+			// A file-system-level error without a kernel crash: the
+			// system limps on, as real faulted kernels sometimes do.
+			mt.InFlight = nil
+			continue
+		}
+	}
+	if !res.Crashed {
+		return res, nil // discarded by the campaign
+	}
+
+	m.CrashFinish()
+
+	switch sys {
+	case DiskWT:
+		if _, err := warmreboot.Cold(m, cfg.Seed^0xdead); err != nil {
+			// An unrecoverable volume (e.g. torn superblock) is the
+			// worst corruption outcome, not a harness error.
+			res.Corrupted = true
+			res.Corruptions = []workload.Corruption{{Path: "/", Detail: "volume unrecoverable: " + err.Error()}}
+			return res, nil
+		}
+	default:
+		rep, err := warmreboot.Warm(m)
+		if err != nil {
+			res.Corrupted = true
+			res.Corruptions = []workload.Corruption{{Path: "/", Detail: "warm reboot failed: " + err.Error()}}
+			return res, nil
+		}
+		res.ChecksumDetected = rep.ChecksumMismatches > 0
+	}
+
+	res.Corruptions = mt.Verify(m.FS)
+	res.StaticCorrupted = checkStatic(m)
+	res.Corrupted = len(res.Corruptions) > 0 || res.StaticCorrupted
+	return res, nil
+}

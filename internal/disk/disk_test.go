@@ -1,0 +1,230 @@
+package disk
+
+import (
+	"bytes"
+	"testing"
+
+	"rio/internal/sim"
+)
+
+func newDisk(sectors int) *Disk {
+	return New(sectors*SectorSize, DefaultParams())
+}
+
+func sector(b byte) []byte {
+	s := make([]byte, SectorSize)
+	for i := range s {
+		s[i] = b
+	}
+	return s
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d := newDisk(16)
+	d.Write(3, sector(0xaa))
+	buf := make([]byte, SectorSize)
+	d.Read(3, buf)
+	if !bytes.Equal(buf, sector(0xaa)) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestMultiSectorIO(t *testing.T) {
+	d := newDisk(16)
+	data := append(sector(1), sector(2)...)
+	d.Write(5, data)
+	buf := make([]byte, 2*SectorSize)
+	d.Read(5, buf)
+	if !bytes.Equal(buf, data) {
+		t.Fatal("multi-sector mismatch")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	d := newDisk(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	d.Write(3, append(sector(0), sector(0)...))
+}
+
+func TestNonSectorMultiplePanics(t *testing.T) {
+	d := newDisk(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	d.Write(0, make([]byte, 100))
+}
+
+func TestLatencySequentialVsRandom(t *testing.T) {
+	d := newDisk(1000)
+	// First write: random positioning.
+	t1 := d.Write(0, sector(0))
+	// Adjacent write: sequential, cheaper.
+	t2 := d.Write(1, sector(0))
+	// Far write: random again.
+	t3 := d.Write(900, sector(0))
+	if t2 >= t1 {
+		t.Fatalf("sequential (%v) not cheaper than first random (%v)", t2, t1)
+	}
+	if t3 <= t2 {
+		t.Fatalf("random (%v) not dearer than sequential (%v)", t3, t2)
+	}
+	if d.Stats.SeqWrites != 1 || d.Stats.RandWrites != 2 {
+		t.Fatalf("seq/rand = %d/%d", d.Stats.SeqWrites, d.Stats.RandWrites)
+	}
+}
+
+func TestTransferTimeScalesWithSize(t *testing.T) {
+	p := DefaultParams()
+	d := New(1<<20, p)
+	small := d.Write(0, sector(0))
+	d.last = -1 << 30 // reset sequentiality
+	big := d.Write(0, make([]byte, 64*SectorSize))
+	if big <= small {
+		t.Fatalf("64-sector write (%v) not slower than 1-sector (%v)", big, small)
+	}
+}
+
+func TestAsyncQueueServicing(t *testing.T) {
+	d := newDisk(16)
+	done := 0
+	d.Enqueue(Request{Sector: 1, Data: sector(7), Done: func() { done++ }})
+	d.Enqueue(Request{Sector: 2, Data: sector(8), Done: func() { done++ }})
+	if d.QueueLen() != 2 {
+		t.Fatalf("queue len = %d", d.QueueLen())
+	}
+	busy := d.Service(-1)
+	if busy <= 0 {
+		t.Fatal("no busy time charged")
+	}
+	if done != 2 || d.QueueLen() != 0 {
+		t.Fatalf("done=%d queue=%d", done, d.QueueLen())
+	}
+	buf := make([]byte, SectorSize)
+	d.Read(1, buf)
+	if buf[0] != 7 {
+		t.Fatal("queued write not applied")
+	}
+}
+
+func TestEnqueueCopiesData(t *testing.T) {
+	d := newDisk(4)
+	data := sector(1)
+	d.Enqueue(Request{Sector: 0, Data: data})
+	data[0] = 99 // caller mutates after enqueue
+	d.Service(-1)
+	buf := make([]byte, SectorSize)
+	d.Read(0, buf)
+	if buf[0] != 1 {
+		t.Fatal("Enqueue did not copy data")
+	}
+}
+
+func TestServiceLimit(t *testing.T) {
+	d := newDisk(16)
+	for i := 0; i < 5; i++ {
+		d.Enqueue(Request{Sector: i, Data: sector(byte(i))})
+	}
+	d.Service(2)
+	if d.QueueLen() != 3 {
+		t.Fatalf("queue len = %d after Service(2)", d.QueueLen())
+	}
+}
+
+func TestCrashDropsQueueAndTearsInFlight(t *testing.T) {
+	d := newDisk(16)
+	d.Write(1, sector(0x11)) // committed data
+	d.Enqueue(Request{Sector: 1, Data: sector(0x22)})
+	d.Enqueue(Request{Sector: 2, Data: sector(0x33)})
+	d.Crash(sim.NewRand(42))
+	if d.QueueLen() != 0 {
+		t.Fatal("crash left queue")
+	}
+	buf := make([]byte, SectorSize)
+	d.Read(1, buf)
+	// In-flight sector torn: neither old nor new value.
+	if bytes.Equal(buf, sector(0x11)) || bytes.Equal(buf, sector(0x22)) {
+		t.Fatal("in-flight sector not torn")
+	}
+	// Sector 2 write simply lost; old contents (zero) remain.
+	d.Read(2, buf)
+	if !bytes.Equal(buf, sector(0)) {
+		t.Fatal("queued-but-not-started write altered disk")
+	}
+}
+
+func TestCrashWithEmptyQueueHarmless(t *testing.T) {
+	d := newDisk(4)
+	d.Write(0, sector(5))
+	d.Crash(sim.NewRand(1))
+	buf := make([]byte, SectorSize)
+	d.Read(0, buf)
+	if !bytes.Equal(buf, sector(5)) {
+		t.Fatal("crash with empty queue altered committed data")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	d := newDisk(4)
+	d.Write(0, sector(9))
+	d.Enqueue(Request{Sector: 1, Data: sector(1)})
+	d.Format()
+	if d.QueueLen() != 0 {
+		t.Fatal("Format left queue")
+	}
+	buf := make([]byte, SectorSize)
+	d.Read(0, buf)
+	if !bytes.Equal(buf, sector(0)) {
+		t.Fatal("Format did not zero disk")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	d := newDisk(4)
+	d.Write(2, sector(0x5c))
+	snap := d.Snapshot()
+	d.Write(2, sector(0))
+	d.Restore(snap)
+	buf := make([]byte, SectorSize)
+	d.Read(2, buf)
+	if !bytes.Equal(buf, sector(0x5c)) {
+		t.Fatal("restore mismatch")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	d := newDisk(8)
+	d.Write(0, sector(1))
+	d.Read(0, make([]byte, SectorSize))
+	s := d.Stats
+	if s.Writes != 1 || s.Reads != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.BytesWritten != SectorSize || s.BytesRead != SectorSize {
+		t.Fatalf("byte stats %+v", s)
+	}
+	if s.BusyTime <= 0 {
+		t.Fatal("no busy time")
+	}
+}
+
+func TestBadConstructionPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, DefaultParams()) },
+		func() { New(SectorSize, Params{}) }, // zero transfer rate
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,666 @@
+package fs
+
+import (
+	"errors"
+	"fmt"
+
+	"rio/internal/cache"
+	"rio/internal/disk"
+	"rio/internal/kernel"
+	"rio/internal/sim"
+)
+
+// Stats counts file-system activity.
+type Stats struct {
+	Syscalls      uint64
+	SyncReads     uint64
+	SyncWrites    uint64
+	AsyncWrites   uint64
+	JournalWrites uint64
+	MetaUpdates   uint64
+	Fsyncs        uint64
+	DaemonRuns    uint64
+}
+
+// asyncWrite is a queued disk write whose service time has been charged to
+// the disk timeline; its content is applied (Commit) no later than the next
+// synchronous disk operation, and is lost (or torn) if the system crashes
+// first.
+type asyncWrite struct {
+	block    int64
+	data     []byte
+	done     sim.Time
+	onCommit func() // runs when the content actually reaches the disk
+}
+
+// FS is a mounted file system.
+type FS struct {
+	K     *kernel.Kernel
+	C     *cache.Cache
+	D     *disk.Disk
+	Clock *sim.Clock
+	Eng   *sim.Engine
+	Pol   Policy
+	Costs Costs
+	SB    Superblock
+
+	Stats Stats
+
+	diskFree    sim.Time
+	lastIO      int64 // last block the head visited (sequentiality pricing)
+	pending     []asyncWrite
+	lastSteps   uint64
+	lastToggles uint64
+	lastChecks  uint64
+	daemonEv    *sim.Event
+	journalHead int64
+	inoHint     uint32
+	blkHint     int64
+	mounted     bool
+}
+
+// Errors surfaced by the syscall layer.
+var (
+	ErrNotFound    = errors.New("fs: no such file or directory")
+	ErrExists      = errors.New("fs: file exists")
+	ErrNotDir      = errors.New("fs: not a directory")
+	ErrIsDir       = errors.New("fs: is a directory")
+	ErrNotEmpty    = errors.New("fs: directory not empty")
+	ErrNameTooLong = errors.New("fs: name too long")
+	ErrNoSpace     = errors.New("fs: no space left on device")
+	ErrNoInodes    = errors.New("fs: out of inodes")
+	ErrTooBig      = errors.New("fs: file too large")
+	ErrClosed      = errors.New("fs: file already closed")
+	ErrSymlinkLoop = errors.New("fs: too many levels of symbolic links")
+	ErrNotSymlink  = errors.New("fs: not a symbolic link")
+)
+
+// Mount attaches a formatted disk. The cache must be freshly constructed;
+// Mount installs its write-back callback and schedules the update daemon
+// according to the policy.
+func Mount(k *kernel.Kernel, c *cache.Cache, d *disk.Disk, eng *sim.Engine, pol Policy, costs Costs) (*FS, error) {
+	f := &FS{
+		K: k, C: c, D: d, Eng: eng, Clock: eng.Clock,
+		Pol: pol, Costs: costs,
+	}
+	blk := f.readBlockSync(0)
+	if err := f.SB.unmarshal(blk); err != nil {
+		return nil, err
+	}
+	if f.SB.NBlocks != int64(d.NumSectors()/SectorsPerBlock) {
+		return nil, fmt.Errorf("fs: superblock claims %d blocks, disk has %d",
+			f.SB.NBlocks, d.NumSectors()/SectorsPerBlock)
+	}
+	f.journalHead = f.SB.JournalStart
+	f.blkHint = f.SB.DataStart
+	f.inoHint = 2 // root is 1
+	c.WriteBack = f.writeBackBuf
+	if pol.UpdatePeriod > 0 {
+		f.scheduleDaemon()
+	}
+	f.mounted = true
+	// Baseline the CPU counters so mount-time work isn't charged twice.
+	f.lastSteps = k.Steps()
+	f.lastToggles = k.MMU.Stats.ProtToggle
+	f.lastChecks = k.MMU.Stats.ProtChecks
+	return f, nil
+}
+
+// --- time accounting ---
+
+func maxT(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// chargeCPU converts kernel work since the last charge into simulated time.
+func (f *FS) chargeCPU() {
+	steps := f.K.Steps()
+	d := sim.Duration(int64(steps-f.lastSteps) * f.Costs.StepNs)
+	f.lastSteps = steps
+	tog := f.K.MMU.Stats.ProtToggle
+	d += sim.Duration(tog-f.lastToggles) * f.Costs.ProtToggle
+	f.lastToggles = tog
+	chk := f.K.MMU.Stats.ProtChecks
+	d += sim.Duration(chk-f.lastChecks) * f.Costs.PatchCheck
+	f.lastChecks = chk
+	f.Clock.Advance(d)
+}
+
+func (f *FS) beginOp() {
+	f.Stats.Syscalls++
+	f.Clock.Advance(f.Costs.Syscall)
+	// Run a slice of the kernel's background machinery (scheduler,
+	// accounting, polling) — see kernel.BackgroundTick. Errors here are
+	// crashes; the syscall body will observe them.
+	_ = f.K.BackgroundTick()
+}
+
+func (f *FS) endOp() {
+	f.chargeCPU()
+	if f.Eng != nil {
+		f.Eng.RunUntil(f.Clock.Now())
+	}
+}
+
+// --- block I/O ---
+
+func blockSector(block int64) int { return int(block) * SectorsPerBlock }
+
+// checkBlock validates a block number before any disk I/O. Metadata
+// corrupted in memory (a fault-injection outcome) can surface as a garbage
+// block pointer in an inode or directory; a real kernel's bread() bounds
+// check catches it and panics — one more of the consistency checks §3.3
+// credits with limiting damage.
+func (f *FS) checkBlock(block int64) error {
+	if block < 0 || block >= int64(f.D.NumSectors()/SectorsPerBlock) {
+		return f.K.Panic(fmt.Sprintf("fs: block number %d out of range", block))
+	}
+	return nil
+}
+
+// drainPending applies every queued asynchronous write. By construction the
+// disk timeline (diskFree) is at or beyond every queued write's completion,
+// and synchronous operations begin at max(now, diskFree), so draining
+// everything before a sync op preserves device order.
+func (f *FS) drainPending() {
+	for _, w := range f.pending {
+		f.D.Commit(blockSector(w.block), w.data)
+		if w.onCommit != nil {
+			w.onCommit()
+		}
+	}
+	f.pending = f.pending[:0]
+}
+
+// readBlockSync reads a block, blocking the caller until the disk is free
+// and the transfer completes.
+func (f *FS) readBlockSync(block int64) []byte {
+	f.drainPending()
+	if err := f.checkBlock(block); err != nil {
+		// The kernel has panicked; return zeroes so the caller's error
+		// path (which checks Crashed) unwinds without touching the disk.
+		return make([]byte, BlockSize)
+	}
+	f.Clock.AdvanceTo(maxT(f.Clock.Now(), f.diskFree))
+	buf := make([]byte, BlockSize)
+	dur := f.D.Read(blockSector(block), buf)
+	f.Clock.Advance(dur)
+	f.diskFree = f.Clock.Now()
+	f.lastIO = block
+	f.Stats.SyncReads++
+	return buf
+}
+
+// writeBlockSync writes a block synchronously.
+func (f *FS) writeBlockSync(block int64, data []byte) {
+	f.drainPending()
+	if err := f.checkBlock(block); err != nil {
+		return
+	}
+	f.Clock.AdvanceTo(maxT(f.Clock.Now(), f.diskFree))
+	dur := f.D.Write(blockSector(block), data)
+	f.Clock.Advance(dur)
+	f.diskFree = f.Clock.Now()
+	f.lastIO = block
+	f.Stats.SyncWrites++
+}
+
+// price computes the service time of one block transfer.
+func (f *FS) price(seq bool) sim.Duration {
+	p := f.D.Params()
+	t := p.FixedOverhead
+	if seq {
+		t += p.TrackSwitch
+	} else {
+		t += p.Positioning
+	}
+	t += sim.Duration(int64(BlockSize) * int64(sim.Second) / p.BytesPerSecond)
+	return t
+}
+
+// writeBlockAsync queues a block write: the caller does not wait, the disk
+// timeline absorbs the service time, and the content lands at the next
+// drain (or is lost in a crash). Runs of consecutive blocks get sequential
+// pricing — the batching advantage that makes delayed writes and journal
+// appends cheap.
+func (f *FS) writeBlockAsync(block int64, data []byte) {
+	f.writeBlockAsyncCB(block, data, nil)
+}
+
+// writeBlockAsyncCB queues an asynchronous write and runs onCommit when
+// (and only if) the content reaches the disk — a crash drops uncommitted
+// writes along with their callbacks.
+func (f *FS) writeBlockAsyncCB(block int64, data []byte, onCommit func()) {
+	if f.Pol.neverWrite() {
+		return
+	}
+	if err := f.checkBlock(block); err != nil {
+		return
+	}
+	seq := block == f.lastIO+1 || block == f.lastIO
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	start := maxT(f.Clock.Now(), f.diskFree)
+	f.diskFree = start.Add(f.price(seq))
+	f.lastIO = block
+	f.pending = append(f.pending, asyncWrite{block: block, data: cp, done: f.diskFree, onCommit: onCommit})
+	f.Stats.AsyncWrites++
+}
+
+// CrashIO models the device's view of a crash: queued writes that had
+// completed by now are on disk; the one in flight is torn; the rest are
+// lost. Called by the crash-test harness.
+func (f *FS) CrashIO(rng *sim.Rand) {
+	now := f.Clock.Now()
+	i := 0
+	for ; i < len(f.pending) && f.pending[i].done <= now; i++ {
+		f.D.Commit(blockSector(f.pending[i].block), f.pending[i].data)
+		if cb := f.pending[i].onCommit; cb != nil {
+			cb()
+		}
+	}
+	if i < len(f.pending) {
+		f.D.Tear(blockSector(f.pending[i].block), rng)
+	}
+	f.pending = nil
+}
+
+// OnPanic is the stock kernel's dying gasp: flush dirty buffers to disk.
+// Rio's modified panic (and MFS) skips this; a hung kernel never gets here.
+// Contents go out as they are in memory — if a wild store corrupted them,
+// the corruption is now on disk, which is exactly how several of the
+// paper's "disk corrupted" runs happened.
+func (f *FS) OnPanic() {
+	if !f.Pol.panicFlushes() {
+		return
+	}
+	for _, kind := range []cache.Kind{cache.Meta, cache.Data} {
+		for _, b := range f.C.DirtyBufs(kind) {
+			if b.Block >= 0 {
+				f.D.Commit(blockSector(b.Block), f.C.Contents(b))
+			}
+		}
+	}
+}
+
+// --- update daemon ---
+
+func (f *FS) scheduleDaemon() {
+	f.daemonEv = f.Eng.After(f.Pol.UpdatePeriod, "update-daemon", func() {
+		f.runUpdateDaemon()
+		if f.mounted {
+			f.scheduleDaemon()
+		}
+	})
+}
+
+// runUpdateDaemon flushes all dirty buffers asynchronously, like update(8)
+// calling sync every 30 seconds.
+func (f *FS) runUpdateDaemon() {
+	f.Stats.DaemonRuns++
+	f.flushAllAsync()
+	if f.Pol.metaJournal() {
+		// Checkpoint: in-place metadata is now current; recycle the log.
+		f.journalHead = f.SB.JournalStart
+	}
+}
+
+func (f *FS) flushAllAsync() {
+	for _, kind := range []cache.Kind{cache.Meta, cache.Data} {
+		for _, b := range f.C.DirtyBufs(kind) {
+			if b.Block < 0 {
+				continue
+			}
+			// The buffer stays dirty until the write actually completes:
+			// a crash that drops the queue must leave the buffer dirty so
+			// warm reboot still restores it. The generation check skips
+			// the clean-down if the buffer was rewritten meanwhile.
+			b := b
+			gen := b.Gen
+			f.writeBlockAsyncCB(b.Block, f.C.Contents(b), func() {
+				if b.Gen == gen {
+					_ = f.C.MarkClean(b)
+				}
+			})
+		}
+	}
+}
+
+// writeBackBuf is the cache's eviction callback. Under Rio the write is
+// synchronous: an evicted buffer's frame is reused immediately, so its
+// content must be safe on disk before the memory copy disappears — this
+// is the one disk write Rio ever does ("only when the cache overflows").
+// Other policies evict through the asynchronous queue, accepting (as their
+// real counterparts did) that a crash loses queued write-backs.
+func (f *FS) writeBackBuf(b *cache.Buf) error {
+	if f.Pol.neverWrite() {
+		return fmt.Errorf("fs: memory file system out of cache space")
+	}
+	if b.Block < 0 {
+		return fmt.Errorf("fs: dirty buffer with no disk address")
+	}
+	if f.Pol.syncIsNoop() {
+		f.writeBlockSync(b.Block, f.C.Contents(b))
+	} else {
+		f.writeBlockAsync(b.Block, f.C.Contents(b))
+	}
+	return f.C.MarkClean(b)
+}
+
+// --- metadata buffers ---
+
+// metaBuf returns the cached buffer for a metadata block, reading it from
+// disk on a miss.
+func (f *FS) metaBuf(block int64) (*cache.Buf, error) {
+	if b := f.C.LookupMeta(block); b != nil {
+		return b, nil
+	}
+	content := f.readBlockSync(block)
+	if c := f.K.Crashed(); c != nil {
+		return nil, c
+	}
+	return f.C.InsertMeta(block, content)
+}
+
+// metaUpdate installs a new full-block image for a metadata buffer and
+// applies the policy's disk behaviour. Under Rio the in-memory update is
+// made atomic with a shadow page, because the buffer cache is now the
+// permanent copy (§2.3: "metadata updates in the buffer cache must be as
+// carefully ordered as those to disk").
+//
+// ordered marks updates whose on-disk ordering UFS enforces with
+// synchronous writes: namespace changes and inode initialisation/free
+// [Ganger94]. Unordered metadata (allocation bitmaps, inode size growth,
+// indirect blocks) is written back asynchronously even by default UFS —
+// that distinction is much of why UFS beats the write-through mounts.
+func (f *FS) metaUpdate(b *cache.Buf, img []byte, ordered bool) error {
+	f.Stats.MetaUpdates++
+	var err error
+	if f.Pol.metaShadow() {
+		err = f.C.WriteShadow(b, img)
+	} else {
+		err = f.C.Write(b, 0, img, BlockSize)
+	}
+	if err != nil {
+		return err
+	}
+	switch {
+	case f.Pol.neverWrite():
+	case f.Pol.metaSync() && ordered:
+		f.writeBlockSync(b.Block, f.C.Contents(b))
+		return f.C.MarkClean(b)
+	case f.Pol.metaJournal() && ordered:
+		f.journalAppend(f.C.Contents(b))
+	}
+	return nil
+}
+
+// DropCaches flushes every dirty buffer synchronously and empties both
+// caches — the benchmark cold-cache control (a freshly booted machine
+// whose tree sits on disk). Memory-only policies keep their caches: for
+// MFS the cache IS the storage, and Rio's file cache survives reboots by
+// design, which is precisely why Rio reads stay warm in Table 2.
+func (f *FS) DropCaches() error {
+	if f.Pol.neverWrite() || f.Pol.Kind == PolicyRio {
+		return nil
+	}
+	for _, kind := range []cache.Kind{cache.Meta, cache.Data} {
+		for _, b := range f.C.DirtyBufs(kind) {
+			if b.Block >= 0 {
+				f.writeBlockSync(b.Block, f.C.Contents(b))
+				if err := f.C.MarkClean(b); err != nil {
+					return err
+				}
+			}
+		}
+		for _, b := range f.C.All(kind) {
+			if err := f.C.Remove(b); err != nil {
+				return err
+			}
+		}
+	}
+	f.drainPending()
+	return nil
+}
+
+// journalAppend logs a metadata block image sequentially. Every fourth
+// append is a group commit: the caller waits for the log to reach the
+// platter, which is what bounds a journaling file system's metadata loss
+// window and what keeps it measurably slower than pure delayed writes.
+func (f *FS) journalAppend(img []byte) {
+	if f.SB.JournalStart >= f.SB.NBlocks {
+		return // no journal region; fall back to delayed behaviour
+	}
+	f.Stats.JournalWrites++
+	if f.Stats.JournalWrites%4 == 0 {
+		f.writeBlockSync(f.journalHead, img)
+	} else {
+		f.writeBlockAsync(f.journalHead, img)
+	}
+	f.journalHead++
+	if f.journalHead >= f.SB.NBlocks {
+		f.journalHead = f.SB.JournalStart // wrap
+	}
+}
+
+// --- inodes ---
+
+func (f *FS) inodeBlock(ino uint32) int64 {
+	return f.SB.InodeStart + int64(ino)/InodesPerBlock
+}
+
+func (f *FS) getInode(ino uint32) (Inode, error) {
+	if ino == 0 || int64(ino) >= f.SB.NInodes {
+		return Inode{}, fmt.Errorf("fs: bad inode %d", ino)
+	}
+	b, err := f.metaBuf(f.inodeBlock(ino))
+	if err != nil {
+		return Inode{}, err
+	}
+	img := f.C.Contents(b)
+	off := (int(ino) % InodesPerBlock) * InodeSize
+	var n Inode
+	n.unmarshal(img[off : off+InodeSize])
+	return n, nil
+}
+
+// putInode writes an inode back. ordered is true for inode
+// initialisation/free (namespace-ordering metadata); size and pointer
+// growth from writes is unordered.
+func (f *FS) putInode(ino uint32, n *Inode, ordered bool) error {
+	b, err := f.metaBuf(f.inodeBlock(ino))
+	if err != nil {
+		return err
+	}
+	img := f.C.Contents(b)
+	off := (int(ino) % InodesPerBlock) * InodeSize
+	n.marshal(img[off : off+InodeSize])
+	return f.metaUpdate(b, img, ordered)
+}
+
+// ialloc finds a free inode and claims it with the given mode.
+func (f *FS) ialloc(mode uint32) (uint32, error) {
+	for probe := int64(0); probe < f.SB.NInodes; probe++ {
+		ino := uint32((int64(f.inoHint) + probe) % f.SB.NInodes)
+		if ino <= 1 { // 0 invalid, 1 root
+			continue
+		}
+		n, err := f.getInode(ino)
+		if err != nil {
+			return 0, err
+		}
+		if n.Mode == ModeFree {
+			f.inoHint = ino + 1
+			n = Inode{Mode: mode, Nlink: 1}
+			if err := f.putInode(ino, &n, true); err != nil {
+				return 0, err
+			}
+			return ino, nil
+		}
+	}
+	return 0, ErrNoInodes
+}
+
+// --- block allocator ---
+
+func (f *FS) bitmapBlockOf(block int64) (int64, int64) {
+	bitsPerBlock := int64(BlockSize * 8)
+	return f.SB.BitmapStart + block/bitsPerBlock, block % bitsPerBlock
+}
+
+// balloc claims a free data block.
+func (f *FS) balloc() (int64, error) {
+	span := f.SB.JournalStart - f.SB.DataStart
+	for probe := int64(0); probe < span; probe++ {
+		block := f.SB.DataStart + (f.blkHint-f.SB.DataStart+probe)%span
+		bb, bit := f.bitmapBlockOf(block)
+		b, err := f.metaBuf(bb)
+		if err != nil {
+			return 0, err
+		}
+		img := f.C.Contents(b)
+		if img[bit/8]&(1<<(bit%8)) == 0 {
+			img[bit/8] |= 1 << (bit % 8)
+			if err := f.metaUpdate(b, img, false); err != nil {
+				return 0, err
+			}
+			f.blkHint = block + 1
+			return block, nil
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+// bfree releases a data block.
+func (f *FS) bfree(block int64) error {
+	if block < f.SB.DataStart || block >= f.SB.JournalStart {
+		return fmt.Errorf("fs: bfree of non-data block %d", block)
+	}
+	bb, bit := f.bitmapBlockOf(block)
+	b, err := f.metaBuf(bb)
+	if err != nil {
+		return err
+	}
+	img := f.C.Contents(b)
+	if img[bit/8]&(1<<(bit%8)) == 0 {
+		return fmt.Errorf("fs: double free of block %d", block)
+	}
+	img[bit/8] &^= 1 << (bit % 8)
+	return f.metaUpdate(b, img, false)
+}
+
+// --- file block mapping ---
+
+// bmap resolves fileBlock to a disk block, allocating (and updating the
+// inode in memory — caller must putInode) when alloc is set. Returns 0 for
+// an unallocated hole when !alloc.
+func (f *FS) bmap(n *Inode, fileBlock int64, alloc bool, inodeDirty *bool) (int64, error) {
+	if fileBlock < 0 || fileBlock >= MaxFileBlocks {
+		return 0, ErrTooBig
+	}
+	if fileBlock < NDirect {
+		if n.Direct[fileBlock] == 0 {
+			if !alloc {
+				return 0, nil
+			}
+			blk, err := f.balloc()
+			if err != nil {
+				return 0, err
+			}
+			n.Direct[fileBlock] = int32(blk)
+			*inodeDirty = true
+		}
+		return int64(n.Direct[fileBlock]), nil
+	}
+	// Indirect.
+	if n.Indirect == 0 {
+		if !alloc {
+			return 0, nil
+		}
+		blk, err := f.balloc()
+		if err != nil {
+			return 0, err
+		}
+		n.Indirect = int32(blk)
+		*inodeDirty = true
+		// Fresh indirect block: all zero.
+		if _, err := f.C.InsertMeta(blk, nil); err != nil {
+			return 0, err
+		}
+	}
+	ib, err := f.metaBuf(int64(n.Indirect))
+	if err != nil {
+		return 0, err
+	}
+	img := f.C.Contents(ib)
+	idx := (fileBlock - NDirect) * 4
+	var ptr uint32
+	for i := 0; i < 4; i++ {
+		ptr |= uint32(img[idx+int64(i)]) << (8 * i)
+	}
+	if ptr == 0 {
+		if !alloc {
+			return 0, nil
+		}
+		blk, err := f.balloc()
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < 4; i++ {
+			img[idx+int64(i)] = byte(uint64(blk) >> (8 * i))
+		}
+		if err := f.metaUpdate(ib, img, false); err != nil {
+			return 0, err
+		}
+		return blk, nil
+	}
+	return int64(ptr), nil
+}
+
+// freeFileBlocks releases every block of an inode (unlink/truncate-to-0).
+func (f *FS) freeFileBlocks(n *Inode) error {
+	for i := range n.Direct {
+		if n.Direct[i] != 0 {
+			if err := f.bfree(int64(n.Direct[i])); err != nil {
+				return err
+			}
+			n.Direct[i] = 0
+		}
+	}
+	if n.Indirect != 0 {
+		ib, err := f.metaBuf(int64(n.Indirect))
+		if err != nil {
+			return err
+		}
+		img := f.C.Contents(ib)
+		for e := 0; e < PtrsPerBlock; e++ {
+			var ptr uint32
+			for i := 0; i < 4; i++ {
+				ptr |= uint32(img[e*4+i]) << (8 * i)
+			}
+			if ptr != 0 {
+				if err := f.bfree(int64(ptr)); err != nil {
+					return err
+				}
+			}
+		}
+		// Drop the indirect block's cache entry and free it.
+		if err := f.C.Remove(ib); err != nil {
+			return err
+		}
+		if err := f.bfree(int64(n.Indirect)); err != nil {
+			return err
+		}
+		n.Indirect = 0
+	}
+	return nil
+}
+
+// DiskFree exposes the disk timeline (perf harness reporting).
+func (f *FS) DiskFree() sim.Time { return f.diskFree }
+
+// PendingWrites returns the number of queued asynchronous writes.
+func (f *FS) PendingWrites() int { return len(f.pending) }

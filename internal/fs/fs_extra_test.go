@@ -1,0 +1,238 @@
+package fs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"rio/internal/fs"
+	"rio/internal/kernel"
+	"rio/internal/machine"
+	"rio/internal/sim"
+)
+
+func bootOpt(t *testing.T, kind fs.PolicyKind, mod func(*machine.Options)) *machine.Machine {
+	t.Helper()
+	opt := machine.DefaultOptions(fs.DefaultPolicy(kind))
+	opt.FastPath = true
+	if mod != nil {
+		mod(&opt)
+	}
+	m, err := machine.New(opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDropCachesRoundTrip(t *testing.T) {
+	m := boot(t, fs.PolicyUFSDelayed)
+	data := kernel.FillBytes(2*fs.BlockSize+100, 77)
+	writeFile(t, m, "/f", data)
+	misses := m.Cache.Stats.DataMisses
+	if err := m.FS.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cache.Len(0) != 0 || m.Cache.Len(1) != 0 {
+		t.Fatal("caches not empty after DropCaches")
+	}
+	// Re-read comes from disk, intact.
+	if got := readFile(t, m, "/f"); !bytes.Equal(got, data) {
+		t.Fatal("data lost through DropCaches")
+	}
+	if m.Cache.Stats.DataMisses == misses {
+		t.Fatal("re-read did not miss (caches not actually dropped)")
+	}
+}
+
+func TestDropCachesNoopForRioAndMFS(t *testing.T) {
+	for _, kind := range []fs.PolicyKind{fs.PolicyRio, fs.PolicyMFS} {
+		m := boot(t, kind)
+		writeFile(t, m, "/f", []byte("memory resident"))
+		if err := m.FS.DropCaches(); err != nil {
+			t.Fatal(err)
+		}
+		// Data must still be readable (for MFS it exists nowhere else).
+		if string(readFile(t, m, "/f")) != "memory resident" {
+			t.Fatalf("%v: DropCaches destroyed memory-resident data", kind)
+		}
+	}
+}
+
+func TestAsyncCommitCallbacksOnlyOnCommit(t *testing.T) {
+	// Delayed policy: daemon queues async writes; a crash before their
+	// completion must leave the buffers dirty (callbacks not run).
+	m := boot(t, fs.PolicyUFSDelayed)
+	writeFile(t, m, "/f", kernel.FillBytes(fs.BlockSize, 9))
+	// Force the daemon now.
+	m.Engine.Clock.Advance(31 * sim.Second)
+	m.Engine.RunUntil(m.Engine.Clock.Now())
+	if m.FS.PendingWrites() == 0 {
+		t.Fatal("daemon queued nothing")
+	}
+	// Buffers stay dirty until the queue drains.
+	dirtyBefore := len(m.FS.C.DirtyBufs(0)) + len(m.FS.C.DirtyBufs(1))
+	if dirtyBefore == 0 {
+		t.Fatal("buffers marked clean before commit")
+	}
+	// Let the queue complete, then settle: now they are clean.
+	m.Engine.Clock.Advance(5 * sim.Second)
+	m.FS.CrashIO(m.Rng)
+	dirtyAfter := len(m.FS.C.DirtyBufs(0)) + len(m.FS.C.DirtyBufs(1))
+	if dirtyAfter != 0 {
+		t.Fatalf("%d buffers still dirty after commit", dirtyAfter)
+	}
+}
+
+func TestCrashIODropsUncommittedAndTears(t *testing.T) {
+	m := boot(t, fs.PolicyUFSDelayed)
+	writeFile(t, m, "/f", kernel.FillBytes(fs.BlockSize, 3))
+	m.Engine.Clock.Advance(31 * sim.Second)
+	m.Engine.RunUntil(m.Engine.Clock.Now())
+	pend := m.FS.PendingWrites()
+	if pend == 0 {
+		t.Fatal("nothing queued")
+	}
+	// Crash immediately: queue completion times are in the future.
+	m.FS.CrashIO(m.Rng)
+	if m.FS.PendingWrites() != 0 {
+		t.Fatal("queue survived crash")
+	}
+	// Buffers still dirty (their write never completed).
+	if len(m.FS.C.DirtyBufs(0))+len(m.FS.C.DirtyBufs(1)) == 0 {
+		t.Fatal("crash marked uncommitted buffers clean")
+	}
+}
+
+func TestJournalWrapAround(t *testing.T) {
+	opt := machine.DefaultOptions(fs.DefaultPolicy(fs.PolicyAdvFS))
+	opt.FastPath = true
+	opt.JournalBlocks = 4 // tiny journal to force wrap
+	m, err := machine.New(opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		writeFile(t, m, "/f"+itoa(i), []byte("x"))
+	}
+	if m.FS.Stats.JournalWrites < 30 {
+		t.Fatalf("only %d journal writes", m.FS.Stats.JournalWrites)
+	}
+	// Volume still consistent after heavy journal churn.
+	m.FS.Unmount()
+	rep, err := fs.Fsck(m.Disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("journal wrap corrupted volume: %v", rep)
+	}
+}
+
+func TestRioEvictionIsSynchronous(t *testing.T) {
+	// Rio's only disk writes happen at cache overflow, and they must be
+	// synchronous: the evicted frame is reused immediately.
+	m := bootOpt(t, fs.PolicyRio, func(o *machine.Options) {
+		o.DataCap = 4
+	})
+	preSync := m.FS.Stats.SyncWrites
+	var files [][]byte
+	for i := 0; i < 10; i++ {
+		data := kernel.FillBytes(fs.BlockSize, uint64(i+1))
+		files = append(files, data)
+		writeFile(t, m, "/f"+itoa(i), data)
+	}
+	if m.FS.Stats.SyncWrites == preSync {
+		t.Fatal("Rio eviction did not write synchronously")
+	}
+	if m.FS.Stats.AsyncWrites != 0 {
+		t.Fatal("Rio eviction used the async queue")
+	}
+	// Everything still readable (early files round-trip via disk).
+	for i, want := range files {
+		if got := readFile(t, m, "/f"+itoa(i)); !bytes.Equal(got, want) {
+			t.Fatalf("file %d lost through Rio eviction", i)
+		}
+	}
+}
+
+func TestUFSOrderedVsUnorderedMetadata(t *testing.T) {
+	// Creating a file must sync ordered metadata (inode init + dirent);
+	// growing it must not sync anything (size updates are unordered).
+	m := boot(t, fs.PolicyUFS)
+	f, err := m.FS.Create("/grow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	createSyncs := m.FS.Stats.SyncWrites
+	if createSyncs == 0 {
+		t.Fatal("create synced no ordered metadata")
+	}
+	if _, err := f.WriteAt(kernel.FillBytes(1000, 3), 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.FS.Stats.SyncWrites != createSyncs {
+		t.Fatalf("size-growing write synced metadata (%d -> %d)",
+			createSyncs, m.FS.Stats.SyncWrites)
+	}
+	f.Close()
+}
+
+func TestUFSNonSequentialWriteFlushes(t *testing.T) {
+	m := boot(t, fs.PolicyUFS)
+	f, _ := m.FS.Create("/f")
+	f.WriteAt(kernel.FillBytes(1000, 1), 0)
+	async := m.FS.Stats.AsyncWrites
+	// Non-sequential write triggers the async flush of accumulated data.
+	f.WriteAt(kernel.FillBytes(1000, 2), 50000)
+	if m.FS.Stats.AsyncWrites == async {
+		t.Fatal("non-sequential write did not trigger async write-back")
+	}
+	f.Close()
+}
+
+func TestUFSThresholdFlush(t *testing.T) {
+	m := boot(t, fs.PolicyUFS)
+	f, _ := m.FS.Create("/f")
+	async := m.FS.Stats.AsyncWrites
+	// Sequential writes accumulate; crossing 64 KB flushes.
+	var off int64
+	for i := 0; i < 10; i++ {
+		f.WriteAt(kernel.FillBytes(fs.BlockSize, uint64(i+1)), off)
+		off += fs.BlockSize
+	}
+	if m.FS.Stats.AsyncWrites == async {
+		t.Fatal("64KB threshold never triggered")
+	}
+	f.Close()
+}
+
+func TestElapsedMonotonicAcrossPolicies(t *testing.T) {
+	for _, kind := range []fs.PolicyKind{fs.PolicyMFS, fs.PolicyUFS, fs.PolicyRio, fs.PolicyAdvFS} {
+		m := boot(t, kind)
+		last := m.Engine.Clock.Now()
+		for i := 0; i < 30; i++ {
+			writeFile(t, m, "/f"+itoa(i), kernel.FillBytes(1000, uint64(i+1)))
+			now := m.Engine.Clock.Now()
+			if now < last {
+				t.Fatalf("%v: time went backwards", kind)
+			}
+			last = now
+		}
+	}
+}
+
+func TestPendingDrainOnSyncRead(t *testing.T) {
+	// A sync read after queued async writes must see their content
+	// (device-order preservation).
+	m := boot(t, fs.PolicyUFSDelayed)
+	data := kernel.FillBytes(fs.BlockSize, 5)
+	writeFile(t, m, "/f", data)
+	m.Engine.Clock.Advance(31 * sim.Second) // daemon queues
+	m.Engine.RunUntil(m.Engine.Clock.Now())
+	if err := m.FS.DropCaches(); err != nil { // forces sync writes + read path
+		t.Fatal(err)
+	}
+	if got := readFile(t, m, "/f"); !bytes.Equal(got, data) {
+		t.Fatal("sync read missed queued content")
+	}
+}

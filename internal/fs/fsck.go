@@ -1,0 +1,273 @@
+package fs
+
+import (
+	"fmt"
+
+	"rio/internal/disk"
+)
+
+// FsckReport summarises what the consistency check found and repaired.
+type FsckReport struct {
+	BadDirents   int // directory entries pointing at free/invalid inodes
+	OrphanInodes int // allocated inodes unreachable from the root
+	BadPointers  int // block pointers out of range or doubly referenced
+	BitmapFixes  int // allocation-bitmap bits that disagreed with reality
+}
+
+// Clean reports whether the volume needed no repairs.
+func (r FsckReport) Clean() bool {
+	return r.BadDirents == 0 && r.OrphanInodes == 0 && r.BadPointers == 0 && r.BitmapFixes == 0
+}
+
+func (r FsckReport) String() string {
+	return fmt.Sprintf("fsck: %d bad dirents, %d orphan inodes, %d bad pointers, %d bitmap fixes",
+		r.BadDirents, r.OrphanInodes, r.BadPointers, r.BitmapFixes)
+}
+
+// Fsck checks and repairs an unmounted volume in place, like fsck(8) at
+// boot. It walks the directory tree from the root, removes directory
+// entries that reference free or invalid inodes, frees unreachable inodes,
+// clears out-of-range or duplicate block pointers, and rebuilds the
+// allocation bitmap from the reachable tree.
+//
+// Fsck guarantees a *consistent* volume, not an *intact* one: data that
+// never reached the disk is simply gone, which is why a write-through
+// system and Rio's warm reboot both matter.
+func Fsck(d *disk.Disk) (FsckReport, error) {
+	var rep FsckReport
+	sb, err := ReadSuperblock(d)
+	if err != nil {
+		return rep, err
+	}
+	if sb.NBlocks != int64(d.NumSectors()/SectorsPerBlock) {
+		return rep, fmt.Errorf("fs: superblock claims %d blocks, disk has %d",
+			sb.NBlocks, d.NumSectors()/SectorsPerBlock)
+	}
+
+	readBlock := func(block int64) []byte {
+		buf := make([]byte, BlockSize)
+		d.Read(blockSector(block), buf)
+		return buf
+	}
+	writeBlock := func(block int64, img []byte) {
+		d.Commit(blockSector(block), img)
+	}
+
+	// Load the inode table.
+	inodeBlocks := sb.BitmapStart - sb.InodeStart
+	inodes := make([]Inode, sb.NInodes)
+	imgs := make([][]byte, inodeBlocks)
+	imgDirty := make([]bool, inodeBlocks)
+	for b := int64(0); b < inodeBlocks; b++ {
+		imgs[b] = readBlock(sb.InodeStart + b)
+		for s := 0; s < InodesPerBlock; s++ {
+			ino := b*InodesPerBlock + int64(s)
+			if ino >= sb.NInodes {
+				break
+			}
+			inodes[ino].unmarshal(imgs[b][s*InodeSize : (s+1)*InodeSize])
+		}
+	}
+
+	validData := func(block int64) bool {
+		return block >= sb.DataStart && block < sb.JournalStart
+	}
+
+	// blockOwner tracks which blocks the reachable tree references.
+	blockOwner := make(map[int64]uint32)
+	// claimBlocks validates an inode's pointers, clearing bad ones.
+	claimBlocks := func(ino uint32, n *Inode) bool {
+		changed := false
+		claim := func(p *int32) {
+			if *p == 0 {
+				return
+			}
+			b := int64(*p)
+			if !validData(b) {
+				rep.BadPointers++
+				*p = 0
+				changed = true
+				return
+			}
+			if _, dup := blockOwner[b]; dup {
+				rep.BadPointers++
+				*p = 0
+				changed = true
+				return
+			}
+			blockOwner[b] = ino
+		}
+		for i := range n.Direct {
+			claim(&n.Direct[i])
+		}
+		if n.Indirect != 0 {
+			ib := int64(n.Indirect)
+			if !validData(ib) {
+				rep.BadPointers++
+				n.Indirect = 0
+				changed = true
+			} else if _, dup := blockOwner[ib]; dup {
+				rep.BadPointers++
+				n.Indirect = 0
+				changed = true
+			} else {
+				blockOwner[ib] = ino
+				img := readBlock(ib)
+				indDirty := false
+				for e := 0; e < PtrsPerBlock; e++ {
+					var ptr uint32
+					for i := 0; i < 4; i++ {
+						ptr |= uint32(img[e*4+i]) << (8 * i)
+					}
+					if ptr == 0 {
+						continue
+					}
+					pb := int64(ptr)
+					if !validData(pb) {
+						rep.BadPointers++
+						for i := 0; i < 4; i++ {
+							img[e*4+i] = 0
+						}
+						indDirty = true
+						continue
+					}
+					if _, dup := blockOwner[pb]; dup {
+						rep.BadPointers++
+						for i := 0; i < 4; i++ {
+							img[e*4+i] = 0
+						}
+						indDirty = true
+						continue
+					}
+					blockOwner[pb] = ino
+				}
+				if indDirty {
+					writeBlock(ib, img)
+				}
+			}
+		}
+		return changed
+	}
+
+	markInodeDirty := func(ino uint32) {
+		b := int64(ino) / InodesPerBlock
+		s := int(int64(ino) % InodesPerBlock)
+		inodes[ino].marshal(imgs[b][s*InodeSize : (s+1)*InodeSize])
+		imgDirty[b] = true
+	}
+
+	// Walk the tree.
+	reachable := make(map[uint32]bool)
+	queue := []uint32{sb.RootIno}
+	reachable[sb.RootIno] = true
+	if inodes[sb.RootIno].Mode != ModeDir {
+		// A destroyed root directory: re-create it empty.
+		inodes[sb.RootIno] = Inode{Mode: ModeDir, Nlink: 1}
+		markInodeDirty(sb.RootIno)
+		rep.OrphanInodes++
+	}
+	for len(queue) > 0 {
+		dirIno := queue[0]
+		queue = queue[1:]
+		dir := &inodes[dirIno]
+		if claimBlocks(dirIno, dir) {
+			markInodeDirty(dirIno)
+		}
+		// Scan entries across the directory's claimed blocks.
+		scanBlock := func(db int64) {
+			if db == 0 {
+				return
+			}
+			img := readBlock(db)
+			dirty := false
+			for s := 0; s < DirentsPerBlock; s++ {
+				de := unmarshalDirent(img[s*DirentSize : (s+1)*DirentSize])
+				if de.Ino == 0 {
+					continue
+				}
+				bad := int64(de.Ino) >= sb.NInodes ||
+					inodes[de.Ino].Mode == ModeFree ||
+					reachable[de.Ino] // second link; we only support one
+				if bad {
+					rep.BadDirents++
+					for i := 0; i < DirentSize; i++ {
+						img[s*DirentSize+i] = 0
+					}
+					dirty = true
+					continue
+				}
+				reachable[de.Ino] = true
+				if inodes[de.Ino].Mode == ModeDir {
+					queue = append(queue, de.Ino)
+				} else {
+					if claimBlocks(de.Ino, &inodes[de.Ino]) {
+						markInodeDirty(de.Ino)
+					}
+				}
+			}
+			if dirty {
+				writeBlock(db, img)
+			}
+		}
+		for i := range dir.Direct {
+			scanBlock(int64(dir.Direct[i]))
+		}
+		if dir.Indirect != 0 {
+			img := readBlock(int64(dir.Indirect))
+			for e := 0; e < PtrsPerBlock; e++ {
+				var ptr uint32
+				for i := 0; i < 4; i++ {
+					ptr |= uint32(img[e*4+i]) << (8 * i)
+				}
+				scanBlock(int64(ptr))
+			}
+		}
+	}
+
+	// Free unreachable inodes.
+	for ino := uint32(1); int64(ino) < sb.NInodes; ino++ {
+		if inodes[ino].Mode != ModeFree && !reachable[ino] {
+			rep.OrphanInodes++
+			inodes[ino] = Inode{Mode: ModeFree}
+			markInodeDirty(ino)
+		}
+	}
+
+	// Flush repaired inode blocks.
+	for b := int64(0); b < inodeBlocks; b++ {
+		if imgDirty[b] {
+			writeBlock(sb.InodeStart+b, imgs[b])
+		}
+	}
+
+	// Rebuild the bitmap from reachability.
+	bitmapBlocks := sb.DataStart - sb.BitmapStart
+	for bb := int64(0); bb < bitmapBlocks; bb++ {
+		img := readBlock(sb.BitmapStart + bb)
+		fresh := make([]byte, BlockSize)
+		first := bb * BlockSize * 8
+		for i := int64(0); i < BlockSize*8; i++ {
+			block := first + i
+			used := block < sb.DataStart ||
+				(block >= sb.JournalStart && block < sb.NBlocks)
+			if _, ok := blockOwner[block]; ok {
+				used = true
+			}
+			if used {
+				fresh[i/8] |= 1 << (i % 8)
+			}
+		}
+		for i := range fresh {
+			if fresh[i] != img[i] {
+				// Count bit differences.
+				diff := fresh[i] ^ img[i]
+				for diff != 0 {
+					rep.BitmapFixes++
+					diff &= diff - 1
+				}
+			}
+		}
+		writeBlock(sb.BitmapStart+bb, fresh)
+	}
+	return rep, nil
+}

@@ -1,0 +1,210 @@
+package fs_test
+
+import (
+	"testing"
+
+	"rio/internal/fs"
+	"rio/internal/kernel"
+	"rio/internal/machine"
+	"rio/internal/sim"
+)
+
+// buildVolume creates a populated, unmounted volume and returns its
+// machine (disk holds the tree; memory irrelevant).
+func buildVolume(t *testing.T, seed uint64) *machine.Machine {
+	t.Helper()
+	opt := machine.DefaultOptions(fs.DefaultPolicy(fs.PolicyUFS))
+	opt.FastPath = true
+	opt.Seed = seed
+	m, err := machine.New(opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRand(seed)
+	m.FS.Mkdir("/a")
+	m.FS.Mkdir("/a/b")
+	m.FS.Mkdir("/c")
+	for i := 0; i < 25; i++ {
+		dir := []string{"", "/a", "/a/b", "/c"}[rng.Intn(4)]
+		f, err := m.FS.Create(dir + "/f" + itoa(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write(kernel.FillBytes(rng.Range(100, 3*fs.BlockSize), rng.Uint64()|1))
+		f.Close()
+	}
+	m.FS.Symlink("/a/f1", "/c/ln")
+	m.FS.Unmount()
+	return m
+}
+
+// corruptDisk applies n random single-byte corruptions to the volume's
+// metadata region (inode table, bitmap, low data blocks where directories
+// live), sparing the superblock so the volume stays recognisable.
+func corruptDisk(m *machine.Machine, rng *sim.Rand, n int) {
+	sb, err := fs.ReadSuperblock(m.Disk)
+	if err != nil {
+		return
+	}
+	lo := int(sb.InodeStart) * fs.SectorsPerBlock * 512
+	hi := int(sb.DataStart+40) * fs.SectorsPerBlock * 512
+	snap := m.Disk.Snapshot()
+	for i := 0; i < n; i++ {
+		pos := lo + rng.Intn(hi-lo)
+		snap[pos] ^= byte(1 << rng.Intn(8))
+	}
+	m.Disk.Restore(snap)
+}
+
+// TestFsckTotalUnderCorruption: for many random corruption patterns, fsck
+// must terminate without error, a second fsck must find nothing further
+// (idempotence), and the repaired volume must mount and support new work.
+func TestFsckTotalUnderCorruption(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		m := buildVolume(t, seed)
+		rng := sim.NewRand(seed * 977)
+		corruptDisk(m, rng, rng.Range(1, 40))
+
+		if _, err := fs.Fsck(m.Disk); err != nil {
+			// A corrupted superblock is the only legal hard failure, and
+			// we spared block 0.
+			t.Fatalf("seed %d: fsck failed: %v", seed, err)
+		}
+		rep2, err := fs.Fsck(m.Disk)
+		if err != nil {
+			t.Fatalf("seed %d: second fsck failed: %v", seed, err)
+		}
+		if !rep2.Clean() {
+			t.Fatalf("seed %d: fsck not idempotent: %v", seed, rep2)
+		}
+
+		// The repaired volume must mount and accept new files.
+		m.Mem.Scramble(seed)
+		if err := m.Boot(nil); err != nil {
+			t.Fatalf("seed %d: mount after fsck: %v", seed, err)
+		}
+		f, err := m.FS.Create("/post-fsck")
+		if err != nil {
+			t.Fatalf("seed %d: create after fsck: %v", seed, err)
+		}
+		if _, err := f.Write([]byte("still works")); err != nil {
+			t.Fatalf("seed %d: write after fsck: %v", seed, err)
+		}
+		f.Close()
+		if string(readFile(t, m, "/post-fsck")) != "still works" {
+			t.Fatalf("seed %d: readback after fsck", seed)
+		}
+	}
+}
+
+// TestFsckSurvivorsReadable: files whose metadata survives corruption are
+// still readable after repair; files fsck removed are cleanly absent (no
+// torn directory entries).
+func TestFsckSurvivorsConsistent(t *testing.T) {
+	m := buildVolume(t, 42)
+	rng := sim.NewRand(4242)
+	corruptDisk(m, rng, 12)
+	if _, err := fs.Fsck(m.Disk); err != nil {
+		t.Fatal(err)
+	}
+	m.Mem.Scramble(7)
+	if err := m.Boot(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Walk the tree: every visible file must read fully without error.
+	var walk func(dir string)
+	walk = func(dir string) {
+		ents, err := m.FS.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("readdir %s: %v", dir, err)
+		}
+		for _, e := range ents {
+			p := dir + "/" + e.Name
+			if dir == "/" {
+				p = "/" + e.Name
+			}
+			switch {
+			case e.IsDir:
+				walk(p)
+			case e.IsSymlink:
+				if _, err := m.FS.Readlink(p); err != nil {
+					t.Fatalf("readlink %s: %v", p, err)
+				}
+			default:
+				if e.Size > 1<<24 {
+					t.Fatalf("%s: implausible size %d survived fsck", p, e.Size)
+				}
+				f, err := m.FS.Open(p)
+				if err != nil {
+					t.Fatalf("open %s: %v", p, err)
+				}
+				buf := make([]byte, e.Size)
+				if _, err := f.ReadAt(buf, 0); err != nil {
+					t.Fatalf("read %s: %v", p, err)
+				}
+				f.Close()
+			}
+		}
+	}
+	walk("/")
+}
+
+// TestFsckDuplicateBlockReference: two inodes claiming one block is
+// resolved by clearing the later reference.
+func TestFsckDuplicateBlockReference(t *testing.T) {
+	m := buildVolume(t, 9)
+	sb, _ := fs.ReadSuperblock(m.Disk)
+
+	// Find two file inodes and alias the second's first block to the
+	// first's.
+	blk := make([]byte, fs.BlockSize)
+	m.Disk.Read(int(sb.InodeStart)*fs.SectorsPerBlock, blk)
+	type slot struct{ idx, direct int }
+	var files []slot
+	for i := 2; i < fs.InodesPerBlock; i++ {
+		nBytes := blk[i*fs.InodeSize : (i+1)*fs.InodeSize]
+		mode := uint32(nBytes[0]) | uint32(nBytes[1])<<8
+		if mode == fs.ModeFile {
+			var d0 uint32
+			for b := 0; b < 4; b++ {
+				d0 |= uint32(nBytes[16+b]) << (8 * b)
+			}
+			if d0 != 0 {
+				files = append(files, slot{i, int(d0)})
+			}
+		}
+	}
+	if len(files) < 2 {
+		t.Skip("not enough files in first inode block")
+	}
+	// Alias: file[1].direct[0] = file[0].direct[0].
+	dst := files[1].idx*fs.InodeSize + 16
+	v := uint32(files[0].direct)
+	for b := 0; b < 4; b++ {
+		blk[dst+b] = byte(v >> (8 * b))
+	}
+	m.Disk.Commit(int(sb.InodeStart)*fs.SectorsPerBlock, blk)
+
+	rep, err := fs.Fsck(m.Disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BadPointers == 0 {
+		t.Fatalf("duplicate block not detected: %v", rep)
+	}
+	rep2, _ := fs.Fsck(m.Disk)
+	if !rep2.Clean() {
+		t.Fatalf("not idempotent: %v", rep2)
+	}
+}
+
+// TestFsckReportString formats.
+func TestFsckReportString(t *testing.T) {
+	r := fs.FsckReport{BadDirents: 1, OrphanInodes: 2, BadPointers: 3, BitmapFixes: 4}
+	if r.Clean() {
+		t.Fatal("dirty report claims clean")
+	}
+	if r.String() == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,210 @@
+package fs_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rio/internal/fs"
+	"rio/internal/kernel"
+	"rio/internal/machine"
+	"rio/internal/warmreboot"
+)
+
+func TestSymlinkBasics(t *testing.T) {
+	m := boot(t, fs.PolicyRio)
+	writeFile(t, m, "/target", []byte("pointed at"))
+	if err := m.FS.Symlink("/target", "/link"); err != nil {
+		t.Fatal(err)
+	}
+	// Readlink returns the target verbatim.
+	got, err := m.FS.Readlink("/link")
+	if err != nil || got != "/target" {
+		t.Fatalf("readlink = %q, %v", got, err)
+	}
+	// Opening through the link reads the target's data.
+	if data := readFile(t, m, "/link"); string(data) != "pointed at" {
+		t.Fatalf("through link: %q", data)
+	}
+	// Stat follows; Lstat does not.
+	st, err := m.FS.Stat("/link")
+	if err != nil || st.IsSymlink || st.Size != 10 {
+		t.Fatalf("stat through link: %+v %v", st, err)
+	}
+	lst, err := m.FS.Lstat("/link")
+	if err != nil || !lst.IsSymlink {
+		t.Fatalf("lstat: %+v %v", lst, err)
+	}
+}
+
+func TestSymlinkToDirectory(t *testing.T) {
+	m := boot(t, fs.PolicyRio)
+	m.FS.Mkdir("/real")
+	writeFile(t, m, "/real/f", []byte("deep"))
+	if err := m.FS.Symlink("/real", "/alias"); err != nil {
+		t.Fatal(err)
+	}
+	// Path components through the link resolve.
+	if data := readFile(t, m, "/alias/f"); string(data) != "deep" {
+		t.Fatalf("got %q", data)
+	}
+	ents, err := m.FS.ReadDir("/alias")
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("readdir through link: %v %v", ents, err)
+	}
+}
+
+func TestRelativeSymlink(t *testing.T) {
+	m := boot(t, fs.PolicyRio)
+	m.FS.Mkdir("/d")
+	writeFile(t, m, "/d/file", []byte("rel"))
+	if err := m.FS.Symlink("file", "/d/rellink"); err != nil {
+		t.Fatal(err)
+	}
+	if data := readFile(t, m, "/d/rellink"); string(data) != "rel" {
+		t.Fatalf("got %q", data)
+	}
+}
+
+func TestSymlinkLoopDetected(t *testing.T) {
+	m := boot(t, fs.PolicyRio)
+	m.FS.Symlink("/b", "/a")
+	m.FS.Symlink("/a", "/b")
+	_, err := m.FS.Open("/a")
+	if err != fs.ErrSymlinkLoop {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDanglingSymlink(t *testing.T) {
+	m := boot(t, fs.PolicyRio)
+	m.FS.Symlink("/nowhere", "/dangle")
+	if _, err := m.FS.Open("/dangle"); err != fs.ErrNotFound {
+		t.Fatalf("err = %v", err)
+	}
+	// Lstat and Readlink still work on the dangling link.
+	if _, err := m.FS.Lstat("/dangle"); err != nil {
+		t.Fatal(err)
+	}
+	if tgt, err := m.FS.Readlink("/dangle"); err != nil || tgt != "/nowhere" {
+		t.Fatal(tgt, err)
+	}
+}
+
+func TestSymlinkUnlink(t *testing.T) {
+	m := boot(t, fs.PolicyRio)
+	writeFile(t, m, "/t", []byte("stays"))
+	m.FS.Symlink("/t", "/l")
+	if err := m.FS.Unlink("/l"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.FS.Lstat("/l"); err != fs.ErrNotFound {
+		t.Fatalf("link survived: %v", err)
+	}
+	// Target untouched.
+	if string(readFile(t, m, "/t")) != "stays" {
+		t.Fatal("target destroyed by unlinking the link")
+	}
+}
+
+func TestSymlinkErrors(t *testing.T) {
+	m := boot(t, fs.PolicyRio)
+	writeFile(t, m, "/f", []byte("x"))
+	if err := m.FS.Symlink("/f", "/f"); err != fs.ErrExists {
+		t.Fatalf("exists: %v", err)
+	}
+	if err := m.FS.Symlink(strings.Repeat("x", fs.MaxTargetLen+1), "/l"); err != fs.ErrNameTooLong {
+		t.Fatalf("long target: %v", err)
+	}
+	if _, err := m.FS.Readlink("/f"); err != fs.ErrNotSymlink {
+		t.Fatalf("readlink on file: %v", err)
+	}
+}
+
+func TestSymlinkTargetRoundTripsAllLengths(t *testing.T) {
+	m := boot(t, fs.PolicyRio)
+	for _, n := range []int{1, 7, 20, fs.MaxTargetLen} {
+		target := "/" + strings.Repeat("t", n-1)
+		link := "/l" + itoa(n)
+		if err := m.FS.Symlink(target, link); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got, err := m.FS.Readlink(link)
+		if err != nil || got != target {
+			t.Fatalf("n=%d: %q %v", n, got, err)
+		}
+	}
+}
+
+func TestSymlinkSurvivesWarmReboot(t *testing.T) {
+	pol := fs.DefaultPolicy(fs.PolicyRio)
+	opt := machine.DefaultOptions(pol)
+	opt.FastPath = true
+	m, err := machine.New(opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := kernel.FillBytes(fs.BlockSize, 3)
+	writeFile(t, m, "/target", data)
+	if err := m.FS.Symlink("/target", "/link"); err != nil {
+		t.Fatal(err)
+	}
+	m.Kernel.Panic("crash with symlink in buffer cache")
+	m.CrashFinish()
+	if _, err := warmreboot.Warm(m); err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := m.FS.Readlink("/link")
+	if err != nil || tgt != "/target" {
+		t.Fatalf("symlink lost in warm reboot: %q %v", tgt, err)
+	}
+	if !bytes.Equal(readFile(t, m, "/link"), data) {
+		t.Fatal("data through link wrong after reboot")
+	}
+}
+
+func TestSymlinkSurvivesFsck(t *testing.T) {
+	m := boot(t, fs.PolicyUFS)
+	writeFile(t, m, "/t", []byte("y"))
+	m.FS.Symlink("/t", "/l")
+	m.FS.Unmount()
+	rep, err := fs.Fsck(m.Disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("fsck flagged symlink volume: %v", rep)
+	}
+	m.Mem.Scramble(1)
+	if err := m.Boot(nil); err != nil {
+		t.Fatal(err)
+	}
+	if tgt, err := m.FS.Readlink("/l"); err != nil || tgt != "/t" {
+		t.Fatalf("%q %v", tgt, err)
+	}
+}
+
+func TestReadDirMarksSymlinks(t *testing.T) {
+	m := boot(t, fs.PolicyRio)
+	writeFile(t, m, "/f", []byte("x"))
+	m.FS.Symlink("/f", "/l")
+	ents, err := m.FS.ReadDir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range ents {
+		if e.Name == "l" {
+			found = true
+			if !e.IsSymlink {
+				t.Fatal("link not marked")
+			}
+		}
+		if e.Name == "f" && e.IsSymlink {
+			t.Fatal("file marked as link")
+		}
+	}
+	if !found {
+		t.Fatal("link missing from readdir")
+	}
+}

@@ -1,0 +1,259 @@
+package kernel
+
+import (
+	"fmt"
+
+	"rio/internal/mmu"
+)
+
+// The kernel heap allocator. Blocks live in simulated memory (the heap
+// region), each preceded by a 16-byte header:
+//
+//	+0  magic-and-state word: allocMagic or freeMagic
+//	+8  block size in bytes (payload, excluding header)
+//
+// Keeping headers in simulated memory matters: the "kernel heap" bit-flip
+// fault model flips bits in this region, and the allocator's magic checks
+// are then real consistency checks that panic the kernel the way Digital
+// Unix's sanity checks did.
+const (
+	allocMagic = 0xA110C8ED_00000001
+	freeMagic  = 0xF4EEB10C_00000002
+	hdrSize    = 16
+	allocAlign = 16
+)
+
+// Allocator is a first-fit free-list allocator over [base, base+size).
+type Allocator struct {
+	u    *mmu.MMU
+	base uint64
+	size int
+
+	// PrematureFree, if non-nil, is consulted on every Malloc; when it
+	// returns a positive delay d, the freshly allocated block is freed
+	// again after d further Mallocs — the paper's "allocation management"
+	// fault model (malloc starts a thread that sleeps, then prematurely
+	// frees the new block).
+	PrematureFree func() int
+
+	pending []pendingFree
+
+	// Allocs and Frees count operations (fault-model pacing hooks key off
+	// these).
+	Allocs uint64
+	Frees  uint64
+}
+
+type pendingFree struct {
+	addr  uint64
+	after uint64 // free when Allocs reaches this count
+}
+
+// NewAllocator initialises a heap over the given region. The region must be
+// mapped writable in u before any allocation.
+func NewAllocator(u *mmu.MMU, base uint64, size int) *Allocator {
+	a := &Allocator{u: u, base: base, size: size}
+	a.setHdr(base, freeMagic, uint64(size-hdrSize))
+	return a
+}
+
+func (a *Allocator) setHdr(addr uint64, magic, size uint64) {
+	if trap := a.u.Store64(addr, magic); trap != nil {
+		panic(fmt.Sprintf("kernel: heap header store trapped: %v", trap))
+	}
+	if trap := a.u.Store64(addr+8, size); trap != nil {
+		panic(fmt.Sprintf("kernel: heap header store trapped: %v", trap))
+	}
+}
+
+func (a *Allocator) hdr(addr uint64) (magic, size uint64, err error) {
+	magic, trap := a.u.Load64(addr)
+	if trap != nil {
+		return 0, 0, trap
+	}
+	size, trap = a.u.Load64(addr + 8)
+	if trap != nil {
+		return 0, 0, trap
+	}
+	return magic, size, nil
+}
+
+func align(n uint64) uint64 {
+	return (n + allocAlign - 1) &^ (allocAlign - 1)
+}
+
+// Malloc allocates size bytes and returns the payload's virtual address.
+// It returns an error wrapping a consistency failure if the heap is
+// corrupt, and (0, nil) if the heap is simply full.
+func (a *Allocator) Malloc(size int) (uint64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("kernel: malloc of %d bytes", size)
+	}
+	a.Allocs++
+	a.runPending()
+	want := align(uint64(size))
+
+	addr := a.base
+	end := a.base + uint64(a.size)
+	for addr < end {
+		magic, bsize, err := a.hdr(addr)
+		if err != nil {
+			return 0, fmt.Errorf("kernel: heap walk trapped at %#x: %w", addr, err)
+		}
+		switch magic {
+		case freeMagic:
+			if bsize >= want {
+				a.carve(addr, bsize, want)
+				if pf := a.PrematureFree; pf != nil {
+					if d := pf(); d > 0 {
+						a.pending = append(a.pending,
+							pendingFree{addr: addr + hdrSize, after: a.Allocs + uint64(d)})
+					}
+				}
+				return addr + hdrSize, nil
+			}
+		case allocMagic:
+			// occupied; skip
+		default:
+			return 0, fmt.Errorf("kernel: heap corruption at %#x (magic %#x)", addr, magic)
+		}
+		addr += hdrSize + bsize
+	}
+	return 0, nil // heap full
+}
+
+// carve splits a free block at addr (payload capacity bsize) to hold want
+// bytes, leaving any worthwhile remainder free.
+func (a *Allocator) carve(addr, bsize, want uint64) {
+	const minSplit = hdrSize + allocAlign
+	if bsize-want >= minSplit {
+		rest := addr + hdrSize + want
+		a.setHdr(rest, freeMagic, bsize-want-hdrSize)
+		a.setHdr(addr, allocMagic, want)
+	} else {
+		a.setHdr(addr, allocMagic, bsize)
+	}
+}
+
+// Free releases the block whose payload starts at addr. A bad pointer or a
+// corrupted header is a kernel consistency failure.
+func (a *Allocator) Free(addr uint64) error {
+	a.Frees++
+	h := addr - hdrSize
+	magic, size, err := a.hdr(h)
+	if err != nil {
+		return fmt.Errorf("kernel: free(%#x) trapped: %w", addr, err)
+	}
+	if magic != allocMagic {
+		return fmt.Errorf("kernel: free(%#x) of non-allocated block (magic %#x)", addr, magic)
+	}
+	a.setHdr(h, freeMagic, size)
+	a.coalesce()
+	return nil
+}
+
+// runPending executes premature frees whose delay has elapsed. Errors are
+// swallowed: the faulty "thread" frees blindly. The freed payload is
+// poisoned, as freed kernel memory is soon scribbled on by its next owner —
+// this is what makes use-after-free crash (the original owner's magic
+// checks fail) rather than silently linger.
+func (a *Allocator) runPending() {
+	kept := a.pending[:0]
+	for _, p := range a.pending {
+		if a.Allocs >= p.after {
+			h := p.addr - hdrSize
+			if magic, size, err := a.hdr(h); err == nil && magic == allocMagic {
+				for off := uint64(0); off+8 <= size; off += 8 {
+					if trap := a.u.Store64(p.addr+off, 0xdeadbeefdeadbeef); trap != nil {
+						break
+					}
+				}
+				a.setHdr(h, freeMagic, size)
+			}
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	a.pending = kept
+}
+
+// AllocatedBlocks returns the payload ranges of live allocations; fault
+// injection targets heap bit-flips at real kernel objects rather than at
+// free space.
+func (a *Allocator) AllocatedBlocks() [][2]uint64 {
+	var out [][2]uint64
+	addr := a.base
+	end := a.base + uint64(a.size)
+	for addr < end {
+		magic, size, err := a.hdr(addr)
+		if err != nil || (magic != freeMagic && magic != allocMagic) {
+			return out
+		}
+		if magic == allocMagic {
+			out = append(out, [2]uint64{addr + hdrSize, size})
+		}
+		addr += hdrSize + size
+	}
+	return out
+}
+
+// coalesce merges adjacent free blocks (single forward pass).
+func (a *Allocator) coalesce() {
+	addr := a.base
+	end := a.base + uint64(a.size)
+	for addr < end {
+		magic, size, err := a.hdr(addr)
+		if err != nil || (magic != freeMagic && magic != allocMagic) {
+			return // corrupt; Malloc will report it
+		}
+		next := addr + hdrSize + size
+		if magic == freeMagic && next < end {
+			nm, ns, err := a.hdr(next)
+			if err == nil && nm == freeMagic {
+				a.setHdr(addr, freeMagic, size+hdrSize+ns)
+				continue // try to merge further
+			}
+		}
+		addr = next
+	}
+}
+
+// CheckConsistency walks the heap and returns an error on any corruption —
+// the allocator's contribution to the kernel's background sanity checks.
+func (a *Allocator) CheckConsistency() error {
+	addr := a.base
+	end := a.base + uint64(a.size)
+	for addr < end {
+		magic, size, err := a.hdr(addr)
+		if err != nil {
+			return fmt.Errorf("kernel: heap walk trapped at %#x: %w", addr, err)
+		}
+		if magic != freeMagic && magic != allocMagic {
+			return fmt.Errorf("kernel: heap corruption at %#x (magic %#x)", addr, magic)
+		}
+		next := addr + hdrSize + size
+		if next <= addr || next > end {
+			return fmt.Errorf("kernel: heap block at %#x has impossible size %d", addr, size)
+		}
+		addr = next
+	}
+	return nil
+}
+
+// FreeBytes returns the total free payload capacity.
+func (a *Allocator) FreeBytes() int {
+	total := 0
+	addr := a.base
+	end := a.base + uint64(a.size)
+	for addr < end {
+		magic, size, err := a.hdr(addr)
+		if err != nil || (magic != freeMagic && magic != allocMagic) {
+			return total
+		}
+		if magic == freeMagic {
+			total += int(size)
+		}
+		addr += hdrSize + size
+	}
+	return total
+}

@@ -1,0 +1,294 @@
+package kernel
+
+import "rio/internal/kvm"
+
+// Ballast procedures: the rest of the kernel.
+//
+// In Digital Unix, the file-cache data path is a sliver of millions of
+// instructions of scheduler, VM, networking, and driver code. Injected
+// faults overwhelmingly land in — and crash from — code that never touches
+// the file cache. A simulated kernel consisting only of the data path
+// would overstate how often a random fault corrupts files.
+//
+// These procedures restore the proportion: they execute on every system
+// call (Kernel.BackgroundTick), carry the same kinds of loads, stores,
+// branches, asserts, and calls as the core procedures — so every fault
+// model finds targets in them — but operate on a scratch statistics block
+// in the kernel heap, never on file-cache pages. A fault landing here
+// crashes the machine (assert, wild access, runaway loop) without touching
+// permanent data, exactly like a fault in the scheduler.
+//
+// Scratch block layout (allocated at boot, magic-checked like any kernel
+// structure):
+//
+//	+0   magic (scratchMagic)
+//	+8   tick counter
+//	+16  run-queue depth
+//	+24  priority accumulator
+//	+32  time (low word)
+//	+40  time (carry word)
+//	+48  rng state
+//	+56  table base (address of +64)
+//	+64  table of 8 words (accounting buckets)
+//	+128 hash input area (64 bytes)
+const (
+	scratchMagic = 0x5CEDA7A
+	scratchSize  = 256
+)
+
+// appendBallast assembles the ballast procedures into a.
+func appendBallast(a *kvm.Asm) {
+	// sched_tick(stats=r1): bump the tick counter, recompute a priority
+	// sum over the accounting table.
+	a.Proc("sched_tick")
+	a.Ld(4, 1, 0)
+	a.MovI(5, scratchMagic)
+	a.EndProlog()
+	a.Assert(4, 5)
+	a.Ld(6, 1, 8)
+	a.AddI(6, 6, 1)
+	a.St(1, 8, 6)
+	a.Ld(7, 1, 56) // table base
+	a.MovI(8, 0)   // i
+	a.MovI(9, 8)   // count
+	a.MovI(4, 0)   // sum
+	a.Label("sched_loop")
+	a.BgeL(8, 9, "sched_done")
+	a.ShlI(5, 8, 3)
+	a.Add(5, 7, 5)
+	a.Ld(6, 5, 0)
+	a.Add(4, 4, 6)
+	a.AddI(8, 8, 1)
+	a.JmpL("sched_loop")
+	a.Label("sched_done")
+	a.St(1, 24, 4)
+	a.Ret()
+
+	// timekeep(stats=r1): 64-bit time increment with carry propagation.
+	a.Proc("timekeep")
+	a.Ld(4, 1, 0)
+	a.MovI(5, scratchMagic)
+	a.EndProlog()
+	a.Assert(4, 5)
+	a.Ld(6, 1, 32)
+	a.AddI(6, 6, 1024) // tick quantum
+	a.St(1, 32, 6)
+	a.MovI(7, 0)
+	a.MovHi(7, 1) // 1<<32 threshold
+	a.BltL(6, 7, "tk_done")
+	a.Sub(6, 6, 7)
+	a.St(1, 32, 6)
+	a.Ld(8, 1, 40)
+	a.AddI(8, 8, 1)
+	a.St(1, 40, 8)
+	a.Label("tk_done")
+	a.Ret()
+
+	// queue_rotate(stats=r1): rotate the accounting table one slot, a
+	// stand-in for run-queue manipulation. Loads through a derived base
+	// register (a pointer-fault site).
+	a.Proc("queue_rotate")
+	a.Ld(7, 1, 56) // table base
+	a.MovI(8, 0)
+	a.EndProlog()
+	a.Ld(9, 7, 0) // save slot 0
+	a.MovI(5, 7)  // seven shifts
+	a.Label("qr_loop")
+	a.BgeL(8, 5, "qr_done")
+	a.ShlI(6, 8, 3)
+	a.Add(6, 7, 6)
+	a.Ld(4, 6, 8) // next slot
+	a.St(6, 0, 4)
+	a.AddI(8, 8, 1)
+	a.JmpL("qr_loop")
+	a.Label("qr_done")
+	a.ShlI(6, 8, 3)
+	a.Add(6, 7, 6)
+	a.St(6, 0, 9) // slot 7 = old slot 0
+	a.Ret()
+
+	// strhash(stats=r1): hash the 64-byte input area into a bucket,
+	// byte loop with relational branches (off-by-one sites).
+	a.Proc("strhash")
+	a.MovI(4, 0) // i
+	a.MovI(0, 0) // h
+	a.EndProlog()
+	a.AddI(6, 1, 128) // input base
+	a.MovI(5, 64)
+	a.Label("sh_loop")
+	a.BgeL(4, 5, "sh_done")
+	a.Add(7, 6, 4)
+	a.LdB(8, 7, 0)
+	a.ShlI(9, 0, 5)
+	a.Sub(9, 9, 0)
+	a.Add(0, 9, 8)
+	a.AddI(4, 4, 1)
+	a.JmpL("sh_loop")
+	a.Label("sh_done")
+	a.MovI(5, 7)
+	a.And(9, 0, 5) // bucket = h & 7
+	a.Ld(7, 1, 56)
+	a.ShlI(9, 9, 3)
+	a.Add(7, 7, 9)
+	a.Ld(8, 7, 0)
+	a.AddI(8, 8, 1)
+	a.St(7, 0, 8)
+	a.Ret()
+
+	// rand_stir(stats=r1): advance the xorshift state.
+	a.Proc("rand_stir")
+	a.Ld(4, 1, 48)
+	a.MovI(5, 0)
+	a.EndProlog()
+	a.BneL(4, 5, "rs_ok")
+	a.MovI(4, 0x5eed)
+	a.Label("rs_ok")
+	a.ShlI(6, 4, 13)
+	a.Xor(4, 4, 6)
+	a.ShrI(6, 4, 7)
+	a.Xor(4, 4, 6)
+	a.ShlI(6, 4, 17)
+	a.Xor(4, 4, 6)
+	a.St(1, 48, 4)
+	a.Ret()
+
+	// proc_account(stats=r1): charge the current "process" — scaled
+	// arithmetic on two table buckets, with a bounds assert.
+	a.Proc("proc_account")
+	a.Ld(4, 1, 0)
+	a.MovI(5, scratchMagic)
+	a.EndProlog()
+	a.Assert(4, 5)
+	a.Ld(6, 1, 48)
+	a.MovI(5, 7)
+	a.And(6, 6, 5) // bucket index 0..7
+	a.MovI(7, 8)
+	a.BltL(6, 7, "pa_ok") // bounds check (consistency)
+	a.MovI(8, 0)
+	a.MovI(9, 1)
+	a.Assert(8, 9) // unreachable unless corrupted: panic
+	a.Label("pa_ok")
+	a.Ld(7, 1, 56)
+	a.ShlI(6, 6, 3)
+	a.Add(7, 7, 6)
+	a.Ld(8, 7, 0)
+	a.ShlI(9, 8, 1)
+	a.Sub(9, 9, 8) // *1 dance keeps data deps long
+	a.AddI(9, 9, 3)
+	a.St(7, 0, 9)
+	a.Ret()
+
+	// intr_poll(stats=r1): poll loop with an early-exit branch, reading
+	// the hash input area as a fake device ring.
+	a.Proc("intr_poll")
+	a.MovI(4, 0)
+	a.MovI(5, 8)
+	a.EndProlog()
+	a.AddI(6, 1, 128)
+	a.Label("ip_loop")
+	a.BgeL(4, 5, "ip_done")
+	a.ShlI(7, 4, 3)
+	a.Add(7, 6, 7)
+	a.Ld(8, 7, 0)
+	a.MovI(9, 0)
+	a.BneL(8, 9, "ip_done") // "work found" early exit
+	a.AddI(4, 4, 1)
+	a.JmpL("ip_loop")
+	a.Label("ip_done")
+	a.St(1, 16, 4)
+	a.Ret()
+
+	// ctx_switch(stats=r1): spill/reload flurry through the stack, then
+	// dispatch into sched_tick — gives call/return and push/pop fault
+	// sites.
+	a.Proc("ctx_switch")
+	a.Ld(4, 1, 8)
+	a.Ld(5, 1, 24)
+	a.EndProlog()
+	a.Push(4)
+	a.Push(5)
+	a.Push(1)
+	a.Call("rand_stir")
+	a.Pop(1)
+	a.Pop(5)
+	a.Pop(4)
+	a.Add(6, 4, 5)
+	a.St(1, 24, 6)
+	a.Ret()
+
+	// vm_scan(stats=r1): a bounded scan mimicking page-table sweeps:
+	// derived addressing plus a consistency check on the walk length.
+	a.Proc("vm_scan")
+	a.MovI(4, 0)
+	a.MovI(9, 0)
+	a.EndProlog()
+	a.Ld(7, 1, 56)
+	a.MovI(5, 8)
+	a.Label("vs_loop")
+	a.BgeL(4, 5, "vs_done")
+	a.ShlI(6, 4, 3)
+	a.Add(6, 7, 6)
+	a.Ld(8, 6, 0)
+	a.MovI(0, 0)
+	a.BeqL(8, 0, "vs_skip")
+	a.AddI(9, 9, 1)
+	a.Label("vs_skip")
+	a.AddI(4, 4, 1)
+	a.JmpL("vs_loop")
+	a.Label("vs_done")
+	a.MovI(5, 9)
+	a.BleL(9, 5, "vs_ok") // walk count sane (trivially true unless corrupted)
+	a.MovI(8, 0)
+	a.MovI(0, 1)
+	a.Assert(8, 0)
+	a.Label("vs_ok")
+	a.Ret()
+}
+
+// BallastProcs lists the background procedures in dispatch order.
+var BallastProcs = []string{
+	"sched_tick", "timekeep", "queue_rotate", "strhash",
+	"rand_stir", "proc_account", "intr_poll", "ctx_switch", "vm_scan",
+}
+
+// initScratch allocates and initialises the background scratch block.
+func (k *Kernel) initScratch() {
+	addr, err := k.Heap.Malloc(scratchSize)
+	if err != nil || addr == 0 {
+		panic("kernel: cannot allocate scratch block")
+	}
+	k.scratch = addr
+	store := func(off int, v uint64) {
+		if trap := k.MMU.Store64(addr+uint64(off), v); trap != nil {
+			panic(trap)
+		}
+	}
+	store(0, scratchMagic)
+	store(48, 0x5eed)
+	store(56, addr+64)
+	for i := 0; i < 8; i++ {
+		store(64+8*i, uint64(i+1))
+	}
+}
+
+// BackgroundTick runs a slice of the kernel's background machinery — the
+// part of a real kernel where most injected faults actually land. Called
+// once per system call by the file-system layer.
+func (k *Kernel) BackgroundTick() error {
+	if k.crash != nil {
+		return ErrCrashed
+	}
+	if k.FastPath {
+		// Perf runs charge equivalent work without interpreting.
+		k.SyntheticSteps += 120
+		return nil
+	}
+	for i := 0; i < 3; i++ {
+		proc := BallastProcs[int(k.tickSeq)%len(BallastProcs)]
+		k.tickSeq++
+		if err := k.Exec(proc, k.scratch); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package kernel
+
+import "rio/internal/mem"
+
+// Virtual memory layout of the simulated kernel.
+//
+// The layout is deliberately *sparse*, as on the paper's 64-bit Alphas:
+// the handful of mapped regions sit far apart in a huge virtual space, so
+// a corrupted pointer — a swapped register, a stale base, an off-by-a-lot
+// sum — almost always lands on an unmapped page and traps. The paper
+// credits exactly this implicit check with stopping most faults before
+// they damage anything ("particularly on a 64-bit machine, most errors are
+// first detected by issuing an illegal address", §3.3).
+//
+// Physical placement is compact (low frames), independent of the virtual
+// scatter: vpage bases and frame bases are mapped pairwise at boot.
+const (
+	// Kernel stack: 4 pages. Page 0 is never mapped (null guard).
+	stackFirstVPage = 1 << 8
+	stackFirstFrame = 1
+	StackPages      = 4
+
+	// Kernel heap (buffer headers, allocator chain).
+	heapFirstVPage = 1 << 16
+	heapFirstFrame = 8
+	HeapPages      = 24
+
+	// Staging region: copyin/copyout landing area.
+	stagingFirstVPage = 1 << 20
+	stagingFirstFrame = 40
+	StagingPages      = 17 // 16 data pages + 1 page of slack for straddles
+
+	// Dynamically mapped region: metadata buffers, one page per buffer.
+	dynFirstVPage = 1 << 24
+
+	// reservedFrames is the count of low frames claimed by fixed regions;
+	// everything above is the page pool.
+	reservedFrames = stagingFirstFrame + StagingPages
+)
+
+// Derived virtual addresses.
+const (
+	StackLimit  = uint64(stackFirstVPage) * mem.PageSize
+	StackTop    = uint64(stackFirstVPage+StackPages) * mem.PageSize
+	HeapBase    = uint64(heapFirstVPage) * mem.PageSize
+	HeapSize    = HeapPages * mem.PageSize
+	StagingBase = uint64(stagingFirstVPage) * mem.PageSize
+	StagingSize = StagingPages * mem.PageSize
+	DynBase     = uint64(dynFirstVPage) * mem.PageSize
+)
+
+// Physical bases of the fixed regions (trusted DMA-style paths and fault
+// targeting use these).
+const (
+	StackPhysBase   = uint64(stackFirstFrame) * mem.PageSize
+	HeapPhysBase    = uint64(heapFirstFrame) * mem.PageSize
+	StagingPhysBase = uint64(stagingFirstFrame) * mem.PageSize
+)
+
+// HeapPhys translates a heap virtual address to its physical address.
+func HeapPhys(vaddr uint64) uint64 { return HeapPhysBase + (vaddr - HeapBase) }
+
+// StackPhys translates a stack virtual address to its physical address.
+func StackPhys(vaddr uint64) uint64 { return StackPhysBase + (vaddr - StackLimit) }
+
+// FrameClass labels what a physical frame is used for, for accounting and
+// for fault targeting (heap bit-flips pick heap frames, etc.).
+type FrameClass int
+
+const (
+	FrameFree FrameClass = iota
+	FrameStack
+	FrameHeap
+	FrameStaging
+	FrameMeta     // buffer cache (metadata) page
+	FrameUBC      // unified buffer cache (file data) page
+	FrameRegistry // Rio registry page
+)
+
+func (c FrameClass) String() string {
+	switch c {
+	case FrameFree:
+		return "free"
+	case FrameStack:
+		return "stack"
+	case FrameHeap:
+		return "heap"
+	case FrameStaging:
+		return "staging"
+	case FrameMeta:
+		return "meta"
+	case FrameUBC:
+		return "ubc"
+	case FrameRegistry:
+		return "registry"
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,89 @@
+package kernel
+
+import "fmt"
+
+// LockID identifies a kernel lock. The cache layer assigns one per shared
+// structure (cache lists, individual buffers).
+type LockID uint32
+
+// Well-known locks.
+const (
+	LockCacheList LockID = 1 // buffer cache / UBC lists
+	LockAlloc     LockID = 2 // block allocator
+	LockInode     LockID = 3 // inode table
+	// Per-buffer locks are allocated from LockDynBase upward.
+	LockDynBase LockID = 100
+)
+
+// LockTable implements the kernel's mutual exclusion. The simulator is
+// single-threaded, so a lock can only be "contended" if a previous critical
+// section failed to release it — which is exactly what the synchronization
+// fault model produces. Acquiring a held lock is therefore a deadlock and
+// manifests as a hang; releasing a lock that is not held fails the owner
+// consistency check and panics, mirroring the two ways elided lock
+// operations killed the paper's kernels.
+type LockTable struct {
+	held map[LockID]bool
+
+	// ElideAcquire and ElideRelease, when non-nil and returning true,
+	// make the respective operation silently do nothing (the paper's
+	// synchronization fault: procedures return without acquiring/freeing
+	// the lock).
+	ElideAcquire func() bool
+	ElideRelease func() bool
+
+	// Acquires/Releases count real (non-elided) operations.
+	Acquires uint64
+	Releases uint64
+}
+
+// NewLockTable returns an empty lock table.
+func NewLockTable() *LockTable {
+	return &LockTable{held: make(map[LockID]bool)}
+}
+
+// ErrDeadlock is returned when acquiring a lock that is already held.
+type ErrDeadlock struct{ ID LockID }
+
+func (e *ErrDeadlock) Error() string {
+	return fmt.Sprintf("kernel: deadlock acquiring lock %d", e.ID)
+}
+
+// ErrNotHeld is returned when releasing a lock that is not held.
+type ErrNotHeld struct{ ID LockID }
+
+func (e *ErrNotHeld) Error() string {
+	return fmt.Sprintf("kernel: releasing lock %d not held", e.ID)
+}
+
+// Acquire takes the lock.
+func (t *LockTable) Acquire(id LockID) error {
+	if t.ElideAcquire != nil && t.ElideAcquire() {
+		return nil // fault: returned without acquiring
+	}
+	if t.held[id] {
+		return &ErrDeadlock{ID: id}
+	}
+	t.held[id] = true
+	t.Acquires++
+	return nil
+}
+
+// Release drops the lock.
+func (t *LockTable) Release(id LockID) error {
+	if t.ElideRelease != nil && t.ElideRelease() {
+		return nil // fault: returned without releasing
+	}
+	if !t.held[id] {
+		return &ErrNotHeld{ID: id}
+	}
+	delete(t.held, id)
+	t.Releases++
+	return nil
+}
+
+// Held reports whether id is currently held.
+func (t *LockTable) Held(id LockID) bool { return t.held[id] }
+
+// Reset clears all locks (reboot).
+func (t *LockTable) Reset() { t.held = make(map[LockID]bool) }

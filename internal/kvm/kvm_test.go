@@ -1,0 +1,549 @@
+package kvm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rio/internal/mem"
+	"rio/internal/mmu"
+)
+
+// testEnv builds a VM with a small mapped memory: pages 0-3 virtual,
+// writable; stack at the top of page 3.
+func testEnv(t *testing.T, text *Text) *VM {
+	t.Helper()
+	m := mem.New(8 * mem.PageSize)
+	u := mmu.New(m)
+	for p := 0; p < 4; p++ {
+		u.Map(uint64(p), p, true)
+	}
+	v := New(text, u)
+	v.SetStack(4*mem.PageSize, 3*mem.PageSize)
+	return v
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(op uint8, rd, rs1, rs2 uint8, imm int32) bool {
+		in := Instr{Op: Op(op), Rd: rd % NumRegs, Rs1: rs1 % NumRegs,
+			Rs2: rs2 % NumRegs, Imm: imm}
+		return Decode(in.Encode()) == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeMasksRegisters(t *testing.T) {
+	in := Instr{Op: OpMov, Rd: 3, Rs1: 5}
+	w := in.Encode() | 0xf0<<8 // garbage in high rd bits
+	got := Decode(w)
+	if got.Rd >= NumRegs {
+		t.Fatalf("decoded rd %d out of range", got.Rd)
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !OpBeq.IsBranch() || !OpBgt.IsBranch() || OpJmp.IsBranch() {
+		t.Fatal("IsBranch wrong")
+	}
+	if !OpLd.IsMemAccess() || !OpStB.IsMemAccess() || OpMov.IsMemAccess() {
+		t.Fatal("IsMemAccess wrong")
+	}
+	if Op(200).Valid() {
+		t.Fatal("op 200 should be invalid")
+	}
+	if !OpHalt.Valid() {
+		t.Fatal("halt should be valid")
+	}
+}
+
+func TestInstrStringForms(t *testing.T) {
+	cases := []Instr{
+		{Op: OpMovI, Rd: 1, Imm: 42},
+		{Op: OpLd, Rd: 2, Rs1: 3, Imm: -8},
+		{Op: OpSt, Rs1: 4, Rs2: 5, Imm: 16},
+		{Op: OpBeq, Rs1: 1, Rs2: 2, Imm: -3},
+		{Op: OpAssert, Rs1: 1, Rs2: 2},
+		{Op: Op(99)},
+	}
+	for _, in := range cases {
+		if in.String() == "" {
+			t.Errorf("empty String for %v", in.Op)
+		}
+	}
+	if !strings.Contains((Instr{Op: Op(99)}).String(), "illegal") {
+		t.Fatal("illegal op should say so")
+	}
+}
+
+func TestArithmeticProgram(t *testing.T) {
+	a := NewAsm()
+	a.Proc("calc")
+	// r0 = (r1 + r2) * 2 - r3, via shifts.
+	a.Add(4, 1, 2)
+	a.ShlI(4, 4, 1)
+	a.Sub(0, 4, 3)
+	a.Ret()
+	text := a.MustAssemble()
+
+	v := testEnv(t, text)
+	if exc := v.Exec("calc", 10, 5, 7); exc != nil {
+		t.Fatalf("exec: %v", exc)
+	}
+	if v.Reg[0] != 23 {
+		t.Fatalf("r0 = %d, want 23", v.Reg[0])
+	}
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	// Sum 1..n.
+	a := NewAsm()
+	a.Proc("sum")
+	a.MovI(0, 0) // acc
+	a.MovI(2, 0) // i
+	a.EndProlog()
+	loop := a.Here()
+	a.BgtL(2, 1, "done") // if i > n goto done... (i starts 0, so add then inc)
+	a.Add(0, 0, 2)
+	a.AddI(2, 2, 1)
+	a.Beq(3, 3, loop) // unconditional via always-equal
+	a.Label("done")
+	a.Ret()
+	text := a.MustAssemble()
+
+	v := testEnv(t, text)
+	if exc := v.Exec("sum", 10); exc != nil {
+		t.Fatalf("exec: %v", exc)
+	}
+	if v.Reg[0] != 55 {
+		t.Fatalf("sum(10) = %d, want 55", v.Reg[0])
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	a := NewAsm()
+	a.Proc("store8")
+	a.St(1, 0, 2) // [r1] = r2
+	a.Ld(3, 1, 0) // r3 = [r1]
+	a.Mov(0, 3)
+	a.Ret()
+	text := a.MustAssemble()
+
+	v := testEnv(t, text)
+	if exc := v.Exec("store8", 128, 0xfeedface); exc != nil {
+		t.Fatalf("exec: %v", exc)
+	}
+	if v.Reg[0] != 0xfeedface {
+		t.Fatalf("r0 = %#x", v.Reg[0])
+	}
+	if got := v.MMU.Mem.Word64(128); got != 0xfeedface {
+		t.Fatalf("mem = %#x", got)
+	}
+}
+
+func TestByteOps(t *testing.T) {
+	a := NewAsm()
+	a.Proc("bytes")
+	a.StB(1, 0, 2)
+	a.LdB(0, 1, 0)
+	a.Ret()
+	text := a.MustAssemble()
+	v := testEnv(t, text)
+	if exc := v.Exec("bytes", 77, 0x1ff); exc != nil { // byte-truncated store
+		t.Fatalf("exec: %v", exc)
+	}
+	if v.Reg[0] != 0xff {
+		t.Fatalf("r0 = %#x, want 0xff", v.Reg[0])
+	}
+}
+
+func TestCallAndStack(t *testing.T) {
+	a := NewAsm()
+	a.Proc("double")
+	a.Add(0, 1, 1)
+	a.Ret()
+	a.Proc("main")
+	a.MovI(1, 21)
+	a.Call("double")
+	a.Ret()
+	text := a.MustAssemble()
+
+	v := testEnv(t, text)
+	if exc := v.Exec("main"); exc != nil {
+		t.Fatalf("exec: %v", exc)
+	}
+	if v.Reg[0] != 42 {
+		t.Fatalf("r0 = %d", v.Reg[0])
+	}
+}
+
+func TestPushPop(t *testing.T) {
+	a := NewAsm()
+	a.Proc("swap")
+	a.Push(1)
+	a.Push(2)
+	a.Pop(1)
+	a.Pop(2)
+	a.Sub(0, 1, 2) // r0 = r2old - r1old after swap
+	a.Ret()
+	text := a.MustAssemble()
+	v := testEnv(t, text)
+	if exc := v.Exec("swap", 3, 10); exc != nil {
+		t.Fatalf("exec: %v", exc)
+	}
+	if int64(v.Reg[0]) != 7 {
+		t.Fatalf("r0 = %d, want 7", int64(v.Reg[0]))
+	}
+}
+
+func TestAssertPass(t *testing.T) {
+	a := NewAsm()
+	a.Proc("ok")
+	a.MovI(1, 5)
+	a.MovI(2, 5)
+	a.Assert(1, 2)
+	a.Ret()
+	v := testEnv(t, a.MustAssemble())
+	if exc := v.Exec("ok"); exc != nil {
+		t.Fatalf("assert should pass: %v", exc)
+	}
+}
+
+func TestAssertFail(t *testing.T) {
+	a := NewAsm()
+	a.Proc("bad")
+	a.MovI(1, 5)
+	a.MovI(2, 6)
+	a.Assert(1, 2)
+	a.Ret()
+	v := testEnv(t, a.MustAssemble())
+	exc := v.Exec("bad")
+	if exc == nil || exc.Kind != ExcAssert {
+		t.Fatalf("exc = %v", exc)
+	}
+	if !strings.Contains(exc.Error(), "consistency") {
+		t.Fatalf("error text: %v", exc)
+	}
+}
+
+func TestWildStoreTraps(t *testing.T) {
+	a := NewAsm()
+	a.Proc("wild")
+	a.MovI(1, 0)
+	a.MovHi(1, 0x7fff) // enormous unmapped virtual address
+	a.St(1, 0, 2)
+	a.Ret()
+	v := testEnv(t, a.MustAssemble())
+	exc := v.Exec("wild")
+	if exc == nil || exc.Kind != ExcTrap {
+		t.Fatalf("exc = %v", exc)
+	}
+	if exc.Trap == nil || exc.Trap.Kind != mmu.TrapIllegalAddress {
+		t.Fatalf("trap = %v", exc.Trap)
+	}
+}
+
+func TestProtectedStoreTraps(t *testing.T) {
+	a := NewAsm()
+	a.Proc("stomp")
+	a.St(1, 0, 2)
+	a.Ret()
+	text := a.MustAssemble()
+	v := testEnv(t, text)
+	v.MMU.EnforceProtection = true
+	v.MMU.MapAllThroughTLB = true
+	v.MMU.SetFrameProtection(1, true)
+	exc := v.Exec("stomp", uint64(mem.PageSize+64), 1)
+	if exc == nil || exc.Kind != ExcTrap || exc.Trap.Kind != mmu.TrapProtection {
+		t.Fatalf("exc = %v", exc)
+	}
+}
+
+func TestKSEGStoreThroughVM(t *testing.T) {
+	a := NewAsm()
+	a.Proc("kseg")
+	a.St(1, 0, 2)
+	a.Ret()
+	v := testEnv(t, a.MustAssemble())
+	addr := mmu.PhysToKSEG(uint64(5 * mem.PageSize)) // beyond mapped virt, fine for KSEG
+	if exc := v.Exec("kseg", addr, 0xabc); exc != nil {
+		t.Fatalf("exec: %v", exc)
+	}
+	if v.MMU.Mem.Word64(uint64(5*mem.PageSize)) != 0xabc {
+		t.Fatal("KSEG store missed")
+	}
+}
+
+func TestInfiniteLoopBudget(t *testing.T) {
+	a := NewAsm()
+	a.Proc("spin")
+	l := a.Here()
+	a.Beq(0, 0, l)
+	a.Ret()
+	v := testEnv(t, a.MustAssemble())
+	v.Budget = 10_000
+	exc := v.Exec("spin")
+	if exc == nil || exc.Kind != ExcBudget {
+		t.Fatalf("exc = %v", exc)
+	}
+}
+
+func TestIllegalOpcodeTraps(t *testing.T) {
+	a := NewAsm()
+	a.Proc("p")
+	a.Nop()
+	a.Ret()
+	text := a.MustAssemble()
+	text.SetWord(0, uint64(200)) // invalid opcode
+	v := testEnv(t, text)
+	exc := v.Exec("p")
+	if exc == nil || exc.Kind != ExcIllegalInstr {
+		t.Fatalf("exc = %v", exc)
+	}
+}
+
+func TestCorruptedReturnAddress(t *testing.T) {
+	// A procedure that scribbles on its own return address: RET then jumps
+	// to a wild PC, which must be caught as an illegal instruction fetch.
+	a := NewAsm()
+	a.Proc("smash")
+	a.MovI(2, 0x3f00)
+	a.St(15, 0, 2) // overwrite return address at [sp]
+	a.Ret()
+	v := testEnv(t, a.MustAssemble())
+	exc := v.Exec("smash")
+	if exc == nil || exc.Kind != ExcIllegalInstr {
+		t.Fatalf("exc = %v", exc)
+	}
+}
+
+func TestStackOverflow(t *testing.T) {
+	a := NewAsm()
+	a.Proc("recurse")
+	a.Call("recurse")
+	a.Ret()
+	v := testEnv(t, a.MustAssemble())
+	exc := v.Exec("recurse")
+	if exc == nil || exc.Kind != ExcStackOverflow {
+		t.Fatalf("exc = %v", exc)
+	}
+}
+
+func TestStaleRegistersSurviveExec(t *testing.T) {
+	a := NewAsm()
+	a.Proc("set")
+	a.MovI(9, 1234)
+	a.Ret()
+	a.Proc("read")
+	a.Mov(0, 9) // uses r9 without initialising it
+	a.Ret()
+	v := testEnv(t, a.MustAssemble())
+	if exc := v.Exec("set"); exc != nil {
+		t.Fatal(exc)
+	}
+	if exc := v.Exec("read"); exc != nil {
+		t.Fatal(exc)
+	}
+	if v.Reg[0] != 1234 {
+		t.Fatalf("stale register lost: r0 = %d", v.Reg[0])
+	}
+}
+
+type testIntr struct {
+	calls []int32
+	fail  bool
+}
+
+func (ti *testIntr) Intrinsic(v *VM, num int32) *Exception {
+	ti.calls = append(ti.calls, num)
+	if ti.fail {
+		return &Exception{Kind: ExcIntrinsic, PC: v.PC(), Reason: "test"}
+	}
+	v.Reg[0] = v.Reg[1] * 2
+	return nil
+}
+
+func TestIntrinsicCall(t *testing.T) {
+	a := NewAsm()
+	a.Proc("p")
+	a.MovI(1, 30)
+	a.Intr(7)
+	a.Ret()
+	v := testEnv(t, a.MustAssemble())
+	ti := &testIntr{}
+	v.Intr = ti
+	if exc := v.Exec("p"); exc != nil {
+		t.Fatal(exc)
+	}
+	if v.Reg[0] != 60 {
+		t.Fatalf("r0 = %d", v.Reg[0])
+	}
+	if len(ti.calls) != 1 || ti.calls[0] != 7 {
+		t.Fatalf("calls = %v", ti.calls)
+	}
+}
+
+func TestIntrinsicPanic(t *testing.T) {
+	a := NewAsm()
+	a.Proc("p")
+	a.Intr(1)
+	a.Ret()
+	v := testEnv(t, a.MustAssemble())
+	v.Intr = &testIntr{fail: true}
+	exc := v.Exec("p")
+	if exc == nil || exc.Kind != ExcIntrinsic {
+		t.Fatalf("exc = %v", exc)
+	}
+}
+
+func TestIntrinsicWithoutHandler(t *testing.T) {
+	a := NewAsm()
+	a.Proc("p")
+	a.Intr(1)
+	a.Ret()
+	v := testEnv(t, a.MustAssemble())
+	exc := v.Exec("p")
+	if exc == nil || exc.Kind != ExcIllegalInstr {
+		t.Fatalf("exc = %v", exc)
+	}
+}
+
+func TestEntryHooks(t *testing.T) {
+	a := NewAsm()
+	a.Proc("leaf")
+	a.Mov(0, 1)
+	a.Ret()
+	a.Proc("main")
+	a.MovI(1, 5)
+	a.Call("leaf")
+	a.Ret()
+	text := a.MustAssemble()
+	v := testEnv(t, text)
+	leaf := text.MustProc("leaf")
+	v.EntryHooks[leaf.Entry] = func(vm *VM) { vm.Reg[1] = 99 }
+	if exc := v.Exec("main"); exc != nil {
+		t.Fatal(exc)
+	}
+	if v.Reg[0] != 99 {
+		t.Fatalf("hook did not fire: r0 = %d", v.Reg[0])
+	}
+}
+
+func TestTextCloneIsolation(t *testing.T) {
+	a := NewAsm()
+	a.Proc("p")
+	a.MovI(0, 1)
+	a.Ret()
+	text := a.MustAssemble()
+	cl := text.Clone()
+	cl.FlipBit(0, 0)
+	if text.Word(0) == cl.Word(0) {
+		t.Fatal("Clone shares words")
+	}
+}
+
+func TestTextProcLookup(t *testing.T) {
+	a := NewAsm()
+	a.Proc("alpha")
+	a.Nop()
+	a.Ret()
+	a.Proc("beta")
+	a.MovI(1, 1)
+	a.EndProlog()
+	a.Nop()
+	a.Ret()
+	text := a.MustAssemble()
+
+	p := text.MustProc("beta")
+	if p.Prolog != 1 {
+		t.Fatalf("beta prolog = %d, want 1", p.Prolog)
+	}
+	if p.Len() != 3 {
+		t.Fatalf("beta len = %d", p.Len())
+	}
+	if _, ok := text.Proc("gamma"); ok {
+		t.Fatal("phantom proc")
+	}
+	got, ok := text.ProcAt(p.Entry + 1)
+	if !ok || got.Name != "beta" {
+		t.Fatalf("ProcAt = %v, %v", got, ok)
+	}
+	if len(text.Procs()) != 2 {
+		t.Fatal("Procs count")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	a := NewAsm()
+	a.Proc("p")
+	a.MovI(1, 7)
+	a.Ret()
+	text := a.MustAssemble()
+	d := text.Disassemble(-5, 100)
+	if !strings.Contains(d, "p:") || !strings.Contains(d, "movi r1, 7") {
+		t.Fatalf("disassembly:\n%s", d)
+	}
+}
+
+func TestAsmErrors(t *testing.T) {
+	a := NewAsm()
+	a.Nop() // outside procedure
+	if _, err := a.Assemble(); err == nil {
+		t.Fatal("expected error for emission outside procedure")
+	}
+
+	b := NewAsm()
+	b.Proc("p")
+	b.JmpL("nowhere")
+	if _, err := b.Assemble(); err == nil {
+		t.Fatal("expected error for undefined label")
+	}
+
+	c := NewAsm()
+	c.Proc("p")
+	c.Label("x")
+	c.Label("x")
+	c.Ret()
+	if _, err := c.Assemble(); err == nil {
+		t.Fatal("expected error for duplicate label")
+	}
+}
+
+func TestForwardAndBackwardLabels(t *testing.T) {
+	// Count down from r1 to zero using a forward exit branch and a
+	// backward jump.
+	a := NewAsm()
+	a.Proc("count")
+	a.MovI(0, 0)
+	a.MovI(2, 0)
+	a.EndProlog()
+	loop := a.Here()
+	a.BeqL(1, 2, "out")
+	a.AddI(1, 1, -1)
+	a.AddI(0, 0, 1)
+	a.Jmp(loop)
+	a.Label("out")
+	a.Ret()
+	text := a.MustAssemble()
+	v := testEnv(t, text)
+	if exc := v.Exec("count", 17); exc != nil {
+		t.Fatal(exc)
+	}
+	if v.Reg[0] != 17 {
+		t.Fatalf("count = %d", v.Reg[0])
+	}
+}
+
+func TestStepsAccounting(t *testing.T) {
+	a := NewAsm()
+	a.Proc("p")
+	a.Nop()
+	a.Nop()
+	a.Ret()
+	v := testEnv(t, a.MustAssemble())
+	v.Exec("p")
+	if v.Steps != 3 {
+		t.Fatalf("steps = %d, want 3", v.Steps)
+	}
+}

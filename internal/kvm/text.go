@@ -1,0 +1,88 @@
+package kvm
+
+import "fmt"
+
+// Text is the kernel's object code: the assembled instruction words plus
+// the procedure table. Fault injection mutates the words in place, exactly
+// as the paper's injector modified the kernel object code of Digital Unix.
+type Text struct {
+	words    []uint64
+	procs    map[string]Proc
+	procList []Proc
+}
+
+// Len returns the number of instruction words.
+func (t *Text) Len() int { return len(t.words) }
+
+// Word returns the raw instruction word at address pc.
+func (t *Text) Word(pc int) uint64 { return t.words[pc] }
+
+// SetWord overwrites the raw instruction word at pc (fault injection).
+func (t *Text) SetWord(pc int, w uint64) { t.words[pc] = w }
+
+// FlipBit inverts one bit of the instruction word at pc (kernel-text
+// bit-flip fault model).
+func (t *Text) FlipBit(pc int, bit uint) {
+	if bit > 63 {
+		panic("kvm: bit index out of range")
+	}
+	t.words[pc] ^= 1 << bit
+}
+
+// At decodes the instruction at pc.
+func (t *Text) At(pc int) Instr { return Decode(t.words[pc]) }
+
+// Proc looks up a procedure by name.
+func (t *Text) Proc(name string) (Proc, bool) {
+	p, ok := t.procs[name]
+	return p, ok
+}
+
+// MustProc looks up a procedure, panicking if absent (simulator bug).
+func (t *Text) MustProc(name string) Proc {
+	p, ok := t.procs[name]
+	if !ok {
+		panic(fmt.Sprintf("kvm: unknown procedure %q", name))
+	}
+	return p
+}
+
+// Procs returns all procedures in assembly order.
+func (t *Text) Procs() []Proc { return t.procList }
+
+// ProcAt returns the procedure containing address pc, if any.
+func (t *Text) ProcAt(pc int) (Proc, bool) {
+	for _, p := range t.procList {
+		if pc >= p.Entry && pc < p.End {
+			return p, true
+		}
+	}
+	return Proc{}, false
+}
+
+// Clone returns a deep copy of the text. Each crash-test run injects faults
+// into a clone so the pristine kernel is never damaged.
+func (t *Text) Clone() *Text {
+	w := make([]uint64, len(t.words))
+	copy(w, t.words)
+	return &Text{words: w, procs: t.procs, procList: t.procList}
+}
+
+// Disassemble renders instructions [from, to) for debugging.
+func (t *Text) Disassemble(from, to int) string {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(t.words) {
+		to = len(t.words)
+	}
+	out := ""
+	for pc := from; pc < to; pc++ {
+		name := ""
+		if p, ok := t.ProcAt(pc); ok && p.Entry == pc {
+			name = p.Name + ":"
+		}
+		out += fmt.Sprintf("%-12s %4d: %s\n", name, pc, t.At(pc))
+	}
+	return out
+}

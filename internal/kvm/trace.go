@@ -1,0 +1,102 @@
+package kvm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The paper treats its crashed kernels as black boxes and explicitly defers
+// fault-propagation tracing ("this is extremely challenging... beyond the
+// scope of this paper", §3.3 footnote). A simulator has no such excuse:
+// the Tracer records the tail of execution — instructions retired and
+// stores issued — so a post-mortem can show exactly how an injected fault
+// became a wild store or a consistency panic.
+
+// TraceEntry is one retired instruction.
+type TraceEntry struct {
+	Seq   uint64 // global step number
+	PC    int
+	Word  uint64 // raw instruction word (decode may differ after mutation)
+	Store bool   // the instruction issued a store
+	Addr  uint64 // store target (virtual/KSEG), when Store
+	Val   uint64 // store value, when Store
+}
+
+// Instr decodes the entry's instruction word.
+func (e TraceEntry) Instr() Instr { return Decode(e.Word) }
+
+// Tracer is a fixed-size ring of recent TraceEntries. Attach to VM.Trace;
+// nil disables tracing (no overhead on the hot path beyond one branch).
+type Tracer struct {
+	ring []TraceEntry
+	pos  int
+	full bool
+	seq  uint64
+}
+
+// NewTracer returns a tracer remembering the last n instructions.
+func NewTracer(n int) *Tracer {
+	if n <= 0 {
+		panic("kvm: tracer size must be positive")
+	}
+	return &Tracer{ring: make([]TraceEntry, n)}
+}
+
+func (t *Tracer) record(e TraceEntry) {
+	e.Seq = t.seq
+	t.seq++
+	t.ring[t.pos] = e
+	t.pos = (t.pos + 1) % len(t.ring)
+	if t.pos == 0 {
+		t.full = true
+	}
+}
+
+// Steps returns the total number of instructions recorded over the
+// tracer's lifetime.
+func (t *Tracer) Steps() uint64 { return t.seq }
+
+// Tail returns the recorded entries, oldest first.
+func (t *Tracer) Tail() []TraceEntry {
+	if !t.full {
+		out := make([]TraceEntry, t.pos)
+		copy(out, t.ring[:t.pos])
+		return out
+	}
+	out := make([]TraceEntry, 0, len(t.ring))
+	out = append(out, t.ring[t.pos:]...)
+	out = append(out, t.ring[:t.pos]...)
+	return out
+}
+
+// Stores returns only the store entries from the tail, oldest first.
+func (t *Tracer) Stores() []TraceEntry {
+	var out []TraceEntry
+	for _, e := range t.Tail() {
+		if e.Store {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Format renders the last n entries with procedure annotations from text.
+func (t *Tracer) Format(text *Text, n int) string {
+	tail := t.Tail()
+	if n > 0 && len(tail) > n {
+		tail = tail[len(tail)-n:]
+	}
+	var b strings.Builder
+	for _, e := range tail {
+		proc := "?"
+		if p, ok := text.ProcAt(e.PC); ok {
+			proc = p.Name
+		}
+		fmt.Fprintf(&b, "%8d  %-12s %4d: %-28s", e.Seq, proc, e.PC, e.Instr())
+		if e.Store {
+			fmt.Fprintf(&b, " => [%#x] = %#x", e.Addr, e.Val)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,357 @@
+package kvm
+
+import (
+	"fmt"
+
+	"rio/internal/mmu"
+)
+
+// ExceptionKind classifies why execution stopped abnormally. Each kind maps
+// onto a crash manifestation observed in the paper's experiments.
+type ExceptionKind int
+
+const (
+	// ExcTrap is an MMU trap (illegal address or protection violation).
+	// On a 64-bit machine most injected faults die here first.
+	ExcTrap ExceptionKind = iota
+	// ExcIllegalInstr is a fetch of an undecodable opcode or a PC outside
+	// kernel text (e.g. a corrupted return address).
+	ExcIllegalInstr
+	// ExcAssert is a failed kernel consistency check (OpAssert) — the
+	// "kernel consistency error messages" of the paper.
+	ExcAssert
+	// ExcBudget means the instruction budget was exhausted: the kernel is
+	// spinning or deadlocked. Treated as a hang/watchdog crash.
+	ExcBudget
+	// ExcIntrinsic is a panic raised by an intrinsic (allocator
+	// consistency check, lock owner mismatch, ...).
+	ExcIntrinsic
+	// ExcStackOverflow is SP running off the kernel stack.
+	ExcStackOverflow
+)
+
+func (k ExceptionKind) String() string {
+	switch k {
+	case ExcTrap:
+		return "mmu trap"
+	case ExcIllegalInstr:
+		return "illegal instruction"
+	case ExcAssert:
+		return "consistency check failed"
+	case ExcBudget:
+		return "instruction budget exceeded (hang)"
+	case ExcIntrinsic:
+		return "intrinsic panic"
+	case ExcStackOverflow:
+		return "kernel stack overflow"
+	default:
+		return fmt.Sprintf("ExceptionKind(%d)", int(k))
+	}
+}
+
+// Exception describes abnormal termination of kernel execution.
+type Exception struct {
+	Kind   ExceptionKind
+	PC     int
+	Trap   *mmu.Trap // set when Kind == ExcTrap
+	Reason string    // human-readable detail
+}
+
+func (e *Exception) Error() string {
+	s := fmt.Sprintf("kvm: %s at pc=%d", e.Kind, e.PC)
+	if e.Trap != nil {
+		s += ": " + e.Trap.Error()
+	}
+	if e.Reason != "" {
+		s += ": " + e.Reason
+	}
+	return s
+}
+
+// Intrinsics is the kernel runtime interface the VM calls through OpIntr.
+// The handler reads arguments from vm.Reg[1..3], writes any result to
+// vm.Reg[0], and returns a non-nil Exception to panic the kernel.
+type Intrinsics interface {
+	Intrinsic(vm *VM, num int32) *Exception
+}
+
+// retSentinel is the return address pushed by Exec; popping it ends the
+// run. It is far outside any text range, so if a corrupted return address
+// overwrites it the fetch traps instead.
+const retSentinel = uint64(1) << 62
+
+// VM executes kernel procedures.
+type VM struct {
+	Text *Text
+	MMU  *mmu.MMU
+	Reg  [NumRegs]uint64
+
+	// Intr handles OpIntr instructions; nil makes OpIntr an illegal
+	// instruction.
+	Intr Intrinsics
+
+	// EntryHooks run when the PC enters the keyed address at a call; fault
+	// models use them (e.g. the copy-overrun fault inflates bcopy's length
+	// argument at its entry).
+	EntryHooks map[int]func(*VM)
+
+	// Budget is the maximum number of instructions one Exec may retire
+	// before it is declared hung. Zero means DefaultBudget.
+	Budget uint64
+
+	// Steps counts instructions retired across all Execs (CPU accounting).
+	Steps uint64
+
+	// Trace, when non-nil, records retired instructions and stores for
+	// post-mortem fault-propagation analysis.
+	Trace *Tracer
+
+	// RegNoise, when non-nil, overwrites most non-argument registers with
+	// pseudo-random garbage at each Exec. Between two top-level kernel
+	// entries a real kernel's register file has been churned by
+	// scheduler, interrupt, and unrelated-subsystem code; without noise,
+	// this small kernel's registers would unrealistically always hold
+	// recent file-cache pointers, inflating the damage stale-register
+	// faults can do. Crash campaigns set this; unit tests leave it nil.
+	RegNoise func() (val uint64, use bool)
+
+	stackTop   uint64 // initial SP for each Exec
+	stackLimit uint64 // lowest legal SP
+	pc         int
+}
+
+// DefaultBudget is the per-Exec instruction cap: generous enough for any
+// legitimate kernel operation on an 8 KB block, small enough to detect
+// runaway loops quickly. It plays the role of the paper's ten-minute
+// timeout after which a non-crashing run is discarded.
+const DefaultBudget = 2_000_000
+
+// New returns a VM executing text against the given MMU.
+func New(text *Text, u *mmu.MMU) *VM {
+	return &VM{Text: text, MMU: u, EntryHooks: make(map[int]func(*VM))}
+}
+
+// SetStack configures the kernel stack: top is the initial SP (stacks grow
+// down), limit is the lowest address SP may reach.
+func (v *VM) SetStack(top, limit uint64) {
+	if top <= limit {
+		panic("kvm: stack top must exceed limit")
+	}
+	v.stackTop, v.stackLimit = top, limit
+}
+
+// PC returns the current program counter (for post-mortem inspection).
+func (v *VM) PC() int { return v.pc }
+
+// Exec runs the named procedure with args in r1..rN until it returns,
+// halts, or raises an exception. Registers other than SP and the argument
+// registers deliberately retain their previous (stale) contents — that is
+// what makes the "initialization" fault model dangerous, as in a real
+// kernel where uninitialised locals hold whatever the last frame left.
+func (v *VM) Exec(proc string, args ...uint64) *Exception {
+	p, ok := v.Text.Proc(proc)
+	if !ok {
+		panic(fmt.Sprintf("kvm: Exec of unknown procedure %q", proc))
+	}
+	if len(args) > 14 {
+		panic("kvm: too many arguments")
+	}
+	if v.RegNoise != nil {
+		for r := len(args) + 1; r < SP; r++ {
+			if val, use := v.RegNoise(); use {
+				v.Reg[r] = val
+			}
+		}
+	}
+	for i, a := range args {
+		v.Reg[1+i] = a
+	}
+	v.Reg[SP] = v.stackTop
+	v.pc = p.Entry
+	if err := v.push(retSentinel); err != nil {
+		return err
+	}
+	return v.run()
+}
+
+func (v *VM) push(val uint64) *Exception {
+	sp := v.Reg[SP] - 8
+	if sp < v.stackLimit {
+		return &Exception{Kind: ExcStackOverflow, PC: v.pc}
+	}
+	if trap := v.MMU.Store64(sp, val); trap != nil {
+		return &Exception{Kind: ExcTrap, PC: v.pc, Trap: trap}
+	}
+	v.Reg[SP] = sp
+	return nil
+}
+
+func (v *VM) pop() (uint64, *Exception) {
+	val, trap := v.MMU.Load64(v.Reg[SP])
+	if trap != nil {
+		return 0, &Exception{Kind: ExcTrap, PC: v.pc, Trap: trap}
+	}
+	v.Reg[SP] += 8
+	return val, nil
+}
+
+func (v *VM) run() *Exception {
+	budget := v.Budget
+	if budget == 0 {
+		budget = DefaultBudget
+	}
+	for n := uint64(0); ; n++ {
+		if n >= budget {
+			return &Exception{Kind: ExcBudget, PC: v.pc}
+		}
+		if v.pc < 0 || v.pc >= v.Text.Len() {
+			return &Exception{Kind: ExcIllegalInstr, PC: v.pc,
+				Reason: "pc outside kernel text"}
+		}
+		in := Decode(v.Text.Word(v.pc))
+		if !in.Op.Valid() {
+			return &Exception{Kind: ExcIllegalInstr, PC: v.pc,
+				Reason: fmt.Sprintf("opcode %d", uint8(in.Op))}
+		}
+		v.Steps++
+		next := v.pc + 1
+		r := &v.Reg
+
+		if v.Trace != nil {
+			e := TraceEntry{PC: v.pc, Word: v.Text.Word(v.pc)}
+			switch in.Op {
+			case OpSt:
+				e.Store = true
+				e.Addr = r[in.Rs1] + uint64(int64(in.Imm))
+				e.Val = r[in.Rs2]
+			case OpStB:
+				e.Store = true
+				e.Addr = r[in.Rs1] + uint64(int64(in.Imm))
+				e.Val = uint64(byte(r[in.Rs2]))
+			case OpPush:
+				e.Store = true
+				e.Addr = r[SP] - 8
+				e.Val = r[in.Rs1]
+			}
+			v.Trace.record(e)
+		}
+
+		switch in.Op {
+		case OpNop:
+		case OpMovI:
+			r[in.Rd] = uint64(int64(in.Imm))
+		case OpMovHi:
+			r[in.Rd] = (r[in.Rd] & 0xffffffff) | uint64(uint32(in.Imm))<<32
+		case OpMov:
+			r[in.Rd] = r[in.Rs1]
+		case OpAdd:
+			r[in.Rd] = r[in.Rs1] + r[in.Rs2]
+		case OpSub:
+			r[in.Rd] = r[in.Rs1] - r[in.Rs2]
+		case OpAddI:
+			r[in.Rd] = r[in.Rs1] + uint64(int64(in.Imm))
+		case OpAnd:
+			r[in.Rd] = r[in.Rs1] & r[in.Rs2]
+		case OpOr:
+			r[in.Rd] = r[in.Rs1] | r[in.Rs2]
+		case OpXor:
+			r[in.Rd] = r[in.Rs1] ^ r[in.Rs2]
+		case OpShlI:
+			r[in.Rd] = r[in.Rs1] << (uint32(in.Imm) & 63)
+		case OpShrI:
+			r[in.Rd] = r[in.Rs1] >> (uint32(in.Imm) & 63)
+		case OpLd:
+			val, trap := v.MMU.Load64(r[in.Rs1] + uint64(int64(in.Imm)))
+			if trap != nil {
+				return &Exception{Kind: ExcTrap, PC: v.pc, Trap: trap}
+			}
+			r[in.Rd] = val
+		case OpSt:
+			if trap := v.MMU.Store64(r[in.Rs1]+uint64(int64(in.Imm)), r[in.Rs2]); trap != nil {
+				return &Exception{Kind: ExcTrap, PC: v.pc, Trap: trap}
+			}
+		case OpLdB:
+			val, trap := v.MMU.LoadByte(r[in.Rs1] + uint64(int64(in.Imm)))
+			if trap != nil {
+				return &Exception{Kind: ExcTrap, PC: v.pc, Trap: trap}
+			}
+			r[in.Rd] = uint64(val)
+		case OpStB:
+			if trap := v.MMU.StoreByte(r[in.Rs1]+uint64(int64(in.Imm)), byte(r[in.Rs2])); trap != nil {
+				return &Exception{Kind: ExcTrap, PC: v.pc, Trap: trap}
+			}
+		case OpBeq:
+			if r[in.Rs1] == r[in.Rs2] {
+				next = v.pc + 1 + int(in.Imm)
+			}
+		case OpBne:
+			if r[in.Rs1] != r[in.Rs2] {
+				next = v.pc + 1 + int(in.Imm)
+			}
+		case OpBlt:
+			if int64(r[in.Rs1]) < int64(r[in.Rs2]) {
+				next = v.pc + 1 + int(in.Imm)
+			}
+		case OpBge:
+			if int64(r[in.Rs1]) >= int64(r[in.Rs2]) {
+				next = v.pc + 1 + int(in.Imm)
+			}
+		case OpBle:
+			if int64(r[in.Rs1]) <= int64(r[in.Rs2]) {
+				next = v.pc + 1 + int(in.Imm)
+			}
+		case OpBgt:
+			if int64(r[in.Rs1]) > int64(r[in.Rs2]) {
+				next = v.pc + 1 + int(in.Imm)
+			}
+		case OpJmp:
+			next = v.pc + 1 + int(in.Imm)
+		case OpCall:
+			if err := v.push(uint64(v.pc + 1)); err != nil {
+				return err
+			}
+			next = int(in.Imm)
+			if hook := v.EntryHooks[next]; hook != nil {
+				hook(v)
+			}
+		case OpRet:
+			ret, err := v.pop()
+			if err != nil {
+				return err
+			}
+			if ret == retSentinel {
+				return nil
+			}
+			next = int(ret)
+		case OpPush:
+			if err := v.push(r[in.Rs1]); err != nil {
+				return err
+			}
+		case OpPop:
+			val, err := v.pop()
+			if err != nil {
+				return err
+			}
+			r[in.Rd] = val
+		case OpIntr:
+			if v.Intr == nil {
+				return &Exception{Kind: ExcIllegalInstr, PC: v.pc,
+					Reason: "intrinsic with no handler"}
+			}
+			v.pc = next // intrinsics see the post-instruction PC
+			if exc := v.Intr.Intrinsic(v, in.Imm); exc != nil {
+				return exc
+			}
+			continue
+		case OpAssert:
+			if r[in.Rs1] != r[in.Rs2] {
+				return &Exception{Kind: ExcAssert, PC: v.pc,
+					Reason: fmt.Sprintf("r%d(%#x) != r%d(%#x)",
+						in.Rs1, r[in.Rs1], in.Rs2, r[in.Rs2])}
+			}
+		case OpHalt:
+			return nil
+		}
+		v.pc = next
+	}
+}

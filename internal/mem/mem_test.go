@@ -1,0 +1,207 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSizing(t *testing.T) {
+	m := New(16 * PageSize)
+	if m.Size() != 16*PageSize {
+		t.Fatalf("Size = %d", m.Size())
+	}
+	if m.NumFrames() != 16 {
+		t.Fatalf("NumFrames = %d", m.NumFrames())
+	}
+}
+
+func TestNewRejectsBadSize(t *testing.T) {
+	for _, size := range []int{0, -PageSize, PageSize + 1, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", size)
+				}
+			}()
+			New(size)
+		}()
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New(4 * PageSize)
+	data := []byte("the rio file cache survives crashes")
+	m.WriteAt(PageSize+100, data)
+	got := make([]byte, len(data))
+	m.ReadAt(PageSize+100, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip: got %q", got)
+	}
+}
+
+func TestWord64RoundTrip(t *testing.T) {
+	m := New(PageSize)
+	m.SetWord64(40, 0xdeadbeefcafebabe)
+	if got := m.Word64(40); got != 0xdeadbeefcafebabe {
+		t.Fatalf("Word64 = %#x", got)
+	}
+	// Little-endian layout.
+	if m.Byte(40) != 0xbe {
+		t.Fatalf("low byte = %#x, want 0xbe", m.Byte(40))
+	}
+}
+
+func TestWord64Property(t *testing.T) {
+	m := New(PageSize)
+	f := func(v uint64, off uint16) bool {
+		addr := uint64(off) % (PageSize - 8)
+		m.SetWord64(addr, v)
+		return m.Word64(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameOfAndBase(t *testing.T) {
+	if FrameOf(0) != 0 || FrameOf(PageSize-1) != 0 || FrameOf(PageSize) != 1 {
+		t.Fatal("FrameOf boundary wrong")
+	}
+	if FrameBase(3) != 3*PageSize {
+		t.Fatalf("FrameBase(3) = %d", FrameBase(3))
+	}
+	for n := 0; n < 100; n++ {
+		if FrameOf(FrameBase(n)) != n {
+			t.Fatalf("FrameOf(FrameBase(%d)) = %d", n, FrameOf(FrameBase(n)))
+		}
+	}
+}
+
+func TestContainsRange(t *testing.T) {
+	m := New(2 * PageSize)
+	cases := []struct {
+		addr uint64
+		n    int
+		want bool
+	}{
+		{0, 0, true},
+		{0, 2 * PageSize, true},
+		{0, 2*PageSize + 1, false},
+		{2 * PageSize, 0, true},
+		{2 * PageSize, 1, false},
+		{PageSize, PageSize, true},
+		{0, -1, false},
+		{^uint64(0), 1, false},
+	}
+	for _, c := range cases {
+		if got := m.ContainsRange(c.addr, c.n); got != c.want {
+			t.Errorf("ContainsRange(%#x, %d) = %v, want %v", c.addr, c.n, got, c.want)
+		}
+	}
+}
+
+func TestRawOutOfRangePanics(t *testing.T) {
+	m := New(PageSize)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range raw write did not panic")
+		}
+	}()
+	m.WriteAt(PageSize-4, make([]byte, 8))
+}
+
+func TestFlipBit(t *testing.T) {
+	m := New(PageSize)
+	m.SetByte(10, 0b00001000)
+	m.FlipBit(10, 3)
+	if m.Byte(10) != 0 {
+		t.Fatalf("after flip: %#b", m.Byte(10))
+	}
+	m.FlipBit(10, 7)
+	if m.Byte(10) != 0b10000000 {
+		t.Fatalf("after second flip: %#b", m.Byte(10))
+	}
+}
+
+func TestFrameMetadata(t *testing.T) {
+	m := New(4 * PageSize)
+	f := m.Frame(2)
+	f.FileCache = true
+	f.WriteProtected = true
+	if !m.Frame(2).FileCache || !m.Frame(2).WriteProtected {
+		t.Fatal("frame metadata not retained")
+	}
+	if m.Frame(1).FileCache {
+		t.Fatal("metadata leaked to wrong frame")
+	}
+}
+
+func TestDumpIsCopy(t *testing.T) {
+	m := New(PageSize)
+	m.SetByte(0, 0xaa)
+	d := m.Dump()
+	m.SetByte(0, 0xbb)
+	if d[0] != 0xaa {
+		t.Fatal("Dump aliases live memory")
+	}
+	if len(d) != PageSize {
+		t.Fatalf("dump len = %d", len(d))
+	}
+}
+
+func TestScramble(t *testing.T) {
+	m := New(2 * PageSize)
+	m.Frame(0).FileCache = true
+	m.WriteAt(0, []byte("precious data"))
+	m.Scramble(1)
+	if m.Frame(0).FileCache {
+		t.Fatal("Scramble did not clear frame flags")
+	}
+	if bytes.Equal(m.Slice(0, 13), []byte("precious data")) {
+		t.Fatal("Scramble did not overwrite data")
+	}
+	// Deterministic for a given seed.
+	m2 := New(2 * PageSize)
+	m2.Scramble(1)
+	if !bytes.Equal(m.Dump(), m2.Dump()) {
+		t.Fatal("Scramble not deterministic")
+	}
+}
+
+func TestClearFlagsPreservesData(t *testing.T) {
+	m := New(PageSize)
+	m.WriteAt(64, []byte("survives"))
+	m.Frame(0).WriteProtected = true
+	m.ClearFlags()
+	if m.Frame(0).WriteProtected {
+		t.Fatal("flags not cleared")
+	}
+	got := make([]byte, 8)
+	m.ReadAt(64, got)
+	if string(got) != "survives" {
+		t.Fatalf("data lost: %q", got)
+	}
+}
+
+func TestPageCopy(t *testing.T) {
+	m := New(2 * PageSize)
+	m.SetByte(PageSize+5, 0x42)
+	p := m.Page(1)
+	if p[5] != 0x42 {
+		t.Fatal("Page contents wrong")
+	}
+	p[5] = 0
+	if m.Byte(PageSize+5) != 0x42 {
+		t.Fatal("Page aliases live memory")
+	}
+}
+
+func TestSliceAliases(t *testing.T) {
+	m := New(PageSize)
+	s := m.Slice(100, 4)
+	s[0] = 0x7f
+	if m.Byte(100) != 0x7f {
+		t.Fatal("Slice must alias live memory")
+	}
+}

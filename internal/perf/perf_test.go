@@ -1,0 +1,185 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+
+	"rio/internal/fs"
+	"rio/internal/sim"
+	"rio/internal/workload"
+)
+
+// smallConfig shrinks the workloads for fast unit tests; shape assertions
+// use the full default config in TestTable2Shape.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.CpRm = workload.DefaultCpRm()
+	cfg.CpRm.TreeBytes = 1 << 20
+	cfg.Sdet = workload.DefaultSdet()
+	cfg.Sdet.OpsPerScript = 60
+	cfg.Andrew = workload.DefaultAndrew()
+	cfg.Andrew.TreeBytes = 150 << 10
+	return cfg
+}
+
+func TestRowsCoverTable2(t *testing.T) {
+	rows := Rows()
+	if len(rows) != 8 {
+		t.Fatalf("Table 2 has 8 rows, got %d", len(rows))
+	}
+	kinds := map[fs.PolicyKind]int{}
+	for _, r := range rows {
+		kinds[r.Policy.Kind]++
+	}
+	if kinds[fs.PolicyRio] != 2 {
+		t.Fatal("need Rio with and without protection")
+	}
+	for _, k := range []fs.PolicyKind{fs.PolicyMFS, fs.PolicyUFSDelayed,
+		fs.PolicyAdvFS, fs.PolicyUFS, fs.PolicyUFSWTClose, fs.PolicyUFSWTWrite} {
+		if kinds[k] != 1 {
+			t.Fatalf("missing policy %v", k)
+		}
+	}
+}
+
+func TestRunRowSmall(t *testing.T) {
+	cfg := smallConfig()
+	row, err := cfg.RunRow(Rows()[0]) // MFS
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.CpRmCp <= 0 || row.CpRmRm <= 0 || row.Sdet <= 0 || row.Andrew <= 0 {
+		t.Fatalf("non-positive durations: %+v", row)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table is slow")
+	}
+	cfg := DefaultConfig()
+	rows, err := cfg.RunTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ComputeRatios(rows)
+
+	// The paper's headline claims, as bands:
+	// "4-22 times as fast as a write-through file system"
+	for i, v := range r.VsWriteThroughWrite {
+		if v < 4 || v > 30 {
+			t.Errorf("vs write-through-on-write, workload %d: %.1fx outside [4,30]", i, v)
+		}
+	}
+	// "2-14 times as fast as a standard Unix file system"
+	for i, v := range r.VsUFS {
+		if v < 2 || v > 16 {
+			t.Errorf("vs UFS, workload %d: %.1fx outside [2,16]", i, v)
+		}
+	}
+	// "1-3 times as fast as an optimized system that risks losing 30
+	// seconds of data and metadata"
+	for i, v := range r.VsDelayed {
+		if v < 0.8 || v > 4 {
+			t.Errorf("vs delayed UFS, workload %d: %.1fx outside [0.8,4]", i, v)
+		}
+	}
+	// "performs as fast as a memory file system" (within ~20%)
+	for i, v := range r.VsMFS {
+		if v < 0.75 || v > 1.25 {
+			t.Errorf("vs MFS, workload %d: %.2fx outside [0.75,1.25]", i, v)
+		}
+	}
+
+	// Ordering within each workload column: MFS fastest-ish, WT-write
+	// slowest.
+	byLabel := map[string]Row{}
+	for _, row := range rows {
+		byLabel[row.Spec.Label] = row
+	}
+	for _, get := range []func(Row) sim.Duration{
+		func(r Row) sim.Duration { return r.CpRm() },
+		func(r Row) sim.Duration { return r.Sdet },
+		func(r Row) sim.Duration { return r.Andrew },
+	} {
+		mfs := get(byLabel["Memory File System"])
+		ufs := get(byLabel["UFS"])
+		wtw := get(byLabel["UFS write-through on write"])
+		rio := get(byLabel["Rio with protection"])
+		if !(wtw > ufs && ufs > mfs) {
+			t.Errorf("ordering broken: wtw=%v ufs=%v mfs=%v", wtw, ufs, mfs)
+		}
+		if rio > 2*mfs {
+			t.Errorf("Rio (%v) far from MFS (%v)", rio, mfs)
+		}
+	}
+}
+
+func TestProtectionEssentiallyFree(t *testing.T) {
+	cfg := smallConfig()
+	without, with, err := cfg.ProtectionOverhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	overhead := float64(with)/float64(without) - 1
+	if overhead < 0 || overhead > 0.05 {
+		t.Fatalf("protection overhead %.1f%%, want ~0-5%%", overhead*100)
+	}
+}
+
+func TestCodePatchingCostly(t *testing.T) {
+	cfg := smallConfig()
+	tlb, patched, err := cfg.CodePatchingOverhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	overhead := float64(patched)/float64(tlb) - 1
+	if overhead < 0.15 || overhead > 0.60 {
+		t.Fatalf("code patching overhead %.1f%%, want the paper's 20-50%% band", overhead*100)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	cfg := smallConfig()
+	row, err := cfg.RunRow(Rows()[6]) // Rio without protection
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format([]Row{row})
+	if !strings.Contains(out, "Rio without protection") ||
+		!strings.Contains(out, "Sdet") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestDeterministicRows(t *testing.T) {
+	cfg := smallConfig()
+	a, err := cfg.RunRow(Rows()[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cfg.RunRow(Rows()[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CpRmCp != b.CpRmCp || a.Sdet != b.Sdet || a.Andrew != b.Andrew {
+		t.Fatalf("perf rows not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	// MakeTree from the same seed is identical.
+	t1 := workload.MakeTree("/x", 1<<20, 9)
+	t2 := workload.MakeTree("/x", 1<<20, 9)
+	if len(t1.Files) != len(t2.Files) || t1.TotalBytes() != t2.TotalBytes() {
+		t.Fatal("MakeTree not deterministic")
+	}
+	for i := range t1.Files {
+		if t1.Files[i] != t2.Files[i] {
+			t.Fatal("tree files differ")
+		}
+	}
+	if t1.TotalBytes() < 1<<20 {
+		t.Fatal("tree under target size")
+	}
+}

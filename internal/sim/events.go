@@ -1,0 +1,137 @@
+package sim
+
+import "container/heap"
+
+// Event is a callback scheduled to fire at a simulated time.
+type Event struct {
+	At   Time   // when the event fires
+	Name string // human-readable label for tracing
+	Fire func() // callback; runs with the clock advanced to At
+
+	seq   uint64 // tie-break so equal-time events fire in schedule order
+	index int    // heap bookkeeping; -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event was removed before firing.
+func (e *Event) Cancelled() bool { return e.index == -2 }
+
+// eventHeap orders events by (At, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation loop bound to a Clock.
+//
+// The engine is cooperative: callers schedule events and then either Step
+// through them or RunUntil a deadline. Event callbacks may schedule further
+// events. The engine is not safe for concurrent use; the whole simulator is
+// single-goroutine by design (determinism).
+type Engine struct {
+	Clock *Clock
+	queue eventHeap
+	seq   uint64
+}
+
+// NewEngine returns an engine driving the given clock. If clock is nil a
+// fresh clock is created.
+func NewEngine(clock *Clock) *Engine {
+	if clock == nil {
+		clock = NewClock()
+	}
+	return &Engine{Clock: clock}
+}
+
+// Schedule registers fire to run at absolute time at. Scheduling in the past
+// (before the current clock) panics. Returns the event for cancellation.
+func (e *Engine) Schedule(at Time, name string, fire func()) *Event {
+	if at < e.Clock.Now() {
+		panic("sim: event scheduled in the past")
+	}
+	ev := &Event{At: at, Name: name, Fire: fire, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fire to run d after the current time.
+func (e *Engine) After(d Duration, name string, fire func()) *Event {
+	return e.Schedule(e.Clock.Now().Add(d), name, fire)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -2
+}
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Step fires the earliest event, advancing the clock to its time. It
+// returns false if the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.Clock.AdvanceTo(ev.At)
+	ev.Fire()
+	return true
+}
+
+// RunUntil fires all events with At <= deadline, then advances the clock to
+// the deadline. Events scheduled by callbacks are honoured if they land
+// before the deadline.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 && e.queue[0].At <= deadline {
+		e.Step()
+	}
+	e.Clock.AdvanceTo(deadline)
+}
+
+// Drain fires every queued event (including newly scheduled ones) until the
+// queue is empty. A safety cap guards against event loops that reschedule
+// themselves forever; exceeding it panics.
+func (e *Engine) Drain() {
+	const cap = 50_000_000
+	for i := 0; e.Step(); i++ {
+		if i > cap {
+			panic("sim: Drain exceeded event cap (self-rescheduling loop?)")
+		}
+	}
+}
+
+// Reset drops all pending events and rewinds the clock. Used at reboot.
+func (e *Engine) Reset() {
+	e.queue = nil
+	e.Clock.Reset()
+}

@@ -1,0 +1,212 @@
+// Package warmreboot implements Rio's reboot paths.
+//
+// Warm reboot (§2.2 of the paper) happens in two steps. Before the VM and
+// file system initialise, the booting kernel dumps all of physical memory
+// (the paper dumps to the swap partition; we hold the dump in the
+// simulator) and restores dirty *metadata* buffers straight to their disk
+// blocks using the disk addresses stored in the registry — so the file
+// system is intact before fsck checks it. After the system is fully booted,
+// a user-level process walks the dump and restores the dirty UBC pages
+// through normal system calls (open/write).
+//
+// Because the dump is taken from a freshly booting, healthy system rather
+// than the dying one, it "always works" — unlike a crash dump.
+package warmreboot
+
+import (
+	"fmt"
+
+	"rio/internal/fs"
+	"rio/internal/kernel"
+	"rio/internal/machine"
+	"rio/internal/mem"
+	"rio/internal/registry"
+)
+
+// Report describes what a warm reboot found and restored.
+type Report struct {
+	// Entries is the number of valid registry entries in the dump.
+	Entries int
+	// BadEntries failed the registry's per-entry CRC (garbage skipped).
+	BadEntries int
+	// MetaRestored / DataRestored count dirty buffers written back.
+	MetaRestored int
+	DataRestored int
+	// Changing counts buffers that were mid-write at crash time; their
+	// checksums cannot classify them.
+	Changing int
+	// ChecksumMismatches are non-changing buffers whose contents no
+	// longer match their registry checksum: direct corruption, detected.
+	ChecksumMismatches int
+	// OrphanData counts dirty data pages whose file could not be found
+	// after the metadata restore.
+	OrphanData int
+	// SkippedInvalid counts entries with out-of-range frames/blocks.
+	SkippedInvalid int
+	// Fsck is the consistency-check report after the metadata restore.
+	Fsck fs.FsckReport
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf("warm reboot: %d entries (%d bad), %d meta + %d data restored, %d changing, %d checksum mismatches, %d orphans",
+		r.Entries, r.BadEntries, r.MetaRestored, r.DataRestored,
+		r.Changing, r.ChecksumMismatches, r.OrphanData)
+}
+
+// Warm performs a warm reboot of a crashed machine in place: dump memory,
+// restore metadata to disk, fsck, boot a fresh kernel, and restore the UBC
+// through system calls. On return the machine is booted and its file
+// system reflects the pre-crash file cache.
+func Warm(m *machine.Machine) (*Report, error) {
+	// Step 1: dump all of physical memory before anything reinitialises.
+	return FromDump(m, m.Mem.Dump())
+}
+
+// FromDump performs the warm-reboot restore from an explicit memory image
+// — either the in-place dump Warm takes at boot, or a dump a UPS wrote to
+// the swap disk as the power failed (the paper's §1 power-outage story).
+func FromDump(m *machine.Machine, dump []byte) (*Report, error) {
+	rep := &Report{}
+
+	// The registry lives at a machine-fixed location; take its frame
+	// list before tearing the old kernel's state down.
+	regFrames := m.Reg.Frames()
+
+	entries, bad := registry.Parse(dump, regFrames)
+	rep.Entries = len(entries)
+	rep.BadEntries = bad
+
+	nframes := m.Mem.NumFrames()
+	pageOf := func(frame uint32) []byte {
+		base := mem.FrameBase(int(frame))
+		return dump[base : base+mem.PageSize]
+	}
+
+	// Classify and verify every entry first.
+	var metaDirty, dataDirty []registry.ParsedEntry
+	for _, e := range entries {
+		if int(e.Frame) >= nframes || e.Size > mem.PageSize {
+			rep.SkippedInvalid++
+			continue
+		}
+		if e.Flags&registry.FlagChanging != 0 {
+			rep.Changing++
+		} else if e.Cksum != 0 {
+			if kernel.CksumBytes(pageOf(e.Frame)) != e.Cksum {
+				rep.ChecksumMismatches++
+			}
+		}
+		if e.Flags&registry.FlagDirty == 0 {
+			continue // clean: the disk copy is current
+		}
+		switch e.Kind {
+		case registry.KindMeta:
+			metaDirty = append(metaDirty, e)
+		case registry.KindData:
+			dataDirty = append(dataDirty, e)
+		}
+	}
+
+	// Step 2: restore dirty metadata straight to disk, pre-fsck.
+	for _, e := range metaDirty {
+		// Block 0 is the superblock, which is never cached: a registry
+		// entry claiming it is corrupt, and restoring it would destroy
+		// the volume.
+		if e.Block < 1 || e.Block*fs.SectorsPerBlock >= int64(m.Disk.NumSectors()) {
+			rep.SkippedInvalid++
+			continue
+		}
+		m.Disk.Commit(int(e.Block)*fs.SectorsPerBlock, pageOf(e.Frame))
+		rep.MetaRestored++
+	}
+
+	// Step 3: fsck the (now metadata-complete) volume.
+	fsckRep, err := fs.Fsck(m.Disk)
+	if err != nil {
+		return rep, fmt.Errorf("warmreboot: fsck: %w", err)
+	}
+	rep.Fsck = fsckRep
+
+	// Step 4: boot a fresh kernel. Pool frame contents are irrelevant now
+	// — everything needed is in the dump.
+	if err := m.Boot(nil); err != nil {
+		return rep, fmt.Errorf("warmreboot: boot: %w", err)
+	}
+
+	// Step 5: user-level restore of UBC pages via normal system calls.
+	paths, err := inodePaths(m.FS)
+	if err != nil {
+		return rep, err
+	}
+	for _, e := range dataDirty {
+		path, ok := paths[e.Ino]
+		if !ok {
+			rep.OrphanData++
+			continue
+		}
+		f, err := m.FS.Open(path)
+		if err != nil {
+			rep.OrphanData++
+			continue
+		}
+		n := int(e.Size)
+		if n > mem.PageSize {
+			n = mem.PageSize
+		}
+		if n > 0 {
+			if _, err := f.WriteAt(pageOf(e.Frame)[:n], e.Off); err != nil {
+				f.Close()
+				return rep, fmt.Errorf("warmreboot: restore %s@%d: %w", path, e.Off, err)
+			}
+		}
+		f.Close()
+		rep.DataRestored++
+	}
+	return rep, nil
+}
+
+// inodePaths walks the mounted tree building an inode -> path index for the
+// user-level UBC restorer.
+func inodePaths(fsys *fs.FS) (map[uint32]string, error) {
+	out := make(map[uint32]string)
+	var walk func(dir string) error
+	walk = func(dir string) error {
+		ents, err := fsys.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			p := dir + "/" + e.Name
+			if dir == "/" {
+				p = "/" + e.Name
+			}
+			if e.IsDir {
+				if err := walk(p); err != nil {
+					return err
+				}
+			} else {
+				out[e.Ino] = p
+			}
+		}
+		return nil
+	}
+	if err := walk("/"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Cold performs a cold reboot: memory is lost (scrambled), the volume is
+// fsck'd, and a fresh kernel boots. This is the disk-based baseline's
+// recovery path — only what reached the disk survives.
+func Cold(m *machine.Machine, seed uint64) (fs.FsckReport, error) {
+	m.Mem.Scramble(seed)
+	rep, err := fs.Fsck(m.Disk)
+	if err != nil {
+		return rep, err
+	}
+	if err := m.Boot(nil); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}

