@@ -1,0 +1,20 @@
+# Tier-1 gate: `make check` runs the same commands CI should — build,
+# vet, tests, and the race detector over the concurrent campaign
+# scheduler (scripts/check.sh is the single source of truth).
+
+.PHONY: check build test race bench
+
+check:
+	sh scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/crashtest/...
+
+bench:
+	go test -run '^$$' -bench . -benchtime 1x .

@@ -16,6 +16,7 @@ package rio
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"rio/internal/crashtest"
@@ -53,6 +54,29 @@ func BenchmarkTable1Campaign(b *testing.B) {
 				b.ReportMetric(100*float64(corrupted)/float64(crashes), name)
 			}
 		}
+	}
+}
+
+// BenchmarkTable1CampaignWorkers measures campaign throughput at one
+// worker versus all cores. The scheduler fans (system, fault, attempt)
+// runs across a worker pool with deterministic in-order merging, so the
+// runs/s metric should scale near-linearly with cores while the rendered
+// table stays byte-identical.
+func BenchmarkTable1CampaignWorkers(b *testing.B) {
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := crashtest.DefaultCampaignConfig(1996)
+				cfg.RunsPerCell = 2
+				cfg.Workers = w
+				rep, err := crashtest.RunCampaign(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rep.Summary.RunsPerSec, "runs/s")
+				b.ReportMetric(float64(rep.Summary.SpeculativeRuns), "spec_runs")
+			}
+		})
 	}
 }
 

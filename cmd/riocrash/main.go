@@ -6,17 +6,20 @@
 //
 // Usage:
 //
-//	riocrash [-runs N] [-seed S] [-quiet]
+//	riocrash [-runs N] [-seed S] [-workers W] [-json PATH] [-quiet]
 //
 // The paper ran 50 crashing runs per (fault type, system) cell — 1950
 // crashes in 6 machine-months. The simulator replays the same protocol in
-// minutes; -runs scales the per-cell count.
+// minutes; -runs scales the per-cell count and -workers fans the runs out
+// across cores. Every run's seed is derived purely from (campaign seed,
+// system, fault, attempt), so the table is identical at any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"rio"
 )
@@ -24,12 +27,25 @@ import (
 func main() {
 	runs := flag.Int("runs", 50, "crashing runs per (fault, system) cell")
 	seed := flag.Uint64("seed", 1, "campaign seed (reproducible)")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = all cores)")
+	jsonPath := flag.String("json", "", "write the full report as JSON to this path")
 	quiet := flag.Bool("quiet", false, "suppress per-cell progress")
 	flag.Parse()
 
-	opts := rio.CampaignOptions{RunsPerCell: *runs, Seed: *seed}
+	opts := rio.CampaignOptions{RunsPerCell: *runs, Seed: *seed, Workers: *workers}
 	if !*quiet {
 		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	// Fail on an unwritable -json path now, not after a long campaign.
+	var jsonFile *os.File
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "riocrash:", err)
+			os.Exit(1)
+		}
+		jsonFile = f
 	}
 
 	fmt.Fprintf(os.Stderr, "running %d crashes per cell x 13 faults x 3 systems...\n", *runs)
@@ -37,6 +53,23 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "riocrash:", err)
 		os.Exit(1)
+	}
+
+	if jsonFile != nil {
+		data, err := res.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "riocrash: encoding report:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if _, err := jsonFile.Write(data); err == nil {
+			err = jsonFile.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "riocrash: writing report:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote JSON report to %s\n", *jsonPath)
 	}
 
 	fmt.Println("Table 1: Comparing Disk and Memory Reliability")
@@ -65,7 +98,13 @@ func main() {
 		res.ProtectionInvocations())
 	fmt.Println()
 	fmt.Println("Crash manifestations (Rio with protection):")
-	fmt.Print(res.CrashKindBreakdown(2))
+	fmt.Print(res.CrashKindBreakdown(rio.SystemRioProt))
+	fmt.Println()
+
+	sum := res.Summary()
+	fmt.Printf("campaign: %d runs (%d crashes, %d discarded, %d errors) on %d workers in %v — %.1f runs/s, %.0f%% discard rate, %d speculative\n",
+		sum.Runs, sum.Crashes, sum.Discarded, sum.Errors, sum.Workers,
+		sum.WallTime.Round(10*time.Millisecond), sum.RunsPerSec, 100*sum.DiscardRate, sum.SpeculativeRuns)
 	fmt.Println()
 	fmt.Println("Paper reference: disk 7/650 (1.1%), Rio w/o protection 10/650 (1.5%),")
 	fmt.Println("Rio w/ protection 4/650 (0.6%); 8 protection invocations; MTTF 15y / 11y.")

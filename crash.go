@@ -167,6 +167,15 @@ func (s *System) RecoverFromUPS() (*RebootReport, error) {
 
 // --- Table 1 campaign ---
 
+// System column indices for CampaignResult accessors, in Table 1 order.
+// Use these instead of literal 0/1/2 so call sites cannot silently point
+// at the wrong column if system order ever changes.
+const (
+	SystemDiskWT    = int(crashtest.DiskWT)    // disk-based write-through
+	SystemRioNoProt = int(crashtest.RioNoProt) // Rio without protection
+	SystemRioProt   = int(crashtest.RioProt)   // Rio with protection
+)
+
 // CampaignOptions configures a crash-test campaign.
 type CampaignOptions struct {
 	// RunsPerCell is the number of crashing runs per (system, fault)
@@ -174,7 +183,13 @@ type CampaignOptions struct {
 	RunsPerCell int
 	// Seed reproduces a campaign exactly. Default 1.
 	Seed uint64
-	// Progress, if non-nil, receives one line per completed cell.
+	// Workers is the number of goroutines running crash tests
+	// concurrently; 0 uses all available cores (GOMAXPROCS). Each run's
+	// seed is derived purely from (Seed, system, fault, attempt), so the
+	// result is the same at any worker count.
+	Workers int
+	// Progress, if non-nil, receives one line per completed cell plus
+	// throttled campaign-level updates; calls are serialised.
 	Progress func(string)
 }
 
@@ -208,6 +223,49 @@ func (r *CampaignResult) CrashKindBreakdown(system int) string {
 	return r.rep.CrashKindBreakdown(crashtest.System(system))
 }
 
+// CampaignSummary is campaign-level observability: totals, rates, and
+// throughput. Counting fields are deterministic for a given seed and
+// config; WallTime, RunsPerSec, and SpeculativeRuns depend on the host
+// and worker count.
+type CampaignSummary struct {
+	Runs        int // runs merged into the table (crashes + discards + errors)
+	Crashes     int
+	Discarded   int
+	Errors      int
+	Corrupted   int
+	Workers     int
+	DiscardRate float64 // fraction of runs that did not crash
+	ErrorRate   float64 // fraction of runs that hit harness errors
+	WallTime    time.Duration
+	RunsPerSec  float64
+	// SpeculativeRuns is parallel overshoot: runs executed but dropped
+	// because their cell reached RunsPerCell first. Zero at Workers=1.
+	SpeculativeRuns int
+}
+
+// Summary returns the campaign's aggregate statistics.
+func (r *CampaignResult) Summary() CampaignSummary {
+	s := r.rep.Summary
+	return CampaignSummary{
+		Runs:            s.Runs,
+		Crashes:         s.Crashes,
+		Discarded:       s.Discarded,
+		Errors:          s.Errors,
+		Corrupted:       s.Corrupted,
+		Workers:         s.Workers,
+		DiscardRate:     s.DiscardRate,
+		ErrorRate:       s.ErrorRate,
+		WallTime:        s.WallTime,
+		RunsPerSec:      s.RunsPerSec,
+		SpeculativeRuns: s.SpeculativeRuns,
+	}
+}
+
+// JSON renders the full report — summary, every cell (in Table 1 order,
+// with per-cell attempt counts and CPU time), and the rendered table —
+// as indented JSON for downstream tooling.
+func (r *CampaignResult) JSON() ([]byte, error) { return r.rep.JSON() }
+
 // MTTFYears converts a column's corruption rate into the paper's §3.3
 // mean-time-to-failure illustration (one crash every two months). A
 // negative result means no corruption was observed at this sample size.
@@ -218,7 +276,9 @@ func (r *CampaignResult) MTTFYears(system int) float64 {
 
 // RunCrashCampaign reproduces Table 1: for each of the thirteen fault
 // types and each of the three systems, crash the machine repeatedly and
-// measure how often permanent file data is corrupted.
+// measure how often permanent file data is corrupted. Runs execute on a
+// worker pool (see CampaignOptions.Workers); results are identical at
+// any worker count.
 func RunCrashCampaign(opts CampaignOptions) (*CampaignResult, error) {
 	cfg := crashtest.DefaultCampaignConfig(1)
 	if opts.Seed != 0 {
@@ -227,6 +287,7 @@ func RunCrashCampaign(opts CampaignOptions) (*CampaignResult, error) {
 	if opts.RunsPerCell > 0 {
 		cfg.RunsPerCell = opts.RunsPerCell
 	}
+	cfg.Workers = opts.Workers
 	cfg.Progress = opts.Progress
 	rep, err := crashtest.RunCampaign(cfg)
 	if err != nil {

@@ -3,17 +3,19 @@ package crashtest
 import (
 	"fmt"
 	"runtime"
-	"sort"
-	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"rio/internal/fault"
 	"rio/internal/kernel"
+	"rio/internal/sim"
 )
 
 // CampaignConfig parameterises a full Table 1 campaign.
 type CampaignConfig struct {
 	// Seed drives the whole campaign; the same seed reproduces the same
-	// table.
+	// table at any worker count.
 	Seed uint64
 	// RunsPerCell is the number of *crashing* runs per (system, fault)
 	// cell. The paper used 50, discarding runs that did not crash.
@@ -21,10 +23,18 @@ type CampaignConfig struct {
 	// MaxAttemptsFactor bounds attempts per cell at RunsPerCell × factor
 	// (some fault types crash rarely).
 	MaxAttemptsFactor int
+	// Workers is the number of goroutines executing crash runs; 0 uses
+	// runtime.GOMAXPROCS(0). The report's counts do not depend on it.
+	Workers int
 	// Run is the per-run configuration template (its Seed is overridden).
 	Run RunConfig
-	// Progress, if non-nil, receives a line per completed cell.
+	// Progress, if non-nil, receives a line per completed cell plus
+	// throttled campaign-level updates. Invocations are serialised, but
+	// cell completion order varies with scheduling.
 	Progress func(string)
+
+	// runner stands in for RunOne in scheduler tests.
+	runner func(System, fault.Type, RunConfig) (RunResult, error)
 }
 
 // DefaultCampaignConfig mirrors the paper's protocol at 50 runs/cell.
@@ -37,160 +47,294 @@ func DefaultCampaignConfig(seed uint64) CampaignConfig {
 	}
 }
 
-// Cell aggregates one (system, fault) cell of Table 1.
-type Cell struct {
-	Crashes    int // runs that crashed (counted toward RunsPerCell)
-	Discarded  int // runs that survived MaxOps (discarded, as in paper)
-	Corrupted  int // crashing runs with corrupted durable data
-	Checksum   int // corruptions (or intact runs) flagged by checksums
-	Protection int // crashes where Rio protection trapped the store
-	ByKind     map[kernel.CrashKind]int
-	Errors     int // harness errors (should be zero)
-	LastError  string
+// RunSeed derives the PRNG seed for one crash run purely from the
+// campaign seed and the run's coordinates: system, fault type, and
+// attempt index within its cell. No shared counter is involved, so a
+// cell's seeds are independent of how many attempts every other cell
+// consumed — changing RunsPerCell, MaxAttemptsFactor, or the fault list
+// leaves all remaining cells' runs bit-identical, and cells can execute
+// concurrently in any order. (An earlier version advanced one seed
+// counter across the whole campaign, which silently resampled every
+// later cell whenever an earlier cell's attempt count changed.)
+func RunSeed(campaignSeed uint64, sys System, ft fault.Type, attempt int) uint64 {
+	return sim.Mix(campaignSeed, uint64(sys), uint64(ft), uint64(attempt))
 }
 
-// Report is a full campaign result.
-type Report struct {
-	Config CampaignConfig
-	Cells  map[System]map[fault.Type]*Cell
+const (
+	// Memory tripwire: a faulted simulator can, in principle, drive some
+	// path into pathological allocation; surface that rather than letting
+	// the OS OOM-kill the campaign. ReadMemStats stops the world, so it
+	// is sampled once per heapCheckEvery runs on a shared counter instead
+	// of before every one of a campaign's thousands of runs.
+	heapCheckEvery = 32
+	heapLimit      = 4 << 30
+
+	// progressInterval throttles campaign-level progress lines.
+	progressInterval = 2 * time.Second
+)
+
+// runTask asks a worker to execute one attempt of one cell.
+type runTask struct {
+	sys     System
+	ft      fault.Type
+	attempt int
+	reply   chan<- runOutcome
 }
 
-// Totals sums a system's column.
-func (r *Report) Totals(sys System) (crashes, corrupted int) {
-	for _, c := range r.Cells[sys] {
-		crashes += c.Crashes
-		corrupted += c.Corrupted
-	}
-	return
+// runOutcome is the result of one attempt, tagged for in-order folding.
+type runOutcome struct {
+	attempt int
+	res     RunResult
+	err     error
+	elapsed time.Duration
 }
 
-// ProtectionInvocations counts protection-trap crashes for a system.
-func (r *Report) ProtectionInvocations(sys System) int {
-	n := 0
-	for _, c := range r.Cells[sys] {
-		n += c.Protection
-	}
-	return n
+// campaign is the shared state of one RunCampaign invocation.
+type campaign struct {
+	cfg    CampaignConfig
+	runner func(System, fault.Type, RunConfig) (RunResult, error)
+	tasks  chan runTask
+	done   chan struct{} // closed on abort (heap tripwire)
+	epoch  time.Time
+
+	abortOnce sync.Once
+	abortErr  error
+
+	started   atomic.Int64 // runs handed to workers (heap sampling cadence)
+	merged    atomic.Int64 // runs folded into cells
+	crashes   atomic.Int64
+	wasted    atomic.Int64 // speculative runs executed but never folded
+	cellsDone atomic.Int64
+
+	progressMu   sync.Mutex
+	lastProgress atomic.Int64 // unix nanos of the last throttled line
 }
 
-// RunCampaign executes the full crash matrix.
-func RunCampaign(cfg CampaignConfig) (*Report, error) {
-	rep := &Report{
-		Config: cfg,
-		Cells:  make(map[System]map[fault.Type]*Cell),
-	}
-	seed := cfg.Seed
-	for _, sys := range Systems {
-		rep.Cells[sys] = make(map[fault.Type]*Cell)
-		for _, ft := range fault.AllTypes {
-			cell := &Cell{ByKind: make(map[kernel.CrashKind]int)}
-			rep.Cells[sys][ft] = cell
-			attempts := 0
-			maxAttempts := cfg.RunsPerCell * cfg.MaxAttemptsFactor
-			for cell.Crashes < cfg.RunsPerCell && attempts < maxAttempts {
-				attempts++
-				seed++
-				run := cfg.Run
-				run.Seed = seed*2654435761 + uint64(sys)<<32 + uint64(ft)<<40
-				// Memory tripwire: a faulted simulator can, in principle,
-				// drive some path into pathological allocation. Surface
-				// the run rather than letting the OS OOM-kill a campaign.
+func (c *campaign) abort(err error) {
+	c.abortOnce.Do(func() {
+		c.abortErr = err
+		close(c.done)
+	})
+}
+
+// worker executes tasks until the queue closes or the campaign aborts.
+// Every accepted task is answered: reply channels are sized to the issue
+// window, so the send cannot block even if the cell driver has moved on.
+func (c *campaign) worker() {
+	for {
+		select {
+		case <-c.done:
+			return
+		case t, ok := <-c.tasks:
+			if !ok {
+				return
+			}
+			if n := c.started.Add(1); n%heapCheckEvery == 0 {
 				var ms runtime.MemStats
 				runtime.ReadMemStats(&ms)
-				if ms.HeapAlloc > 4<<30 {
-					return rep, fmt.Errorf("crashtest: heap ballooned to %d MB before run sys=%v fault=%v seed=%d",
-						ms.HeapAlloc>>20, sys, ft, run.Seed)
-				}
-				res, err := RunOne(sys, ft, run)
-				if err != nil {
-					cell.Errors++
-					cell.LastError = err.Error()
-					continue
-				}
-				if !res.Crashed {
-					cell.Discarded++
-					continue
-				}
-				cell.Crashes++
-				cell.ByKind[res.CrashKind]++
-				if res.Corrupted {
-					cell.Corrupted++
-				}
-				if res.ChecksumDetected {
-					cell.Checksum++
-				}
-				if res.ProtectionInvoked {
-					cell.Protection++
+				if ms.HeapAlloc > heapLimit {
+					c.abort(fmt.Errorf("crashtest: heap ballooned to %d MB during campaign (at sys=%v fault=%v attempt=%d)",
+						ms.HeapAlloc>>20, t.sys, t.ft, t.attempt))
 				}
 			}
-			if cfg.Progress != nil {
-				cfg.Progress(fmt.Sprintf("%-12s %-20s crashes=%d corrupted=%d discarded=%d errors=%d",
-					sys, ft, cell.Crashes, cell.Corrupted, cell.Discarded, cell.Errors))
-			}
+			run := c.cfg.Run
+			run.Seed = RunSeed(c.cfg.Seed, t.sys, t.ft, t.attempt)
+			start := time.Now()
+			res, err := c.runner(t.sys, t.ft, run)
+			t.reply <- runOutcome{attempt: t.attempt, res: res, err: err, elapsed: time.Since(start)}
 		}
 	}
-	return rep, nil
 }
 
-// Table renders the report in the layout of the paper's Table 1.
-func (r *Report) Table() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-22s %12s %12s %12s\n", "Fault Type",
-		"Disk-Based", "Rio w/o Prot", "Rio w/ Prot")
-	for _, ft := range fault.AllTypes {
-		fmt.Fprintf(&b, "%-22s", ft)
-		for _, sys := range Systems {
-			c := r.Cells[sys][ft]
-			if c == nil || c.Corrupted == 0 {
-				fmt.Fprintf(&b, " %12s", "")
-			} else {
-				fmt.Fprintf(&b, " %12d", c.Corrupted)
+// runCell drives one (system, fault) cell: it keeps up to window attempts
+// in flight on the shared worker pool and folds outcomes back strictly in
+// attempt order, so the cell is a pure function of the campaign seed no
+// matter how many workers run or in what order attempts complete. Runs
+// that finish after the cell has reached RunsPerCell crashes are
+// speculative overshoot and are dropped unmerged.
+func (c *campaign) runCell(sys System, ft fault.Type, window int) *Cell {
+	cell := &Cell{ByKind: make(map[kernel.CrashKind]int)}
+	maxAttempts := c.cfg.RunsPerCell * c.cfg.MaxAttemptsFactor
+	reply := make(chan runOutcome, window)
+	pending := make(map[int]runOutcome)
+	next, outstanding := 0, 0
+
+	for cell.Crashes < c.cfg.RunsPerCell && cell.Attempts < maxAttempts {
+		// Keep the issue window full; stop issuing on abort.
+		issuing := true
+		for issuing && outstanding < window && next < maxAttempts {
+			select {
+			case c.tasks <- runTask{sys: sys, ft: ft, attempt: next, reply: reply}:
+				next++
+				outstanding++
+			case <-c.done:
+				issuing = false
 			}
 		}
-		b.WriteByte('\n')
+		if outstanding == 0 {
+			break // aborted, or attempt budget exhausted
+		}
+		out := <-reply
+		outstanding--
+		pending[out.attempt] = out
+		// Fold the contiguous prefix; cell.Attempts is the fold cursor.
+		for cell.Crashes < c.cfg.RunsPerCell && cell.Attempts < maxAttempts {
+			o, ok := pending[cell.Attempts]
+			if !ok {
+				break
+			}
+			delete(pending, cell.Attempts)
+			cell.fold(o)
+			c.noteMerged(o)
+		}
 	}
-	fmt.Fprintf(&b, "%-22s", "Total")
+
+	// Anything still in flight or buffered out-of-order is overshoot.
+	for outstanding > 0 {
+		<-reply
+		outstanding--
+		c.wasted.Add(1)
+	}
+	c.wasted.Add(int64(len(pending)))
+	return cell
+}
+
+// noteMerged counts a folded run and emits a throttled campaign-level
+// progress line. The CAS on the timestamp keeps concurrent cell drivers
+// from double-emitting inside one interval.
+func (c *campaign) noteMerged(o runOutcome) {
+	n := c.merged.Add(1)
+	if o.err == nil && o.res.Crashed {
+		c.crashes.Add(1)
+	}
+	if c.cfg.Progress == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := c.lastProgress.Load()
+	if now-last < int64(progressInterval) || !c.lastProgress.CompareAndSwap(last, now) {
+		return
+	}
+	rate := 0.0
+	if s := time.Since(c.epoch).Seconds(); s > 0 {
+		rate = float64(n) / s
+	}
+	c.emit(fmt.Sprintf("campaign: %d/%d cells, %d runs (%d crashes), %.1f runs/s",
+		c.cellsDone.Load(), len(Systems)*len(fault.AllTypes), n, c.crashes.Load(), rate))
+}
+
+// emit serialises Progress callbacks across cell drivers.
+func (c *campaign) emit(line string) {
+	c.progressMu.Lock()
+	defer c.progressMu.Unlock()
+	c.cfg.Progress(line)
+}
+
+// RunCampaign executes the full crash matrix on a pool of worker
+// goroutines. Each of the 39 (system, fault) cells is driven
+// independently — every run's seed comes from RunSeed, and outcomes fold
+// in attempt order — so the same seed and config yield identical cell
+// counts, totals, and rendered Table at any Workers value. Timing fields
+// (Cell.Elapsed, Summary.WallTime/RunsPerSec/SpeculativeRuns) reflect the
+// host and are outside that guarantee.
+func RunCampaign(cfg CampaignConfig) (*Report, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	c := &campaign{
+		cfg:    cfg,
+		runner: cfg.runner,
+		tasks:  make(chan runTask),
+		done:   make(chan struct{}),
+		epoch:  time.Now(),
+	}
+	if c.runner == nil {
+		c.runner = RunOne
+	}
+
+	var workerWG sync.WaitGroup
+	workerWG.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer workerWG.Done()
+			c.worker()
+		}()
+	}
+
+	// Per-cell speculation window: all cells issue concurrently, so the
+	// pool stays busy even with a small window, but near the end of a
+	// campaign only a few slow cells remain — scale with the pool, capped
+	// so a cell cannot overshoot by more than one round of RunsPerCell.
+	window := workers
+	if cfg.RunsPerCell > 0 && window > cfg.RunsPerCell {
+		window = cfg.RunsPerCell
+	}
+	if window < 1 {
+		window = 1
+	}
+
+	rep := &Report{
+		Config: cfg,
+		Cells:  make(map[System]map[fault.Type]*Cell, len(Systems)),
+	}
 	for _, sys := range Systems {
-		crashes, corrupted := r.Totals(sys)
-		pct := 0.0
-		if crashes > 0 {
-			pct = 100 * float64(corrupted) / float64(crashes)
-		}
-		fmt.Fprintf(&b, " %d of %d (%.1f%%)", corrupted, crashes, pct)
+		rep.Cells[sys] = make(map[fault.Type]*Cell, len(fault.AllTypes))
 	}
-	b.WriteByte('\n')
-	return b.String()
+	var cellMu sync.Mutex
+	var cellWG sync.WaitGroup
+	for _, sys := range Systems {
+		for _, ft := range fault.AllTypes {
+			sys, ft := sys, ft
+			cellWG.Add(1)
+			go func() {
+				defer cellWG.Done()
+				cell := c.runCell(sys, ft, window)
+				cellMu.Lock()
+				rep.Cells[sys][ft] = cell
+				cellMu.Unlock()
+				c.cellsDone.Add(1)
+				if cfg.Progress != nil {
+					c.emit(fmt.Sprintf("%-12s %-20s crashes=%d corrupted=%d discarded=%d errors=%d attempts=%d cpu=%v",
+						sys, ft, cell.Crashes, cell.Corrupted, cell.Discarded,
+						cell.Errors, cell.Attempts, cell.Elapsed.Round(time.Millisecond)))
+				}
+			}()
+		}
+	}
+	cellWG.Wait()
+	close(c.tasks)
+	workerWG.Wait()
+
+	rep.Summary = c.summarize(rep, workers)
+	return rep, c.abortErr
 }
 
-// CrashKindBreakdown summarises how systems died (the paper cites 74
-// unique error messages; we report by manifestation class).
-func (r *Report) CrashKindBreakdown(sys System) string {
-	agg := make(map[kernel.CrashKind]int)
-	for _, c := range r.Cells[sys] {
-		for k, n := range c.ByKind {
-			agg[k] += n
+// summarize fills the campaign-level summary from the merged cells.
+func (c *campaign) summarize(rep *Report, workers int) Summary {
+	s := Summary{
+		Seed:            c.cfg.Seed,
+		RunsPerCell:     c.cfg.RunsPerCell,
+		Workers:         workers,
+		WallTime:        time.Since(c.epoch),
+		SpeculativeRuns: int(c.wasted.Load()),
+	}
+	for _, bySys := range rep.Cells {
+		for _, cell := range bySys {
+			s.Cells++
+			s.Runs += cell.Attempts
+			s.Crashes += cell.Crashes
+			s.Discarded += cell.Discarded
+			s.Errors += cell.Errors
+			s.Corrupted += cell.Corrupted
 		}
 	}
-	kinds := make([]kernel.CrashKind, 0, len(agg))
-	for k := range agg {
-		kinds = append(kinds, k)
+	if s.Runs > 0 {
+		s.DiscardRate = float64(s.Discarded) / float64(s.Runs)
+		s.ErrorRate = float64(s.Errors) / float64(s.Runs)
 	}
-	sort.Slice(kinds, func(i, j int) bool { return agg[kinds[i]] > agg[kinds[j]] })
-	var b strings.Builder
-	for _, k := range kinds {
-		fmt.Fprintf(&b, "  %-35s %d\n", k, agg[k])
+	if secs := s.WallTime.Seconds(); secs > 0 {
+		s.RunsPerSec = float64(s.Runs) / secs
 	}
-	return b.String()
-}
-
-// MTTFYears converts a corruption rate into the paper's §3.3 illustration:
-// with one crash every two months, MTTF (years) = 2 months / p(corruption)
-// expressed in years.
-func MTTFYears(corrupted, crashes int) float64 {
-	if corrupted == 0 {
-		return -1 // effectively unbounded at this sample size
-	}
-	p := float64(corrupted) / float64(crashes)
-	crashesPerYear := 6.0 // one every two months
-	return 1 / (p * crashesPerYear)
+	return s
 }

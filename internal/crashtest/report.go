@@ -1,0 +1,257 @@
+package crashtest
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"rio/internal/fault"
+	"rio/internal/kernel"
+)
+
+// Cell aggregates one (system, fault) cell of Table 1.
+//
+// Counting fields are deterministic for a given campaign seed and config;
+// Elapsed is host wall time and is excluded from that guarantee.
+type Cell struct {
+	Crashes   int // runs that crashed (counted toward RunsPerCell)
+	Discarded int // runs that survived MaxOps (discarded, as in paper)
+	Corrupted int // crashing runs with corrupted durable data
+	// Checksum counts crashing runs where warm reboot's registry checksum
+	// sweep flagged direct corruption of a file-cache buffer (Rio systems
+	// only). It counts detections, not outcomes — the two detectors
+	// overlap but differ, as in the paper: a flagged run need not end in
+	// Corrupted (recovery can still restore good data), and a corrupted
+	// run need not be flagged (indirect corruption bypasses checksums).
+	Checksum   int
+	Protection int // crashes where Rio protection trapped the store
+	ByKind     map[kernel.CrashKind]int
+	Errors     int // harness errors (should be zero)
+	LastError  string
+	// Attempts is how many runs were merged into this cell
+	// (Crashes + Discarded + Errors).
+	Attempts int
+	// Elapsed sums the execution time of the merged runs. Under parallel
+	// execution this is the cell's CPU cost, not campaign wall time.
+	Elapsed time.Duration
+}
+
+// fold merges one run outcome into the cell. Outcomes must be folded in
+// attempt order: the campaign's determinism guarantee rests on every
+// worker count folding the same attempt prefix.
+func (cell *Cell) fold(o runOutcome) {
+	cell.Attempts++
+	cell.Elapsed += o.elapsed
+	if o.err != nil {
+		cell.Errors++
+		cell.LastError = o.err.Error()
+		return
+	}
+	if !o.res.Crashed {
+		cell.Discarded++
+		return
+	}
+	cell.Crashes++
+	cell.ByKind[o.res.CrashKind]++
+	if o.res.Corrupted {
+		cell.Corrupted++
+	}
+	if o.res.ChecksumDetected {
+		cell.Checksum++
+	}
+	if o.res.ProtectionInvoked {
+		cell.Protection++
+	}
+}
+
+// Summary is campaign-level observability. Counting fields are
+// deterministic for a given seed and config at any worker count; timing
+// fields (WallTime, RunsPerSec) and SpeculativeRuns depend on the host
+// and scheduling and are excluded from the determinism guarantee.
+type Summary struct {
+	Seed        uint64 `json:"seed"`
+	RunsPerCell int    `json:"runs_per_cell"`
+	Workers     int    `json:"workers"`
+	Cells       int    `json:"cells"`
+	Runs        int    `json:"runs"` // runs merged into cells
+	Crashes     int    `json:"crashes"`
+	Discarded   int    `json:"discarded"`
+	Errors      int    `json:"errors"`
+	Corrupted   int    `json:"corrupted"`
+	// DiscardRate / ErrorRate are fractions of merged runs.
+	DiscardRate float64       `json:"discard_rate"`
+	ErrorRate   float64       `json:"error_rate"`
+	WallTime    time.Duration `json:"wall_time_ns"`
+	RunsPerSec  float64       `json:"runs_per_sec"`
+	// SpeculativeRuns is parallel overshoot: runs that executed but were
+	// discarded unmerged because their cell filled first. Zero when
+	// Workers is 1.
+	SpeculativeRuns int `json:"speculative_runs"`
+}
+
+// Report is a full campaign result.
+type Report struct {
+	Config  CampaignConfig
+	Cells   map[System]map[fault.Type]*Cell
+	Summary Summary
+}
+
+// Totals sums a system's column.
+func (r *Report) Totals(sys System) (crashes, corrupted int) {
+	for _, c := range r.Cells[sys] {
+		crashes += c.Crashes
+		corrupted += c.Corrupted
+	}
+	return
+}
+
+// ProtectionInvocations counts protection-trap crashes for a system.
+func (r *Report) ProtectionInvocations(sys System) int {
+	n := 0
+	for _, c := range r.Cells[sys] {
+		n += c.Protection
+	}
+	return n
+}
+
+// tableColWidth fits the widest entry, the totals-row "NN of NNN (NN.N%)".
+const tableColWidth = 18
+
+// Table renders the report in the layout of the paper's Table 1. The
+// rendering is byte-identical for a given seed and config at any worker
+// count.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %*s %*s %*s\n", "Fault Type",
+		tableColWidth, "Disk-Based", tableColWidth, "Rio w/o Prot",
+		tableColWidth, "Rio w/ Prot")
+	for _, ft := range fault.AllTypes {
+		fmt.Fprintf(&b, "%-22s", ft)
+		for _, sys := range Systems {
+			c := r.Cells[sys][ft]
+			if c == nil || c.Corrupted == 0 {
+				fmt.Fprintf(&b, " %*s", tableColWidth, "")
+			} else {
+				fmt.Fprintf(&b, " %*d", tableColWidth, c.Corrupted)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-22s", "Total")
+	for _, sys := range Systems {
+		crashes, corrupted := r.Totals(sys)
+		pct := 0.0
+		if crashes > 0 {
+			pct = 100 * float64(corrupted) / float64(crashes)
+		}
+		fmt.Fprintf(&b, " %*s", tableColWidth,
+			fmt.Sprintf("%d of %d (%.1f%%)", corrupted, crashes, pct))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// CrashKindBreakdown summarises how systems died (the paper cites 74
+// unique error messages; we report by manifestation class).
+func (r *Report) CrashKindBreakdown(sys System) string {
+	agg := make(map[kernel.CrashKind]int)
+	for _, c := range r.Cells[sys] {
+		for k, n := range c.ByKind {
+			agg[k] += n
+		}
+	}
+	kinds := make([]kernel.CrashKind, 0, len(agg))
+	for k := range agg {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool {
+		if agg[kinds[i]] != agg[kinds[j]] {
+			return agg[kinds[i]] > agg[kinds[j]]
+		}
+		return kinds[i] < kinds[j]
+	})
+	var b strings.Builder
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %-35s %d\n", k, agg[k])
+	}
+	return b.String()
+}
+
+// CellExport is one cell of the structured JSON export, self-describing
+// (names, not enum ordinals) so downstream tooling survives reordering.
+type CellExport struct {
+	System     string         `json:"system"`
+	Fault      string         `json:"fault"`
+	Crashes    int            `json:"crashes"`
+	Discarded  int            `json:"discarded"`
+	Corrupted  int            `json:"corrupted"`
+	Checksum   int            `json:"checksum_flagged"`
+	Protection int            `json:"protection_trapped"`
+	Errors     int            `json:"errors"`
+	LastError  string         `json:"last_error,omitempty"`
+	Attempts   int            `json:"attempts"`
+	ElapsedMS  float64        `json:"elapsed_ms"`
+	ByKind     map[string]int `json:"by_kind,omitempty"`
+}
+
+// ReportExport is the JSON form of a Report: the campaign summary, every
+// cell in Table 1 order, and the rendered table.
+type ReportExport struct {
+	Summary Summary      `json:"summary"`
+	Cells   []CellExport `json:"cells"`
+	Table   string       `json:"table"`
+}
+
+// Export flattens the report into its JSON form, cells in Systems ×
+// fault.AllTypes order.
+func (r *Report) Export() ReportExport {
+	out := ReportExport{Summary: r.Summary, Table: r.Table()}
+	for _, sys := range Systems {
+		for _, ft := range fault.AllTypes {
+			c := r.Cells[sys][ft]
+			if c == nil {
+				continue
+			}
+			ce := CellExport{
+				System:     sys.String(),
+				Fault:      ft.String(),
+				Crashes:    c.Crashes,
+				Discarded:  c.Discarded,
+				Corrupted:  c.Corrupted,
+				Checksum:   c.Checksum,
+				Protection: c.Protection,
+				Errors:     c.Errors,
+				LastError:  c.LastError,
+				Attempts:   c.Attempts,
+				ElapsedMS:  float64(c.Elapsed) / float64(time.Millisecond),
+			}
+			if len(c.ByKind) > 0 {
+				ce.ByKind = make(map[string]int, len(c.ByKind))
+				for k, n := range c.ByKind {
+					ce.ByKind[k.String()] = n
+				}
+			}
+			out.Cells = append(out.Cells, ce)
+		}
+	}
+	return out
+}
+
+// JSON renders the full report as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r.Export(), "", "  ")
+}
+
+// MTTFYears converts a corruption rate into the paper's §3.3 illustration:
+// with one crash every two months, MTTF (years) = 2 months / p(corruption)
+// expressed in years.
+func MTTFYears(corrupted, crashes int) float64 {
+	if corrupted == 0 {
+		return -1 // effectively unbounded at this sample size
+	}
+	p := float64(corrupted) / float64(crashes)
+	crashesPerYear := 6.0 // one every two months
+	return 1 / (p * crashesPerYear)
+}

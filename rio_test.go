@@ -258,7 +258,7 @@ func TestMiniCrashCampaign(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign is slow")
 	}
-	res, err := RunCrashCampaign(CampaignOptions{RunsPerCell: 1, Seed: 7})
+	res, err := RunCrashCampaign(CampaignOptions{RunsPerCell: 1, Seed: 7, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +266,7 @@ func TestMiniCrashCampaign(t *testing.T) {
 	if !strings.Contains(tbl, "Total") {
 		t.Fatalf("table:\n%s", tbl)
 	}
-	for sysIdx := 0; sysIdx < 3; sysIdx++ {
+	for _, sysIdx := range []int{SystemDiskWT, SystemRioNoProt, SystemRioProt} {
 		crashes, corrupted := res.Totals(sysIdx)
 		if crashes == 0 {
 			t.Fatalf("system %d: no crashes", sysIdx)
@@ -276,9 +276,23 @@ func TestMiniCrashCampaign(t *testing.T) {
 		}
 	}
 	_ = res.ProtectionInvocations()
-	_ = res.MTTFYears(0)
-	if res.CrashKindBreakdown(2) == "" {
+	_ = res.MTTFYears(SystemDiskWT)
+	if res.CrashKindBreakdown(SystemRioProt) == "" {
 		t.Fatal("empty breakdown")
+	}
+	sum := res.Summary()
+	if sum.Runs == 0 || sum.Crashes == 0 || sum.Workers != 4 {
+		t.Fatalf("summary not populated: %+v", sum)
+	}
+	if sum.Runs != sum.Crashes+sum.Discarded+sum.Errors {
+		t.Fatalf("summary accounting broken: %+v", sum)
+	}
+	data, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"cells"`) || !strings.Contains(string(data), `"summary"`) {
+		t.Fatalf("JSON export malformed:\n%.200s", data)
 	}
 }
 

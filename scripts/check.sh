@@ -1,0 +1,15 @@
+#!/bin/sh
+# Tier-1 gate: build, vet, full test suite, and the race detector over the
+# concurrent campaign scheduler. Run via `make check` or directly.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test ./...
+# The campaign scheduler fans runs across goroutines; guard it with the
+# race detector (this re-runs the real mini-campaigns under -race, so it
+# is the slowest step — add -short here if a quick pre-commit loop is
+# needed; the scheduler concurrency tests still run in short mode).
+go test -race -timeout 60m ./internal/crashtest/...
