@@ -2,7 +2,7 @@
 # vet, tests, and the race detector over the concurrent campaign
 # scheduler (scripts/check.sh is the single source of truth).
 
-.PHONY: check build test race bench
+.PHONY: check build test race bench crash-recovery
 
 check:
 	sh scripts/check.sh
@@ -14,7 +14,22 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/crashtest/...
+	go test -race ./internal/crashtest/... ./internal/warmreboot/... ./internal/disk/...
 
 bench:
 	go test -run '^$$' -bench . -benchtime 1x .
+
+# Double-fault campaign smoke test: a small fixed-seed campaign with
+# storage faults and second crashes enabled, diffed against the golden
+# report in testdata (the campaign: summary line carries wall time and
+# is filtered). Regenerate the golden with `make crash-recovery-golden`
+# after an intentional behaviour change.
+crash-recovery:
+	go run ./cmd/riocrash -runs 2 -seed 1996 -workers 4 -disk-faults -quiet 2>/dev/null \
+		| grep -v '^campaign:' | diff -u testdata/crash-recovery.golden -
+	@echo "crash-recovery: output matches golden"
+
+crash-recovery-golden:
+	mkdir -p testdata
+	go run ./cmd/riocrash -runs 2 -seed 1996 -workers 4 -disk-faults -quiet 2>/dev/null \
+		| grep -v '^campaign:' > testdata/crash-recovery.golden

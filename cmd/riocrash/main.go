@@ -6,13 +6,18 @@
 //
 // Usage:
 //
-//	riocrash [-runs N] [-seed S] [-workers W] [-json PATH] [-quiet]
+//	riocrash [-runs N] [-seed S] [-workers W] [-disk-faults] [-json PATH] [-quiet]
 //
 // The paper ran 50 crashing runs per (fault type, system) cell — 1950
 // crashes in 6 machine-months. The simulator replays the same protocol in
 // minutes; -runs scales the per-cell count and -workers fans the runs out
 // across cores. Every run's seed is derived purely from (campaign seed,
 // system, fault, attempt), so the table is identical at any worker count.
+//
+// -disk-faults adds the double-fault dimension: recovery runs against a
+// disk injecting transient, latent, and misdirected storage faults, and
+// a second crash interrupts each warm reboot at a seed-derived step. The
+// recovery columns report how the restart protocol coped.
 package main
 
 import (
@@ -28,11 +33,12 @@ func main() {
 	runs := flag.Int("runs", 50, "crashing runs per (fault, system) cell")
 	seed := flag.Uint64("seed", 1, "campaign seed (reproducible)")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = all cores)")
+	diskFaults := flag.Bool("disk-faults", false, "inject storage faults and a second crash during recovery")
 	jsonPath := flag.String("json", "", "write the full report as JSON to this path")
 	quiet := flag.Bool("quiet", false, "suppress per-cell progress")
 	flag.Parse()
 
-	opts := rio.CampaignOptions{RunsPerCell: *runs, Seed: *seed, Workers: *workers}
+	opts := rio.CampaignOptions{RunsPerCell: *runs, Seed: *seed, Workers: *workers, DiskFaults: *diskFaults}
 	if !*quiet {
 		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
@@ -97,6 +103,11 @@ func main() {
 	fmt.Printf("Rio protection trapped an illegal file-cache store in %d crashes\n",
 		res.ProtectionInvocations())
 	fmt.Println()
+	if *diskFaults {
+		fmt.Println("Recovery under storage faults + second crash (totals per system):")
+		fmt.Print(res.RecoveryTable())
+		fmt.Println()
+	}
 	fmt.Println("Crash manifestations (Rio with protection):")
 	fmt.Print(res.CrashKindBreakdown(rio.SystemRioProt))
 	fmt.Println()

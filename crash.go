@@ -108,6 +108,9 @@ func (s *System) WarmReboot() (*RebootReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	if rep.VolumeLost {
+		return nil, fmt.Errorf("rio: volume lost during warm reboot: %s", rep.Fsck.String())
+	}
 	return &RebootReport{
 		RegistryEntries:    rep.Entries,
 		BadEntries:         rep.BadEntries,
@@ -153,6 +156,9 @@ func (s *System) RecoverFromUPS() (*RebootReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	if rep.VolumeLost {
+		return nil, fmt.Errorf("rio: volume lost during recovery: %s", rep.Fsck.String())
+	}
 	return &RebootReport{
 		RegistryEntries:    rep.Entries,
 		BadEntries:         rep.BadEntries,
@@ -191,6 +197,13 @@ type CampaignOptions struct {
 	// Progress, if non-nil, receives one line per completed cell plus
 	// throttled campaign-level updates; calls are serialised.
 	Progress func(string)
+	// DiskFaults turns the campaign into a double-fault experiment:
+	// recovery runs against a disk injecting transient, latent, and
+	// misdirected storage faults, and a second crash interrupts the warm
+	// reboot at a seed-derived step (the recovery then restarts from the
+	// same memory dump). See CampaignResult.RecoveryTable for the extra
+	// columns this populates.
+	DiskFaults bool
 }
 
 // CampaignResult is a completed Table 1 reproduction.
@@ -200,6 +213,12 @@ type CampaignResult struct {
 
 // Table renders the result in the paper's Table 1 layout.
 func (r *CampaignResult) Table() string { return r.rep.Table() }
+
+// RecoveryTable renders the double-fault recovery columns: per system,
+// how many recoveries were interrupted by a second crash, aborted,
+// quarantined pages, salvaged pages, and volumes lost. All zeros unless
+// the campaign ran with CampaignOptions.DiskFaults.
+func (r *CampaignResult) RecoveryTable() string { return r.rep.RecoveryTable() }
 
 // SystemNames returns the three column labels.
 func (r *CampaignResult) SystemNames() []string {
@@ -241,6 +260,12 @@ type CampaignSummary struct {
 	// SpeculativeRuns is parallel overshoot: runs executed but dropped
 	// because their cell reached RunsPerCell first. Zero at Workers=1.
 	SpeculativeRuns int
+	// Double-fault recovery totals (zero unless DiskFaults was on).
+	RecoveryInterrupted int // recoveries a second crash interrupted
+	RecoveryAborted     int // recoveries that errored out (should be zero)
+	QuarantinedPages    int // pages recovery could not restore
+	SalvagedPages       int // orphaned pages preserved under /lost+found
+	VolumesLost         int // runs whose volume fsck could not certify
 }
 
 // Summary returns the campaign's aggregate statistics.
@@ -258,6 +283,12 @@ func (r *CampaignResult) Summary() CampaignSummary {
 		WallTime:        s.WallTime,
 		RunsPerSec:      s.RunsPerSec,
 		SpeculativeRuns: s.SpeculativeRuns,
+
+		RecoveryInterrupted: s.Interrupted,
+		RecoveryAborted:     s.Aborted,
+		QuarantinedPages:    s.Quarantined,
+		SalvagedPages:       s.Salvaged,
+		VolumesLost:         s.VolumeLost,
 	}
 }
 
@@ -289,6 +320,7 @@ func RunCrashCampaign(opts CampaignOptions) (*CampaignResult, error) {
 	}
 	cfg.Workers = opts.Workers
 	cfg.Progress = opts.Progress
+	cfg.Run.DiskFaults = opts.DiskFaults
 	rep, err := crashtest.RunCampaign(cfg)
 	if err != nil {
 		return nil, err

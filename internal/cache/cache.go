@@ -19,6 +19,7 @@ package cache
 import (
 	"container/list"
 	"fmt"
+	"sort"
 
 	"rio/internal/kernel"
 	"rio/internal/mem"
@@ -483,7 +484,12 @@ func (c *Cache) Remove(b *Buf) error {
 }
 
 // DropFileData removes all UBC pages of an inode (file deletion or
-// truncation at/after fromBlock), without write-back.
+// truncation at/after fromBlock), without write-back. Victims are
+// removed in file-block order, not map order: Remove pushes registry
+// slots and frames onto free lists, so removal order decides what later
+// allocations get — and with that, the order warm reboot restores pages
+// and the order recovery I/O hits the disk's fault stream. Map-order
+// removal made double-fault campaigns diverge between identical runs.
 func (c *Cache) DropFileData(ino uint32, fromBlock int64) error {
 	var victims []*Buf
 	for key, b := range c.data {
@@ -491,6 +497,7 @@ func (c *Cache) DropFileData(ino uint32, fromBlock int64) error {
 			victims = append(victims, b)
 		}
 	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].FileBlock < victims[j].FileBlock })
 	for _, b := range victims {
 		if err := c.Remove(b); err != nil {
 			return err

@@ -327,6 +327,11 @@ func (c *campaign) summarize(rep *Report, workers int) Summary {
 			s.Discarded += cell.Discarded
 			s.Errors += cell.Errors
 			s.Corrupted += cell.Corrupted
+			s.Interrupted += cell.Interrupted
+			s.Aborted += cell.Aborted
+			s.Quarantined += cell.Quarantined
+			s.Salvaged += cell.Salvaged
+			s.VolumeLost += cell.VolumeLost
 		}
 	}
 	if s.Runs > 0 {

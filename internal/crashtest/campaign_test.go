@@ -32,6 +32,12 @@ func fakeRunner(sys System, ft fault.Type, cfg RunConfig) (RunResult, error) {
 	res.Corrupted = r.Float64() < 0.15
 	res.ChecksumDetected = res.Corrupted && r.Bool()
 	res.ProtectionInvoked = sys == RioProt && r.Float64() < 0.1
+	if cfg.DiskFaults && sys != DiskWT {
+		res.RecoveryInterrupted = r.Bool()
+		res.Quarantined = r.Intn(4)
+		res.Salvaged = r.Intn(3)
+		res.VolumeLost = r.Float64() < 0.03
+	}
 	return res, nil
 }
 
@@ -52,6 +58,7 @@ func TestCampaignSchedulerDeterministicAcrossWorkers(t *testing.T) {
 		Seed:              1996,
 		RunsPerCell:       10,
 		MaxAttemptsFactor: 4,
+		Run:               RunConfig{DiskFaults: true}, // recovery columns fold too
 		runner:            fakeRunner,
 	}
 	run := func(workers int) (*Report, string) {
@@ -61,7 +68,7 @@ func TestCampaignSchedulerDeterministicAcrossWorkers(t *testing.T) {
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
-		tbl := rep.Table()
+		tbl := rep.Table() + rep.RecoveryTable()
 		bd := rep.CrashKindBreakdown(RioProt)
 		normalize(rep)
 		return rep, tbl + "\n" + bd
@@ -313,5 +320,49 @@ func TestCampaignRealDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if !reflect.DeepEqual(seq.Cells, par.Cells) {
 		t.Fatal("cell counts differ across worker counts")
+	}
+}
+
+// TestCampaignRealDoubleFaultDeterministic is the double-fault acceptance
+// check on real simulations: with storage faults and second crashes
+// enabled, the report — Table 1 plus the recovery columns — is
+// byte-identical at Workers=1 and Workers=8, and no recovery aborted.
+func TestCampaignRealDoubleFaultDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign is slow")
+	}
+	base := DefaultCampaignConfig(1996)
+	base.RunsPerCell = 1
+	base.MaxAttemptsFactor = 2
+	base.Run.WarmupOps = 10
+	base.Run.MaxOps = 80
+	base.Run.MemTestBytes = 1 << 19
+	base.Run.DiskFaults = true
+	run := func(workers int) (*Report, string) {
+		cfg := base
+		cfg.Workers = workers
+		rep, err := RunCampaign(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		tbl := rep.Table() + rep.RecoveryTable()
+		normalize(rep)
+		return rep, tbl
+	}
+	seq, seqTbl := run(1)
+	par, parTbl := run(8)
+	if seqTbl != parTbl {
+		t.Fatalf("double-fault report differs across worker counts:\n%s\nvs\n%s", seqTbl, parTbl)
+	}
+	if !reflect.DeepEqual(seq.Cells, par.Cells) {
+		t.Fatal("cell counts differ across worker counts")
+	}
+	for sys, bySys := range seq.Cells {
+		for ft, c := range bySys {
+			if c.Aborted > 0 {
+				t.Errorf("%v/%v: %d recoveries aborted (want none): %s",
+					sys, ft, c.Aborted, c.LastError)
+			}
+		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"rio/internal/disk"
 	"rio/internal/fault"
 	"rio/internal/fs"
 	"rio/internal/kernel"
@@ -54,7 +55,28 @@ type RunConfig struct {
 	FaultCount   int // faults injected per run (paper: 20)
 	MemTestBytes int // memTest file-set budget
 	VMBudget     uint64
+
+	// DiskFaults turns the run into a double-fault experiment: recovery
+	// executes against a disk injecting transient, latent, and
+	// misdirected storage faults (a deterministic per-run plan), and —
+	// on the Rio systems — a second crash interrupts the warm reboot at
+	// a seed-derived step, after which recovery restarts from the same
+	// memory dump. The plan is detached before verification, so only
+	// damage recovery failed to contain counts as corruption.
+	DiskFaults bool
 }
+
+// Salts for the recovery-path randomness. Both streams derive purely
+// from the run seed via sim.Mix — no shared PRNG is consumed — so the
+// campaign report stays byte-identical at any worker count.
+const (
+	diskFaultSalt     = 0xD15CFA17
+	recoveryCrashSalt = 0x2ECC4A57
+	// recoveryCrashWindow bounds the injected second-crash step. Steps
+	// past the protocol's end leave the recovery uninterrupted, so the
+	// campaign samples both interrupted and clean recoveries.
+	recoveryCrashWindow = 48
+)
 
 // DefaultRunConfig returns the standard parameters, scaled from the paper
 // to simulator volumes.
@@ -95,6 +117,26 @@ type RunResult struct {
 	// ProtectionInvoked: the crash was Rio's protection trap halting an
 	// illegal file-cache store.
 	ProtectionInvoked bool
+
+	// Recovery-path observability (meaningful when DiskFaults is on).
+	// RecoveryInterrupted: a second crash hit mid-recovery and the warm
+	// reboot was restarted from the same dump.
+	RecoveryInterrupted bool
+	// RecoveryAborted: recovery returned an error instead of a report —
+	// the volume was left half-restored. The double-fault acceptance
+	// criterion is that this never happens: every run must end
+	// restored-or-quarantined.
+	RecoveryAborted bool
+	// Quarantined: dirty pages recovery could not restore (retries
+	// exhausted); the loss is bounded and reported, not fatal.
+	Quarantined int
+	// Salvaged: orphaned dirty pages preserved under /lost+found.
+	Salvaged int
+	// VolumeLost: after the metadata restore, fsck could not certify
+	// the volume or it would not mount; the machine never booted, so
+	// the whole volume counts as corrupted but the recovery itself
+	// completed its protocol.
+	VolumeLost bool
 }
 
 const nStatic = 3
@@ -261,24 +303,61 @@ func RunOne(sys System, ft fault.Type, cfg RunConfig) (res RunResult, err error)
 
 	m.CrashFinish()
 
+	// Double-fault mode: recovery runs against a faulty disk. The plan is
+	// detached again before verification — latent damage recovery failed
+	// to contain persists and is scored, but the oracle's own reads are
+	// not re-faulted.
+	if cfg.DiskFaults {
+		plan := disk.DefaultFaultPlan(sim.Mix(cfg.Seed, diskFaultSalt))
+		m.Disk.SetFaultPlan(&plan)
+	}
+
 	switch sys {
 	case DiskWT:
 		if _, err := warmreboot.Cold(m, cfg.Seed^0xdead); err != nil {
 			// An unrecoverable volume (e.g. torn superblock) is the
 			// worst corruption outcome, not a harness error.
+			m.Disk.SetFaultPlan(nil)
 			res.Corrupted = true
 			res.Corruptions = []workload.Corruption{{Path: "/", Detail: "volume unrecoverable: " + err.Error()}}
 			return res, nil
 		}
 	default:
-		rep, err := warmreboot.Warm(m)
+		dump := m.Mem.Dump()
+		opts := warmreboot.DefaultOptions()
+		if cfg.DiskFaults {
+			// Second crash: interrupt the warm reboot at a seed-derived
+			// step, then restart it from the same immutable dump.
+			opts.CrashAtStep = int(sim.Mix(cfg.Seed, recoveryCrashSalt) % recoveryCrashWindow)
+		}
+		rep, err := warmreboot.FromDumpOpts(m, dump, opts)
+		if err == warmreboot.ErrInterrupted {
+			res.RecoveryInterrupted = true
+			rep, err = warmreboot.FromDump(m, dump)
+		}
 		if err != nil {
+			m.Disk.SetFaultPlan(nil)
+			res.RecoveryAborted = true
 			res.Corrupted = true
 			res.Corruptions = []workload.Corruption{{Path: "/", Detail: "warm reboot failed: " + err.Error()}}
 			return res, nil
 		}
 		res.ChecksumDetected = rep.ChecksumMismatches > 0
+		res.Quarantined = rep.MetaFailed + rep.DataFailed
+		res.Salvaged = rep.Salvaged
+		if rep.VolumeLost {
+			// The recovery protocol completed, but the volume failed
+			// fsck or would not mount and the machine never booted:
+			// there is no tree to verify — the whole volume is the
+			// corruption.
+			m.Disk.SetFaultPlan(nil)
+			res.VolumeLost = true
+			res.Corrupted = true
+			res.Corruptions = []workload.Corruption{{Path: "/", Detail: "volume lost: " + rep.Fsck.String()}}
+			return res, nil
+		}
 	}
+	m.Disk.SetFaultPlan(nil)
 
 	res.Corruptions = mt.Verify(m.FS)
 	res.StaticCorrupted = checkStatic(m)

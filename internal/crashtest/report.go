@@ -28,8 +28,15 @@ type Cell struct {
 	Checksum   int
 	Protection int // crashes where Rio protection trapped the store
 	ByKind     map[kernel.CrashKind]int
-	Errors     int // harness errors (should be zero)
-	LastError  string
+	// Double-fault recovery columns (populated when Run.DiskFaults is
+	// on; all zero otherwise).
+	Interrupted int // recoveries a second crash interrupted (then restarted)
+	Aborted     int // recoveries that returned an error (must stay zero)
+	Quarantined int // dirty pages recovery could not restore, summed over runs
+	Salvaged    int // orphaned pages preserved under /lost+found
+	VolumeLost  int // runs whose volume fsck could not certify
+	Errors      int // harness errors (should be zero)
+	LastError   string
 	// Attempts is how many runs were merged into this cell
 	// (Crashes + Discarded + Errors).
 	Attempts int
@@ -64,6 +71,17 @@ func (cell *Cell) fold(o runOutcome) {
 	if o.res.ProtectionInvoked {
 		cell.Protection++
 	}
+	if o.res.RecoveryInterrupted {
+		cell.Interrupted++
+	}
+	if o.res.RecoveryAborted {
+		cell.Aborted++
+	}
+	cell.Quarantined += o.res.Quarantined
+	cell.Salvaged += o.res.Salvaged
+	if o.res.VolumeLost {
+		cell.VolumeLost++
+	}
 }
 
 // Summary is campaign-level observability. Counting fields are
@@ -80,6 +98,12 @@ type Summary struct {
 	Discarded   int    `json:"discarded"`
 	Errors      int    `json:"errors"`
 	Corrupted   int    `json:"corrupted"`
+	// Double-fault recovery totals (zero unless Run.DiskFaults was on).
+	Interrupted int `json:"recovery_interrupted,omitempty"`
+	Aborted     int `json:"recovery_aborted,omitempty"`
+	Quarantined int `json:"quarantined_pages,omitempty"`
+	Salvaged    int `json:"salvaged_pages,omitempty"`
+	VolumeLost  int `json:"volume_lost,omitempty"`
 	// DiscardRate / ErrorRate are fractions of merged runs.
 	DiscardRate float64       `json:"discard_rate"`
 	ErrorRate   float64       `json:"error_rate"`
@@ -153,6 +177,30 @@ func (r *Report) Table() string {
 	return b.String()
 }
 
+// RecoveryTable renders the double-fault campaign's recovery columns:
+// per system, how many recoveries a second crash interrupted, how many
+// aborted (must be zero — every run ends restored-or-quarantined), how
+// many pages were quarantined or salvaged, and how many volumes were
+// lost outright. Like Table, the rendering is byte-identical for a
+// given seed and config at any worker count.
+func (r *Report) RecoveryTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %12s %12s %12s %12s %12s\n", "System",
+		"interrupted", "aborted", "quarantined", "salvaged", "volume-lost")
+	for _, sys := range Systems {
+		var in, ab, q, sv, vl int
+		for _, c := range r.Cells[sys] {
+			in += c.Interrupted
+			ab += c.Aborted
+			q += c.Quarantined
+			sv += c.Salvaged
+			vl += c.VolumeLost
+		}
+		fmt.Fprintf(&b, "%-12s %12d %12d %12d %12d %12d\n", sys, in, ab, q, sv, vl)
+	}
+	return b.String()
+}
+
 // CrashKindBreakdown summarises how systems died (the paper cites 74
 // unique error messages; we report by manifestation class).
 func (r *Report) CrashKindBreakdown(sys System) string {
@@ -182,18 +230,25 @@ func (r *Report) CrashKindBreakdown(sys System) string {
 // CellExport is one cell of the structured JSON export, self-describing
 // (names, not enum ordinals) so downstream tooling survives reordering.
 type CellExport struct {
-	System     string         `json:"system"`
-	Fault      string         `json:"fault"`
-	Crashes    int            `json:"crashes"`
-	Discarded  int            `json:"discarded"`
-	Corrupted  int            `json:"corrupted"`
-	Checksum   int            `json:"checksum_flagged"`
-	Protection int            `json:"protection_trapped"`
-	Errors     int            `json:"errors"`
-	LastError  string         `json:"last_error,omitempty"`
-	Attempts   int            `json:"attempts"`
-	ElapsedMS  float64        `json:"elapsed_ms"`
-	ByKind     map[string]int `json:"by_kind,omitempty"`
+	System     string `json:"system"`
+	Fault      string `json:"fault"`
+	Crashes    int    `json:"crashes"`
+	Discarded  int    `json:"discarded"`
+	Corrupted  int    `json:"corrupted"`
+	Checksum   int    `json:"checksum_flagged"`
+	Protection int    `json:"protection_trapped"`
+	// Double-fault recovery columns, omitted when zero so baseline
+	// exports are unchanged.
+	Interrupted int            `json:"recovery_interrupted,omitempty"`
+	Aborted     int            `json:"recovery_aborted,omitempty"`
+	Quarantined int            `json:"quarantined_pages,omitempty"`
+	Salvaged    int            `json:"salvaged_pages,omitempty"`
+	VolumeLost  int            `json:"volume_lost,omitempty"`
+	Errors      int            `json:"errors"`
+	LastError   string         `json:"last_error,omitempty"`
+	Attempts    int            `json:"attempts"`
+	ElapsedMS   float64        `json:"elapsed_ms"`
+	ByKind      map[string]int `json:"by_kind,omitempty"`
 }
 
 // ReportExport is the JSON form of a Report: the campaign summary, every
@@ -215,17 +270,22 @@ func (r *Report) Export() ReportExport {
 				continue
 			}
 			ce := CellExport{
-				System:     sys.String(),
-				Fault:      ft.String(),
-				Crashes:    c.Crashes,
-				Discarded:  c.Discarded,
-				Corrupted:  c.Corrupted,
-				Checksum:   c.Checksum,
-				Protection: c.Protection,
-				Errors:     c.Errors,
-				LastError:  c.LastError,
-				Attempts:   c.Attempts,
-				ElapsedMS:  float64(c.Elapsed) / float64(time.Millisecond),
+				System:      sys.String(),
+				Fault:       ft.String(),
+				Crashes:     c.Crashes,
+				Discarded:   c.Discarded,
+				Corrupted:   c.Corrupted,
+				Checksum:    c.Checksum,
+				Protection:  c.Protection,
+				Interrupted: c.Interrupted,
+				Aborted:     c.Aborted,
+				Quarantined: c.Quarantined,
+				Salvaged:    c.Salvaged,
+				VolumeLost:  c.VolumeLost,
+				Errors:      c.Errors,
+				LastError:   c.LastError,
+				Attempts:    c.Attempts,
+				ElapsedMS:   float64(c.Elapsed) / float64(time.Millisecond),
 			}
 			if len(c.ByKind) > 0 {
 				ce.ByKind = make(map[string]int, len(c.ByKind))

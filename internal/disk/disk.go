@@ -81,6 +81,12 @@ type Disk struct {
 	last    int // last accessed sector, for sequentiality
 	queue   []Request
 	started bool // head of queue is mid-transfer (tearable on crash)
+
+	// Fault injection (see fault.go). plan == nil means a perfect disk.
+	plan       *FaultPlan
+	faultOps   uint64       // per-disk operation index for fault decisions
+	latent     map[int]bool // sectors unreadable until rewritten
+	FaultStats FaultStats
 }
 
 // New returns a disk with capacity bytes (rounded down to whole sectors),
@@ -118,17 +124,24 @@ func (d *Disk) AccessTime(sector, n int) sim.Duration {
 
 // Commit applies data at sector without charging service time: it is the
 // completion of an asynchronous request whose time was already accounted
-// when it was queued.
-func (d *Disk) Commit(sector int, data []byte) {
+// when it was queued. Under an active FaultPlan it can fail transiently
+// (nothing written) or be silently misdirected to a wrong sector.
+func (d *Disk) Commit(sector int, data []byte) error {
 	if len(data)%SectorSize != 0 {
 		panic("disk: commit length not a sector multiple")
 	}
 	ns := len(data) / SectorSize
 	d.checkRange(sector, ns)
-	copy(d.data[sector*SectorSize:], data)
+	target, err := d.writeFault("commit", sector, ns)
+	if err != nil {
+		return err
+	}
+	copy(d.data[target*SectorSize:], data)
+	d.clearLatent(target, ns)
 	d.last = sector + ns
 	d.Stats.Writes++
 	d.Stats.BytesWritten += uint64(len(data))
+	return nil
 }
 
 // Tear overwrites the first sector of a request with garbage — the fate of
@@ -155,23 +168,33 @@ func (d *Disk) accessTime(sector, n int) sim.Duration {
 
 // Read copies sectors [sector, sector+len(buf)/SectorSize) into buf and
 // returns the simulated service time. len(buf) must be a sector multiple.
-func (d *Disk) Read(sector int, buf []byte) sim.Duration {
+// A non-nil error means no data was transferred; the time charged models
+// the failed command (positioning happened, the transfer did not). A
+// latent-sector error (IsLatent) persists until the sector is rewritten;
+// a transient error (IsTransient) may clear on retry.
+func (d *Disk) Read(sector int, buf []byte) (sim.Duration, error) {
 	if len(buf)%SectorSize != 0 {
 		panic("disk: read length not a sector multiple")
 	}
 	ns := len(buf) / SectorSize
 	d.checkRange(sector, ns)
-	copy(buf, d.data[sector*SectorSize:])
 	t := d.accessTime(sector, len(buf))
 	d.last = sector + ns
 	d.Stats.Reads++
-	d.Stats.BytesRead += uint64(len(buf))
 	d.Stats.BusyTime += t
-	return t
+	if err := d.readFault(sector, ns); err != nil {
+		return t, err
+	}
+	copy(buf, d.data[sector*SectorSize:])
+	d.Stats.BytesRead += uint64(len(buf))
+	return t, nil
 }
 
 // Write synchronously writes buf at sector and returns the service time.
-func (d *Disk) Write(sector int, buf []byte) sim.Duration {
+// A non-nil error means nothing was written (transient failure). A
+// misdirected write returns nil — the drive believes it succeeded — but
+// lands the data on a wrong sector, leaving the target stale.
+func (d *Disk) Write(sector int, buf []byte) (sim.Duration, error) {
 	if len(buf)%SectorSize != 0 {
 		panic("disk: write length not a sector multiple")
 	}
@@ -184,12 +207,17 @@ func (d *Disk) Write(sector int, buf []byte) sim.Duration {
 	} else {
 		d.Stats.RandWrites++
 	}
-	copy(d.data[sector*SectorSize:], buf)
 	d.last = sector + ns
+	d.Stats.BusyTime += t
+	target, err := d.writeFault("write", sector, ns)
+	if err != nil {
+		return t, err
+	}
+	copy(d.data[target*SectorSize:], buf)
+	d.clearLatent(target, ns)
 	d.Stats.Writes++
 	d.Stats.BytesWritten += uint64(len(buf))
-	d.Stats.BusyTime += t
-	return t
+	return t, nil
 }
 
 // Enqueue adds an asynchronous write to the device queue. The data slice is
@@ -212,13 +240,21 @@ func (d *Disk) QueueLen() int { return len(d.queue) }
 
 // Service retires up to max queued writes (all of them if max < 0),
 // returning the total simulated service time. The file-system layer decides
-// when the queue drains (idle time, sync, update daemon).
-func (d *Disk) Service(max int) sim.Duration {
+// when the queue drains (idle time, sync, update daemon). On a write
+// failure the failed request stays at the head of the queue — a later
+// Service call retries it — and the error is returned with the time spent
+// so far.
+func (d *Disk) Service(max int) (sim.Duration, error) {
 	var total sim.Duration
 	for len(d.queue) > 0 && max != 0 {
 		req := d.queue[0]
+		t, err := d.Write(req.Sector, req.Data)
+		total += t
+		if err != nil {
+			d.started = true
+			return total, err
+		}
 		d.queue = d.queue[1:]
-		total += d.Write(req.Sector, req.Data)
 		if req.Done != nil {
 			req.Done()
 		}
@@ -227,7 +263,7 @@ func (d *Disk) Service(max int) sim.Duration {
 		}
 	}
 	d.started = len(d.queue) > 0
-	return total
+	return total, nil
 }
 
 // Crash models a system crash: all queued writes are lost, and if a write
@@ -244,7 +280,8 @@ func (d *Disk) Crash(rng *sim.Rand) {
 	d.started = false
 }
 
-// Format zeroes the disk and clears the queue.
+// Format zeroes the disk and clears the queue. Writing every sector also
+// heals any latent sector errors, as a full-surface rewrite would.
 func (d *Disk) Format() {
 	for i := range d.data {
 		d.data[i] = 0
@@ -252,6 +289,10 @@ func (d *Disk) Format() {
 	d.queue = nil
 	d.started = false
 	d.last = -1 << 30
+	d.latent = nil
+	if d.plan != nil {
+		d.latent = make(map[int]bool)
+	}
 }
 
 // Snapshot returns a copy of the full disk contents (test oracles).

@@ -63,11 +63,11 @@ func TestNonSectorMultiplePanics(t *testing.T) {
 func TestLatencySequentialVsRandom(t *testing.T) {
 	d := newDisk(1000)
 	// First write: random positioning.
-	t1 := d.Write(0, sector(0))
+	t1, _ := d.Write(0, sector(0))
 	// Adjacent write: sequential, cheaper.
-	t2 := d.Write(1, sector(0))
+	t2, _ := d.Write(1, sector(0))
 	// Far write: random again.
-	t3 := d.Write(900, sector(0))
+	t3, _ := d.Write(900, sector(0))
 	if t2 >= t1 {
 		t.Fatalf("sequential (%v) not cheaper than first random (%v)", t2, t1)
 	}
@@ -82,9 +82,9 @@ func TestLatencySequentialVsRandom(t *testing.T) {
 func TestTransferTimeScalesWithSize(t *testing.T) {
 	p := DefaultParams()
 	d := New(1<<20, p)
-	small := d.Write(0, sector(0))
+	small, _ := d.Write(0, sector(0))
 	d.last = -1 << 30 // reset sequentiality
-	big := d.Write(0, make([]byte, 64*SectorSize))
+	big, _ := d.Write(0, make([]byte, 64*SectorSize))
 	if big <= small {
 		t.Fatalf("64-sector write (%v) not slower than 1-sector (%v)", big, small)
 	}
@@ -98,7 +98,7 @@ func TestAsyncQueueServicing(t *testing.T) {
 	if d.QueueLen() != 2 {
 		t.Fatalf("queue len = %d", d.QueueLen())
 	}
-	busy := d.Service(-1)
+	busy, _ := d.Service(-1)
 	if busy <= 0 {
 		t.Fatal("no busy time charged")
 	}

@@ -1,0 +1,275 @@
+package disk
+
+import (
+	"errors"
+	"fmt"
+
+	"rio/internal/sim"
+)
+
+// Storage fault injection. The paper's reliability argument assumes the
+// disk itself is perfect: a write either completes or tears, and every
+// read returns what was last written. Real drives fail in richer ways —
+// transient command failures, latent sector errors that sit undetected
+// until the next read, and misdirected writes that land on the wrong
+// track. The FaultPlan injects all three deterministically so the
+// recovery path (fsck, warm reboot) can be tested against an adversarial
+// device, not just an adversarial kernel.
+//
+// Determinism contract: every fault decision is a pure function of
+// (plan seed, per-disk operation index, sector, operation kind) via
+// sim.Mix. No shared PRNG stream is consumed, so two machines running
+// the same operation sequence against the same plan inject identical
+// faults — which is what lets the double-fault crash campaign render a
+// byte-identical report at any worker count.
+
+// FaultKind classifies an injected storage fault.
+type FaultKind int
+
+const (
+	// FaultTransient is a command-level failure (bus reset, ECC retry
+	// exhaustion) that a retry may clear.
+	FaultTransient FaultKind = iota + 1
+	// FaultLatent is a latent sector error: the medium under one sector
+	// has degraded and every read fails until the sector is rewritten.
+	FaultLatent
+	// FaultMisdirect is a misdirected write: the data lands, intact, on
+	// the wrong sector — the drive reports success.
+	FaultMisdirect
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultTransient:
+		return "transient"
+	case FaultLatent:
+		return "latent-sector"
+	case FaultMisdirect:
+		return "misdirected-write"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// errTransient and errLatent are the sentinel roots of disk I/O errors;
+// use IsTransient / IsLatent (or errors.Is) to classify, not equality on
+// the returned error, which carries operation context.
+var (
+	errTransient = errors.New("transient I/O error")
+	errLatent    = errors.New("latent sector error")
+)
+
+// IOError is a failed disk operation. It wraps one of the sentinel
+// causes so errors.Is works through it.
+type IOError struct {
+	Op     string // "read", "write", "commit"
+	Sector int
+	cause  error
+}
+
+func (e *IOError) Error() string {
+	return fmt.Sprintf("disk: %s sector %d: %v", e.Op, e.Sector, e.cause)
+}
+
+func (e *IOError) Unwrap() error { return e.cause }
+
+// IsTransient reports whether err is a transient disk error: the same
+// operation, retried, may succeed.
+func IsTransient(err error) bool { return errors.Is(err, errTransient) }
+
+// IsLatent reports whether err is a latent sector error: reads of the
+// sector fail until it is rewritten; retrying the read is futile.
+func IsLatent(err error) bool { return errors.Is(err, errLatent) }
+
+// FaultPlan parameterises deterministic storage fault injection. A nil
+// plan (the default) injects nothing and the disk behaves as before.
+// Rates are per-operation probabilities in [0, 1).
+type FaultPlan struct {
+	// Seed drives every fault decision (via sim.Mix with the operation
+	// coordinates); the same seed and operation sequence inject the
+	// same faults.
+	Seed uint64
+	// TransientRead / TransientWrite are the probabilities that a read
+	// or write fails with a retryable error and transfers nothing.
+	TransientRead  float64
+	TransientWrite float64
+	// LatentRate is the probability that a read discovers the medium
+	// under its first sector has degraded: the read fails and the
+	// sector stays unreadable until rewritten.
+	LatentRate float64
+	// MisdirectRate is the probability that a write lands on the wrong
+	// sector while reporting success.
+	MisdirectRate float64
+	// MaxFaults bounds the total number of injected faults (0 = no
+	// bound). Keeps long campaigns from degenerating into pure noise.
+	MaxFaults int
+}
+
+// DefaultFaultPlan returns rates tuned for recovery testing: frequent
+// enough that a multi-step restore almost always sees several faults,
+// bounded so the volume stays recoverable more often than not.
+func DefaultFaultPlan(seed uint64) FaultPlan {
+	return FaultPlan{
+		Seed:           seed,
+		TransientRead:  0.05,
+		TransientWrite: 0.05,
+		LatentRate:     0.01,
+		MisdirectRate:  0.005,
+		MaxFaults:      24,
+	}
+}
+
+// FaultStats counts injected faults by kind, plus latent-map state.
+type FaultStats struct {
+	Transient  uint64 // transient read/write failures injected
+	Latent     uint64 // latent sector errors planted
+	LatentHits uint64 // reads that failed on an already-latent sector
+	Misdirects uint64 // writes that landed on the wrong sector
+	Cleared    uint64 // latent sectors healed by rewrite
+}
+
+// Total returns the number of injected faults (excluding repeat hits on
+// already-latent sectors, which are consequences, not new faults).
+func (s FaultStats) Total() uint64 { return s.Transient + s.Latent + s.Misdirects }
+
+// SetFaultPlan installs (or, with nil, removes) the disk's fault plan.
+// Removing the plan stops new fault arrivals; sectors already latent
+// stay unreadable until rewritten — damage to the medium does not heal
+// because the test harness stopped injecting.
+func (d *Disk) SetFaultPlan(p *FaultPlan) {
+	if p != nil {
+		cp := *p
+		d.plan = &cp
+		if d.latent == nil {
+			d.latent = make(map[int]bool)
+		}
+	} else {
+		d.plan = nil
+	}
+}
+
+// FaultPlanActive reports whether a fault plan is installed.
+func (d *Disk) FaultPlanActive() bool { return d.plan != nil }
+
+// LatentSectors returns the number of sectors currently unreadable.
+func (d *Disk) LatentSectors() int { return len(d.latent) }
+
+// opRead/opWrite tag the operation kind in the fault-decision hash so a
+// read and a write at the same (op index, sector) draw independently.
+const (
+	opRead uint64 = iota + 1
+	opWrite
+)
+
+// decide rolls the fault dice for one operation. It advances the
+// per-disk operation counter (so decisions are position-dependent) and
+// returns the fault to inject, if any, plus a hash for any secondary
+// choice (misdirect target).
+func (d *Disk) decide(kind uint64, sector int) (FaultKind, uint64) {
+	if d.plan == nil {
+		return 0, 0
+	}
+	d.faultOps++
+	if d.plan.MaxFaults > 0 && d.FaultStats.Total() >= uint64(d.plan.MaxFaults) {
+		return 0, 0
+	}
+	h := sim.Mix(d.plan.Seed, d.faultOps, kind, uint64(sector))
+	u := float64(h>>11) / (1 << 53)
+	switch kind {
+	case opRead:
+		if u < d.plan.TransientRead {
+			return FaultTransient, h
+		}
+		if u < d.plan.TransientRead+d.plan.LatentRate {
+			return FaultLatent, h
+		}
+	case opWrite:
+		if u < d.plan.TransientWrite {
+			return FaultTransient, h
+		}
+		if u < d.plan.TransientWrite+d.plan.MisdirectRate {
+			return FaultMisdirect, h
+		}
+	}
+	return 0, 0
+}
+
+// latentIn returns the first latent sector in [sector, sector+ns), or
+// -1 if the range is clean.
+func (d *Disk) latentIn(sector, ns int) int {
+	if len(d.latent) == 0 {
+		return -1
+	}
+	for s := sector; s < sector+ns; s++ {
+		if d.latent[s] {
+			return s
+		}
+	}
+	return -1
+}
+
+// clearLatent heals latent sectors in [sector, sector+ns): a rewrite
+// remaps the sector, as real drives do.
+func (d *Disk) clearLatent(sector, ns int) {
+	if len(d.latent) == 0 {
+		return
+	}
+	for s := sector; s < sector+ns; s++ {
+		if d.latent[s] {
+			delete(d.latent, s)
+			d.FaultStats.Cleared++
+		}
+	}
+}
+
+// misdirectTarget derives the wrong sector a misdirected write lands on:
+// deterministic from the decision hash, never the intended sector.
+func (d *Disk) misdirectTarget(h uint64, sector, ns int) int {
+	n := d.NumSectors() - ns
+	if n <= 1 {
+		return sector
+	}
+	t := int(sim.Mix(h, 0xBAD) % uint64(n))
+	if t >= sector && t < sector+ns {
+		t = (t + ns) % n
+	}
+	return t
+}
+
+// readFault returns the error to inject for a read of ns sectors at
+// sector, or nil. Latent hits take priority: a degraded sector fails
+// every read regardless of the dice.
+func (d *Disk) readFault(sector, ns int) error {
+	if s := d.latentIn(sector, ns); s >= 0 {
+		d.FaultStats.LatentHits++
+		return &IOError{Op: "read", Sector: s, cause: errLatent}
+	}
+	switch k, _ := d.decide(opRead, sector); k {
+	case FaultTransient:
+		d.FaultStats.Transient++
+		return &IOError{Op: "read", Sector: sector, cause: errTransient}
+	case FaultLatent:
+		d.FaultStats.Latent++
+		d.latent[sector] = true
+		return &IOError{Op: "read", Sector: sector, cause: errLatent}
+	}
+	return nil
+}
+
+// writeFault resolves fault injection for a write of ns sectors at
+// sector. It returns (target, nil) on success — target differs from
+// sector when the write was misdirected — or (0, err) on a transient
+// failure that wrote nothing.
+func (d *Disk) writeFault(op string, sector, ns int) (int, error) {
+	k, h := d.decide(opWrite, sector)
+	switch k {
+	case FaultTransient:
+		d.FaultStats.Transient++
+		return 0, &IOError{Op: op, Sector: sector, cause: errTransient}
+	case FaultMisdirect:
+		if t := d.misdirectTarget(h, sector, ns); t != sector {
+			d.FaultStats.Misdirects++
+			return t, nil
+		}
+	}
+	return sector, nil
+}

@@ -13,6 +13,7 @@ import (
 
 	"rio/internal/cache"
 	"rio/internal/disk"
+	"rio/internal/ioretry"
 )
 
 // BlockSize is the file-system block size (one page).
@@ -262,14 +263,21 @@ func Mkfs(d *disk.Disk, ninodes int64, journalBlocks int64) (Superblock, error) 
 	}
 	d.Format()
 
-	writeBlock := func(block int64, buf []byte) {
-		d.Commit(int(block)*SectorsPerBlock, buf)
+	// Format-time writes retry transients but cannot tolerate permanent
+	// failure: an unformattable disk is an error, not a degraded volume.
+	retry := ioretry.New(ioretry.Policy{MaxRetries: 4}, nil)
+	writeBlock := func(block int64, buf []byte) error {
+		return retry.Do(func() error {
+			return d.Commit(int(block)*SectorsPerBlock, buf)
+		})
 	}
 
 	// Superblock.
 	blk := make([]byte, BlockSize)
 	sb.marshal(blk)
-	writeBlock(0, blk)
+	if err := writeBlock(0, blk); err != nil {
+		return sb, fmt.Errorf("fs: mkfs superblock: %w", err)
+	}
 
 	// Inode table: all free except root (ino 1) = empty directory.
 	for b := sb.InodeStart; b < sb.BitmapStart; b++ {
@@ -278,7 +286,9 @@ func Mkfs(d *disk.Disk, ninodes int64, journalBlocks int64) (Superblock, error) 
 			root := Inode{Mode: ModeDir, Nlink: 1, Size: 0}
 			root.marshal(blk[1*InodeSize : 2*InodeSize]) // ino 1
 		}
-		writeBlock(b, blk)
+		if err := writeBlock(b, blk); err != nil {
+			return sb, fmt.Errorf("fs: mkfs inode table: %w", err)
+		}
 	}
 
 	// Bitmap: blocks below DataStart (and the journal region) are "used".
@@ -291,17 +301,27 @@ func Mkfs(d *disk.Disk, ninodes int64, journalBlocks int64) (Superblock, error) 
 				blk[i/8] |= 1 << (i % 8)
 			}
 		}
-		writeBlock(b, blk)
+		if err := writeBlock(b, blk); err != nil {
+			return sb, fmt.Errorf("fs: mkfs bitmap: %w", err)
+		}
 	}
 	return sb, nil
 }
 
 // ReadSuperblock parses the superblock straight off the disk (mount path,
-// fsck).
+// fsck). Transient read errors are retried; a superblock that stays
+// unreadable is reported, since nothing else can proceed without it.
 func ReadSuperblock(d *disk.Disk) (Superblock, error) {
-	blk := make([]byte, BlockSize)
-	d.Read(0, blk)
 	var sb Superblock
-	err := sb.unmarshal(blk)
+	blk := make([]byte, BlockSize)
+	retry := ioretry.New(ioretry.Policy{MaxRetries: 4}, nil)
+	err := retry.Do(func() error {
+		_, err := d.Read(0, blk)
+		return err
+	})
+	if err != nil {
+		return sb, fmt.Errorf("fs: reading superblock: %w", err)
+	}
+	err = sb.unmarshal(blk)
 	return sb, err
 }

@@ -6,6 +6,7 @@ import (
 
 	"rio/internal/cache"
 	"rio/internal/disk"
+	"rio/internal/ioretry"
 	"rio/internal/kernel"
 	"rio/internal/sim"
 )
@@ -20,6 +21,8 @@ type Stats struct {
 	MetaUpdates   uint64
 	Fsyncs        uint64
 	DaemonRuns    uint64
+	ReadFailures  uint64 // block reads that failed after retries (served as zeroes)
+	WriteFailures uint64 // block writes/commits lost after retries
 }
 
 // asyncWrite is a queued disk write whose service time has been charged to
@@ -45,6 +48,11 @@ type FS struct {
 	SB    Superblock
 
 	Stats Stats
+
+	// Retry wraps every disk operation in bounded retries and tracks the
+	// mount's error budget; when it degrades, mutating syscalls return
+	// ErrReadOnly (see writable).
+	Retry *ioretry.Retrier
 
 	diskFree    sim.Time
 	lastIO      int64 // last block the head visited (sequentiality pricing)
@@ -73,7 +81,21 @@ var (
 	ErrClosed      = errors.New("fs: file already closed")
 	ErrSymlinkLoop = errors.New("fs: too many levels of symbolic links")
 	ErrNotSymlink  = errors.New("fs: not a symbolic link")
+	ErrReadOnly    = errors.New("fs: read-only (I/O error budget exhausted)")
 )
+
+// writable gates mutating syscalls: once the retry layer's error budget
+// is exhausted the mount degrades to read-only — refusing new writes to
+// a disk that is eating them beats silently spreading damage.
+func (f *FS) writable() error {
+	if f.Retry != nil && f.Retry.Degraded() {
+		return ErrReadOnly
+	}
+	return nil
+}
+
+// Degraded reports whether the mount has dropped to read-only mode.
+func (f *FS) Degraded() bool { return f.Retry != nil && f.Retry.Degraded() }
 
 // Mount attaches a formatted disk. The cache must be freshly constructed;
 // Mount installs its write-back callback and schedules the update daemon
@@ -83,6 +105,7 @@ func Mount(k *kernel.Kernel, c *cache.Cache, d *disk.Disk, eng *sim.Engine, pol 
 		K: k, C: c, D: d, Eng: eng, Clock: eng.Clock,
 		Pol: pol, Costs: costs,
 	}
+	f.Retry = ioretry.New(ioretry.DefaultPolicy(), eng.Clock)
 	blk := f.readBlockSync(0)
 	if err := f.SB.unmarshal(blk); err != nil {
 		return nil, err
@@ -161,13 +184,32 @@ func (f *FS) checkBlock(block int64) error {
 	return nil
 }
 
+// retryDo routes a disk operation through the mount's retry layer (a
+// direct call when none is attached, e.g. a hand-built test FS).
+func (f *FS) retryDo(op func() error) error {
+	if f.Retry == nil {
+		return op()
+	}
+	return f.Retry.Do(op)
+}
+
 // drainPending applies every queued asynchronous write. By construction the
 // disk timeline (diskFree) is at or beyond every queued write's completion,
 // and synchronous operations begin at max(now, diskFree), so draining
-// everything before a sync op preserves device order.
+// everything before a sync op preserves device order. A commit that still
+// fails after retries is a lost write: the buffer stays dirty in the
+// cache's view of the world but the disk never saw it — fsck or the
+// checksum oracle will notice, which is the honest outcome.
 func (f *FS) drainPending() {
 	for _, w := range f.pending {
-		f.D.Commit(blockSector(w.block), w.data)
+		w := w
+		err := f.retryDo(func() error {
+			return f.D.Commit(blockSector(w.block), w.data)
+		})
+		if err != nil {
+			f.Stats.WriteFailures++
+			continue
+		}
 		if w.onCommit != nil {
 			w.onCommit()
 		}
@@ -176,21 +218,31 @@ func (f *FS) drainPending() {
 }
 
 // readBlockSync reads a block, blocking the caller until the disk is free
-// and the transfer completes.
+// and the transfer completes (including any retries of transient device
+// errors, whose backoff runs on the simulated clock).
 func (f *FS) readBlockSync(block int64) []byte {
 	f.drainPending()
+	buf := make([]byte, BlockSize)
 	if err := f.checkBlock(block); err != nil {
 		// The kernel has panicked; return zeroes so the caller's error
 		// path (which checks Crashed) unwinds without touching the disk.
-		return make([]byte, BlockSize)
+		return buf
 	}
 	f.Clock.AdvanceTo(maxT(f.Clock.Now(), f.diskFree))
-	buf := make([]byte, BlockSize)
-	dur := f.D.Read(blockSector(block), buf)
-	f.Clock.Advance(dur)
+	err := f.retryDo(func() error {
+		dur, err := f.D.Read(blockSector(block), buf)
+		f.Clock.Advance(dur)
+		return err
+	})
 	f.diskFree = f.Clock.Now()
 	f.lastIO = block
 	f.Stats.SyncReads++
+	if err != nil {
+		// Unreadable even after retries (latent sector, or budget-bounded
+		// transients): serve zeroes, the same contract as the checkBlock
+		// panic path. The loss is visible to checksums and the oracle.
+		f.Stats.ReadFailures++
+	}
 	return buf
 }
 
@@ -201,11 +253,17 @@ func (f *FS) writeBlockSync(block int64, data []byte) {
 		return
 	}
 	f.Clock.AdvanceTo(maxT(f.Clock.Now(), f.diskFree))
-	dur := f.D.Write(blockSector(block), data)
-	f.Clock.Advance(dur)
+	err := f.retryDo(func() error {
+		dur, err := f.D.Write(blockSector(block), data)
+		f.Clock.Advance(dur)
+		return err
+	})
 	f.diskFree = f.Clock.Now()
 	f.lastIO = block
 	f.Stats.SyncWrites++
+	if err != nil {
+		f.Stats.WriteFailures++
+	}
 }
 
 // price computes the service time of one block transfer.
@@ -257,7 +315,11 @@ func (f *FS) CrashIO(rng *sim.Rand) {
 	now := f.Clock.Now()
 	i := 0
 	for ; i < len(f.pending) && f.pending[i].done <= now; i++ {
-		f.D.Commit(blockSector(f.pending[i].block), f.pending[i].data)
+		// No retry loop at crash time: a write the dying device rejects
+		// is simply lost, like the rest of the queue.
+		if f.D.Commit(blockSector(f.pending[i].block), f.pending[i].data) != nil {
+			continue
+		}
 		if cb := f.pending[i].onCommit; cb != nil {
 			cb()
 		}
@@ -280,7 +342,8 @@ func (f *FS) OnPanic() {
 	for _, kind := range []cache.Kind{cache.Meta, cache.Data} {
 		for _, b := range f.C.DirtyBufs(kind) {
 			if b.Block >= 0 {
-				f.D.Commit(blockSector(b.Block), f.C.Contents(b))
+				// Best effort from a dying kernel: a rejected write is lost.
+				_ = f.D.Commit(blockSector(b.Block), f.C.Contents(b))
 			}
 		}
 	}

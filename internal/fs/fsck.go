@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rio/internal/disk"
+	"rio/internal/ioretry"
 )
 
 // FsckReport summarises what the consistency check found and repaired.
@@ -12,16 +13,19 @@ type FsckReport struct {
 	OrphanInodes int // allocated inodes unreachable from the root
 	BadPointers  int // block pointers out of range or doubly referenced
 	BitmapFixes  int // allocation-bitmap bits that disagreed with reality
+	IOErrors     int // block reads/writes that failed even after retries
 }
 
-// Clean reports whether the volume needed no repairs.
+// Clean reports whether the volume needed no repairs. I/O errors are
+// tracked separately: a device failure is not a repair, but callers that
+// care about completeness should inspect IOErrors too.
 func (r FsckReport) Clean() bool {
 	return r.BadDirents == 0 && r.OrphanInodes == 0 && r.BadPointers == 0 && r.BitmapFixes == 0
 }
 
 func (r FsckReport) String() string {
-	return fmt.Sprintf("fsck: %d bad dirents, %d orphan inodes, %d bad pointers, %d bitmap fixes",
-		r.BadDirents, r.OrphanInodes, r.BadPointers, r.BitmapFixes)
+	return fmt.Sprintf("fsck: %d bad dirents, %d orphan inodes, %d bad pointers, %d bitmap fixes, %d I/O errors",
+		r.BadDirents, r.OrphanInodes, r.BadPointers, r.BitmapFixes, r.IOErrors)
 }
 
 // Fsck checks and repairs an unmounted volume in place, like fsck(8) at
@@ -44,13 +48,30 @@ func Fsck(d *disk.Disk) (FsckReport, error) {
 			sb.NBlocks, d.NumSectors()/SectorsPerBlock)
 	}
 
+	// Boot-time retry loop: transient device errors get a few attempts,
+	// but fsck runs before any mount exists, so there is no clock to
+	// charge and no budget to degrade — a block that stays unreadable is
+	// treated as zeroes (its references will be repaired away), and a
+	// repair write that stays rejected is dropped. Both are counted.
+	retry := ioretry.New(ioretry.Policy{MaxRetries: 4}, nil)
 	readBlock := func(block int64) []byte {
 		buf := make([]byte, BlockSize)
-		d.Read(blockSector(block), buf)
+		err := retry.Do(func() error {
+			_, err := d.Read(blockSector(block), buf)
+			return err
+		})
+		if err != nil {
+			rep.IOErrors++
+		}
 		return buf
 	}
 	writeBlock := func(block int64, img []byte) {
-		d.Commit(blockSector(block), img)
+		err := retry.Do(func() error {
+			return d.Commit(blockSector(block), img)
+		})
+		if err != nil {
+			rep.IOErrors++
+		}
 	}
 
 	// Load the inode table.

@@ -262,6 +262,9 @@ func (f *FS) dirEmpty(dirIno uint32) (bool, error) {
 func (f *FS) Create(path string) (*File, error) {
 	f.beginOp()
 	defer f.endOp()
+	if err := f.writable(); err != nil {
+		return nil, err
+	}
 	parent, name, err := f.resolveParent(path)
 	if err != nil {
 		return nil, err
@@ -303,6 +306,9 @@ func (f *FS) Open(path string) (*File, error) {
 func (f *FS) Mkdir(path string) error {
 	f.beginOp()
 	defer f.endOp()
+	if err := f.writable(); err != nil {
+		return err
+	}
 	parent, name, err := f.resolveParent(path)
 	if err != nil {
 		return err
@@ -325,6 +331,9 @@ func (f *FS) Mkdir(path string) error {
 func (f *FS) Symlink(target, linkPath string) error {
 	f.beginOp()
 	defer f.endOp()
+	if err := f.writable(); err != nil {
+		return err
+	}
 	if len(target) == 0 || len(target) > MaxTargetLen {
 		return ErrNameTooLong
 	}
@@ -400,6 +409,9 @@ func (f *FS) Lstat(path string) (FileInfo, error) {
 func (f *FS) Unlink(path string) error {
 	f.beginOp()
 	defer f.endOp()
+	if err := f.writable(); err != nil {
+		return err
+	}
 	parent, name, err := f.resolveParent(path)
 	if err != nil {
 		return err
@@ -432,6 +444,9 @@ func (f *FS) Unlink(path string) error {
 func (f *FS) Rmdir(path string) error {
 	f.beginOp()
 	defer f.endOp()
+	if err := f.writable(); err != nil {
+		return err
+	}
 	parent, name, err := f.resolveParent(path)
 	if err != nil {
 		return err
@@ -469,6 +484,9 @@ func (f *FS) Rmdir(path string) error {
 func (f *FS) Rename(oldPath, newPath string) error {
 	f.beginOp()
 	defer f.endOp()
+	if err := f.writable(); err != nil {
+		return err
+	}
 	oldParent, oldName, err := f.resolveParent(oldPath)
 	if err != nil {
 		return err
@@ -578,6 +596,9 @@ func (fl *File) WriteAt(data []byte, off int64) (int, error) {
 	f := fl.fs
 	if fl.closed {
 		return 0, ErrClosed
+	}
+	if err := f.writable(); err != nil {
+		return 0, err
 	}
 	f.beginOp()
 	defer f.endOp()

@@ -15,6 +15,7 @@ package kernel
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"rio/internal/kvm"
 	"rio/internal/mem"
@@ -260,8 +261,9 @@ func (k *Kernel) FreeFrame(f int) {
 // FreeFrameCount returns the number of pool frames available.
 func (k *Kernel) FreeFrameCount() int { return len(k.freeFrames) }
 
-// FramesOf returns the frames currently assigned to class (fault targeting
-// and tests).
+// FramesOf returns the frames currently assigned to class, in frame
+// order (fault targeting and tests — callers index into this with a
+// seeded PRNG, so the order must not leak map iteration randomness).
 func (k *Kernel) FramesOf(class FrameClass) []int {
 	var out []int
 	for f, c := range k.frameClass {
@@ -269,6 +271,7 @@ func (k *Kernel) FramesOf(class FrameClass) []int {
 			out = append(out, f)
 		}
 	}
+	sort.Ints(out)
 	return out
 }
 

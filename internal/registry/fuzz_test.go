@@ -1,0 +1,95 @@
+package registry
+
+import (
+	"testing"
+
+	"rio/internal/mem"
+)
+
+// splitmix64 for the fuzz streams (local copy, same idiom as the kvm
+// fuzzer; the stream needs no cross-version stability).
+func next(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// TestParseTotalOnHostileInputs is the warm-reboot path's safety net:
+// Parse consumes a memory dump and a frame list from a crashed kernel,
+// and must never Go-panic no matter how truncated the dump or how
+// garbage the frame indices — a recovery routine that crashes on bad
+// input is itself a reliability bug. Every hostile frame must be fully
+// accounted as BadEntries, never silently skipped.
+func TestParseTotalOnHostileInputs(t *testing.T) {
+	seed := uint64(0x5210)
+	perFrame := mem.PageSize / EntrySize
+	for round := 0; round < 500; round++ {
+		// Dumps of awkward sizes: empty, sub-page, unaligned, multi-page.
+		dlen := int(next(&seed) % (4 * mem.PageSize))
+		if round%7 == 0 {
+			dlen = 0
+		}
+		dump := make([]byte, dlen)
+		for i := 0; i < dlen/17; i++ {
+			dump[next(&seed)%uint64(dlen)] = byte(next(&seed))
+		}
+
+		// Frame lists mixing plausible, out-of-range, negative, and
+		// overflow-inducing indices.
+		nf := 1 + int(next(&seed)%5)
+		frames := make([]int, nf)
+		hostile := 0
+		for i := range frames {
+			switch next(&seed) % 5 {
+			case 0:
+				frames[i] = int(next(&seed) % 8) // plausible
+			case 1:
+				frames[i] = -1 - int(next(&seed)%1000) // negative
+				hostile++
+			case 2:
+				frames[i] = 1 << 40 // far past any dump
+				hostile++
+			case 3:
+				frames[i] = int(uint64(1)<<51 + next(&seed)%100) // FrameBase overflow
+				hostile++
+			default:
+				frames[i] = dlen/mem.PageSize + int(next(&seed)%4) // near the end
+			}
+		}
+
+		entries, bad := Parse(dump, frames) // must return, never panic
+		if bad < hostile*perFrame {
+			t.Fatalf("round %d: %d hostile frames but only %d bad entries (want >= %d)",
+				round, hostile, bad, hostile*perFrame)
+		}
+		// Anything Parse does return must at least be internally valid.
+		for _, e := range entries {
+			if e.Kind != KindMeta && e.Kind != KindData {
+				t.Fatalf("round %d: parsed entry with kind %d", round, e.Kind)
+			}
+		}
+	}
+}
+
+// TestParseTruncatedDumpSizes pins the specific satellite bug: a dump shorter
+// than the registry region (e.g. a partial swap write) must be counted
+// as bad entries, not sliced past the end.
+func TestParseTruncatedDumpSizes(t *testing.T) {
+	perFrame := mem.PageSize / EntrySize
+	for _, dlen := range []int{0, 1, EntrySize - 1, mem.PageSize - 1, mem.PageSize + 3} {
+		dump := make([]byte, dlen)
+		entries, bad := Parse(dump, []int{0, 1})
+		if len(entries) != 0 {
+			t.Fatalf("dump len %d: parsed %d entries from zeroes", dlen, len(entries))
+		}
+		wantBad := 2 * perFrame
+		if dlen >= mem.PageSize {
+			wantBad = perFrame // frame 0 fits (all zero slots), frame 1 does not
+		}
+		if bad != wantBad {
+			t.Fatalf("dump len %d: bad = %d, want %d", dlen, bad, wantBad)
+		}
+	}
+}

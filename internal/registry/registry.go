@@ -271,15 +271,22 @@ type ParsedEntry struct {
 // Parse scans a full-memory dump for registry entries in the given frames
 // (the warm-reboot path). Entries that fail the magic or CRC check are
 // counted in bad and skipped — a corrupted registry region must never
-// cause garbage restoration.
+// cause garbage restoration. The dump and the frame list both come from
+// a crashed kernel, so neither is trusted: a truncated dump, a negative
+// frame index, or a frame past the dump's end writes off that frame's
+// slots as bad instead of panicking mid-recovery.
 func Parse(dump []byte, frames []int) (entries []ParsedEntry, bad int) {
 	perFrame := mem.PageSize / EntrySize
 	for fi, f := range frames {
-		base := mem.FrameBase(f)
-		if base+mem.PageSize > uint64(len(dump)) {
+		// Bounds-check in frame units, not byte offsets: FrameBase of a
+		// huge index wraps uint64 and would alias a small offset, slipping
+		// past any check phrased as base+PageSize <= len(dump).
+		if f < 0 || uint64(len(dump)) < mem.PageSize ||
+			uint64(f) > (uint64(len(dump))-mem.PageSize)/mem.PageSize {
 			bad += perFrame
 			continue
 		}
+		base := mem.FrameBase(f)
 		for s := 0; s < perFrame; s++ {
 			off := base + uint64(s*EntrySize)
 			raw := dump[off : off+EntrySize]

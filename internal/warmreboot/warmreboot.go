@@ -10,18 +10,59 @@
 // through normal system calls (open/write).
 //
 // Because the dump is taken from a freshly booting, healthy system rather
-// than the dying one, it "always works" — unlike a crash dump.
+// than the dying one, it "always works" — unlike a crash dump. This
+// package hardens that claim against the two adversaries the paper does
+// not model: a storage device that fails during the restore, and a second
+// crash in the middle of recovery. Every restore action is per-entry
+// quarantine-and-continue (an entry that cannot be restored is counted
+// and skipped, never allowed to abort the pass), orphaned data pages are
+// salvaged into /lost+found, and the whole protocol is an idempotent
+// function of the immutable memory dump — rerunning it after an
+// interruption converges to the same file-system state as an
+// uninterrupted pass.
 package warmreboot
 
 import (
+	"errors"
 	"fmt"
 
 	"rio/internal/fs"
+	"rio/internal/ioretry"
 	"rio/internal/kernel"
 	"rio/internal/machine"
 	"rio/internal/mem"
 	"rio/internal/registry"
 )
+
+// ErrInterrupted reports that a simulated second crash (Options.
+// CrashAtStep) cut the recovery short. The machine is mid-restore; the
+// caller restarts recovery by calling FromDump again with the same dump.
+var ErrInterrupted = errors.New("warmreboot: recovery interrupted by crash")
+
+// Options tunes the recovery pass. The zero value is NOT the default —
+// use DefaultOptions.
+type Options struct {
+	// CrashAtStep, when >= 0, interrupts the recovery after that many
+	// restore steps (metadata commits, fsck, boot, and per-page data
+	// restores each count one step): FromDump returns ErrInterrupted
+	// with the volume part-restored. Use -1 to run to completion. An
+	// uninterrupted pass reports its total step count in Report.Steps,
+	// which bounds the useful range.
+	CrashAtStep int
+	// Salvage directs orphaned dirty data pages — pages whose file no
+	// longer exists after the metadata restore — into /lost+found
+	// instead of dropping them.
+	Salvage bool
+	// Retry is the policy for recovery-path disk I/O (metadata commits;
+	// the post-boot data restore inherits the mount's own retry layer).
+	Retry ioretry.Policy
+}
+
+// DefaultOptions returns the production recovery configuration:
+// uninterrupted, salvaging, with the standard retry policy.
+func DefaultOptions() Options {
+	return Options{CrashAtStep: -1, Salvage: true, Retry: ioretry.DefaultPolicy()}
+}
 
 // Report describes what a warm reboot found and restored.
 type Report struct {
@@ -32,6 +73,11 @@ type Report struct {
 	// MetaRestored / DataRestored count dirty buffers written back.
 	MetaRestored int
 	DataRestored int
+	// MetaFailed / DataFailed count dirty buffers quarantined because
+	// the restore write failed even after retries. The pass continues;
+	// the loss is bounded to these entries and visible here.
+	MetaFailed int
+	DataFailed int
 	// Changing counts buffers that were mid-write at crash time; their
 	// checksums cannot classify them.
 	Changing int
@@ -39,18 +85,32 @@ type Report struct {
 	// longer match their registry checksum: direct corruption, detected.
 	ChecksumMismatches int
 	// OrphanData counts dirty data pages whose file could not be found
-	// after the metadata restore.
+	// after the metadata restore and that could not be salvaged.
 	OrphanData int
+	// Salvaged counts orphaned data pages preserved under /lost+found.
+	Salvaged int
 	// SkippedInvalid counts entries with out-of-range frames/blocks.
 	SkippedInvalid int
+	// CloseErrors counts restore file handles whose Close failed.
+	CloseErrors int
+	// Steps is the number of restore steps the pass executed (see
+	// Options.CrashAtStep).
+	Steps int
+	// VolumeLost means the volume could not even be checked (superblock
+	// unreadable or implausible after the metadata restore): recovery
+	// stopped before booting, and the machine is not running. This is a
+	// reported outcome, not an error — the caller decides what a dead
+	// volume means for it.
+	VolumeLost bool
 	// Fsck is the consistency-check report after the metadata restore.
 	Fsck fs.FsckReport
 }
 
 func (r *Report) String() string {
-	return fmt.Sprintf("warm reboot: %d entries (%d bad), %d meta + %d data restored, %d changing, %d checksum mismatches, %d orphans",
+	return fmt.Sprintf("warm reboot: %d entries (%d bad), %d meta + %d data restored, %d quarantined, %d changing, %d checksum mismatches, %d orphans, %d salvaged",
 		r.Entries, r.BadEntries, r.MetaRestored, r.DataRestored,
-		r.Changing, r.ChecksumMismatches, r.OrphanData)
+		r.MetaFailed+r.DataFailed, r.Changing, r.ChecksumMismatches,
+		r.OrphanData, r.Salvaged)
 }
 
 // Warm performs a warm reboot of a crashed machine in place: dump memory,
@@ -64,9 +124,27 @@ func Warm(m *machine.Machine) (*Report, error) {
 
 // FromDump performs the warm-reboot restore from an explicit memory image
 // — either the in-place dump Warm takes at boot, or a dump a UPS wrote to
-// the swap disk as the power failed (the paper's §1 power-outage story).
+// the swap disk as the power failed (the paper's §1 power-outage story) —
+// with default options.
 func FromDump(m *machine.Machine, dump []byte) (*Report, error) {
+	return FromDumpOpts(m, dump, DefaultOptions())
+}
+
+// FromDumpOpts is FromDump with explicit Options.
+//
+// The protocol is idempotent over the dump: every metadata commit writes
+// the same bytes to the same blocks, fsck converges, and every data-page
+// write lands the same bytes at the same file offsets, so calling it
+// again after an ErrInterrupted return (or after a fresh crash mid-
+// recovery) completes the restore with the same final state an
+// uninterrupted pass produces.
+func FromDumpOpts(m *machine.Machine, dump []byte, opts Options) (*Report, error) {
 	rep := &Report{}
+
+	// step bookkeeping for the injected-second-crash protocol.
+	interrupted := func() bool {
+		return opts.CrashAtStep >= 0 && rep.Steps >= opts.CrashAtStep
+	}
 
 	// The registry lives at a machine-fixed location; take its frame
 	// list before tearing the old kernel's state down.
@@ -77,15 +155,21 @@ func FromDump(m *machine.Machine, dump []byte) (*Report, error) {
 	rep.BadEntries = bad
 
 	nframes := m.Mem.NumFrames()
+	// pageOf returns the frame's page image, or nil when the dump is too
+	// short to contain it (e.g. a truncated UPS dump): the dump is
+	// untrusted input and must never be sliced past its end.
 	pageOf := func(frame uint32) []byte {
 		base := mem.FrameBase(int(frame))
+		if base+mem.PageSize > uint64(len(dump)) {
+			return nil
+		}
 		return dump[base : base+mem.PageSize]
 	}
 
 	// Classify and verify every entry first.
 	var metaDirty, dataDirty []registry.ParsedEntry
 	for _, e := range entries {
-		if int(e.Frame) >= nframes || e.Size > mem.PageSize {
+		if int(e.Frame) >= nframes || e.Size > mem.PageSize || pageOf(e.Frame) == nil {
 			rep.SkippedInvalid++
 			continue
 		}
@@ -107,8 +191,15 @@ func FromDump(m *machine.Machine, dump []byte) (*Report, error) {
 		}
 	}
 
-	// Step 2: restore dirty metadata straight to disk, pre-fsck.
+	// Step 2: restore dirty metadata straight to disk, pre-fsck. Each
+	// commit retries transient device errors; a block that stays
+	// unwritable is quarantined (MetaFailed) and the pass continues —
+	// fsck repairs whatever inconsistency the missing block leaves.
+	retry := ioretry.New(opts.Retry, m.Engine.Clock)
 	for _, e := range metaDirty {
+		if interrupted() {
+			return rep, ErrInterrupted
+		}
 		// Block 0 is the superblock, which is never cached: a registry
 		// entry claiming it is corrupt, and restoring it would destroy
 		// the volume.
@@ -116,84 +207,175 @@ func FromDump(m *machine.Machine, dump []byte) (*Report, error) {
 			rep.SkippedInvalid++
 			continue
 		}
-		m.Disk.Commit(int(e.Block)*fs.SectorsPerBlock, pageOf(e.Frame))
-		rep.MetaRestored++
+		e := e
+		err := retry.Do(func() error {
+			return m.Disk.Commit(int(e.Block)*fs.SectorsPerBlock, pageOf(e.Frame))
+		})
+		if err != nil {
+			rep.MetaFailed++
+		} else {
+			rep.MetaRestored++
+		}
+		rep.Steps++
 	}
 
-	// Step 3: fsck the (now metadata-complete) volume.
+	// Step 3: fsck the (now metadata-complete) volume. An unreadable or
+	// implausible superblock means there is no volume to check: report
+	// VolumeLost rather than aborting with an error, so campaign callers
+	// can score it as the corruption outcome it is.
+	if interrupted() {
+		return rep, ErrInterrupted
+	}
 	fsckRep, err := fs.Fsck(m.Disk)
 	if err != nil {
-		return rep, fmt.Errorf("warmreboot: fsck: %w", err)
+		rep.VolumeLost = true
+		return rep, nil
 	}
 	rep.Fsck = fsckRep
+	rep.Steps++
 
 	// Step 4: boot a fresh kernel. Pool frame contents are irrelevant now
 	// — everything needed is in the dump.
-	if err := m.Boot(nil); err != nil {
-		return rep, fmt.Errorf("warmreboot: boot: %w", err)
+	if interrupted() {
+		return rep, ErrInterrupted
 	}
+	if err := m.Boot(nil); err != nil {
+		// The volume passed fsck but still won't mount — e.g. a
+		// misdirected write during the restore or fsck's own repairs
+		// landed on the superblock. Same outcome as an unfsckable
+		// volume: lost, scored by the caller, not an abort.
+		rep.VolumeLost = true
+		return rep, nil
+	}
+	rep.Steps++
 
 	// Step 5: user-level restore of UBC pages via normal system calls.
-	paths, err := inodePaths(m.FS)
-	if err != nil {
-		return rep, err
-	}
+	// Every page is restored or accounted (DataFailed / OrphanData /
+	// Salvaged); no failure aborts the loop — the early-return here used
+	// to abandon the remaining pages unreported.
+	paths := inodePaths(m.FS)
 	for _, e := range dataDirty {
-		path, ok := paths[e.Ino]
-		if !ok {
-			rep.OrphanData++
-			continue
+		if interrupted() {
+			return rep, ErrInterrupted
 		}
-		f, err := m.FS.Open(path)
-		if err != nil {
-			rep.OrphanData++
-			continue
-		}
+		page := pageOf(e.Frame)
 		n := int(e.Size)
 		if n > mem.PageSize {
 			n = mem.PageSize
 		}
+		path, ok := paths[e.Ino]
+		if !ok {
+			// The file is gone (its metadata never reached the disk, or
+			// fsck removed it): salvage the bytes rather than drop them.
+			if opts.Salvage && salvagePage(m.FS, e, page[:n], rep) {
+				rep.Salvaged++
+			} else {
+				rep.OrphanData++
+			}
+			rep.Steps++
+			continue
+		}
+		f, err := m.FS.Open(path)
+		if err != nil {
+			if opts.Salvage && salvagePage(m.FS, e, page[:n], rep) {
+				rep.Salvaged++
+			} else {
+				rep.OrphanData++
+			}
+			rep.Steps++
+			continue
+		}
+		restored := true
 		if n > 0 {
-			if _, err := f.WriteAt(pageOf(e.Frame)[:n], e.Off); err != nil {
-				f.Close()
-				return rep, fmt.Errorf("warmreboot: restore %s@%d: %w", path, e.Off, err)
+			if _, err := f.WriteAt(page[:n], e.Off); err != nil {
+				restored = false
 			}
 		}
-		f.Close()
-		rep.DataRestored++
+		if err := f.Close(); err != nil {
+			rep.CloseErrors++
+		}
+		if restored {
+			rep.DataRestored++
+		} else {
+			rep.DataFailed++
+		}
+		rep.Steps++
 	}
 	return rep, nil
 }
 
+// salvageDir is where orphaned data pages land.
+const salvageDir = "/lost+found"
+
+// salvagePage writes an orphaned dirty page to /lost+found/ino-<n> at its
+// original file offset, so several pages of the same lost file reassemble
+// into one salvage file. Returns false (and leaves accounting to the
+// caller) when the salvage itself fails — e.g. a degraded read-only
+// mount, or an offset past the maximum file size.
+func salvagePage(fsys *fs.FS, e registry.ParsedEntry, page []byte, rep *Report) bool {
+	if _, err := fsys.Stat(salvageDir); err != nil {
+		if err := fsys.Mkdir(salvageDir); err != nil {
+			return false
+		}
+	}
+	name := fmt.Sprintf("%s/ino-%d", salvageDir, e.Ino)
+	f, err := fsys.Open(name)
+	if err != nil {
+		if f, err = fsys.Create(name); err != nil {
+			return false
+		}
+	}
+	ok := true
+	if len(page) > 0 {
+		if _, err := f.WriteAt(page, e.Off); err != nil {
+			ok = false
+		}
+	}
+	if err := f.Close(); err != nil {
+		rep.CloseErrors++
+	}
+	return ok
+}
+
 // inodePaths walks the mounted tree building an inode -> path index for the
-// user-level UBC restorer.
-func inodePaths(fsys *fs.FS) (map[uint32]string, error) {
+// user-level UBC restorer. The /lost+found subtree is excluded: salvage
+// files from an earlier interrupted attempt must never capture a dirty
+// page that happens to share their (fresh) inode number.
+//
+// The walk never fails: a subtree whose ReadDir errors (a faulted kernel
+// can leave a dirent typed as a directory pointing at a file, and fsck
+// does not cross-check dirent type bits) is simply skipped. Pages whose
+// files live under it lose their path and fall through to the orphan
+// salvage — quarantined, not an aborted recovery.
+func inodePaths(fsys *fs.FS) map[uint32]string {
 	out := make(map[uint32]string)
-	var walk func(dir string) error
-	walk = func(dir string) error {
+	seen := make(map[uint32]bool) // dir inodes visited: corrupt trees can cycle
+	var walk func(dir string)
+	walk = func(dir string) {
 		ents, err := fsys.ReadDir(dir)
 		if err != nil {
-			return err
+			return
 		}
 		for _, e := range ents {
 			p := dir + "/" + e.Name
 			if dir == "/" {
 				p = "/" + e.Name
 			}
+			if p == salvageDir {
+				continue
+			}
 			if e.IsDir {
-				if err := walk(p); err != nil {
-					return err
+				if !seen[e.Ino] {
+					seen[e.Ino] = true
+					walk(p)
 				}
 			} else {
 				out[e.Ino] = p
 			}
 		}
-		return nil
 	}
-	if err := walk("/"); err != nil {
-		return nil, err
-	}
-	return out, nil
+	walk("/")
+	return out
 }
 
 // Cold performs a cold reboot: memory is lost (scrambled), the volume is

@@ -32,8 +32,51 @@ func TestWarmRebootOrphanData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.OrphanData == 0 {
-		t.Fatalf("orphan not counted: %v", rep)
+	// The page cannot be restored to its file, but it must not be
+	// dropped either: it lands in /lost+found, reassembled by inode.
+	if rep.Salvaged == 0 {
+		t.Fatalf("orphan not salvaged: %v", rep)
+	}
+	ents, err := m.FS.ReadDir("/lost+found")
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("no salvage files (err=%v): %v", err, rep)
+	}
+	f, err := m.FS.Open("/lost+found/" + ents[0].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, fs.BlockSize)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("reading salvage file: %v", err)
+	}
+	if !bytes.Equal(buf, kernel.FillBytes(fs.BlockSize, 5)) {
+		t.Fatal("salvaged bytes do not match the lost page")
+	}
+}
+
+func TestWarmRebootOrphanDroppedWithoutSalvage(t *testing.T) {
+	// With salvage disabled the same page is counted as an orphan — the
+	// pre-salvage accounting contract still holds.
+	m := rioMachine(t, false)
+	put(t, m, "/doomed", kernel.FillBytes(fs.BlockSize, 5))
+	for slot := 0; slot < m.Reg.Cap(); slot++ {
+		if e, ok := m.Reg.Get(slot); ok && e.Kind == registry.KindMeta {
+			if err := m.Reg.Free(slot); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	m.Kernel.Panic("crash")
+	m.CrashFinish()
+	opts := DefaultOptions()
+	opts.Salvage = false
+	rep, err := FromDumpOpts(m, m.Mem.Dump(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OrphanData == 0 || rep.Salvaged != 0 {
+		t.Fatalf("orphan not counted with salvage off: %v", rep)
 	}
 }
 

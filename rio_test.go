@@ -277,6 +277,13 @@ func TestMiniCrashCampaign(t *testing.T) {
 	}
 	_ = res.ProtectionInvocations()
 	_ = res.MTTFYears(SystemDiskWT)
+	// Without DiskFaults the recovery columns render but stay zero.
+	if rt := res.RecoveryTable(); !strings.Contains(rt, "volume-lost") {
+		t.Fatalf("recovery table malformed:\n%s", rt)
+	}
+	if sum := res.Summary(); sum.RecoveryInterrupted != 0 {
+		t.Fatalf("second crash injected without DiskFaults: %+v", sum)
+	}
 	if res.CrashKindBreakdown(SystemRioProt) == "" {
 		t.Fatal("empty breakdown")
 	}

@@ -13,3 +13,7 @@ go test ./...
 # is the slowest step — add -short here if a quick pre-commit loop is
 # needed; the scheduler concurrency tests still run in short mode).
 go test -race -timeout 60m ./internal/crashtest/...
+# The recovery path (warm reboot restart protocol, disk fault plans,
+# retrying I/O) is what the double-fault campaign leans on; race-check it
+# too — these packages are fast even under the detector.
+go test -race -timeout 10m ./internal/warmreboot/... ./internal/disk/... ./internal/ioretry/...
