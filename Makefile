@@ -2,13 +2,19 @@
 # vet, tests, and the race detector over the concurrent campaign
 # scheduler (scripts/check.sh is the single source of truth).
 
-.PHONY: check build test race bench crash-recovery
+.PHONY: check build lint test race bench crash-recovery
 
 check:
 	sh scripts/check.sh
 
 build:
 	go build ./...
+
+# riolint: the repo's own static-analysis suite (internal/lint) — enforces
+# the determinism and protection-discipline invariants the compiler can't
+# see. Clean tree is a tier-1 gate; see DESIGN.md "Enforced invariants".
+lint:
+	go run ./cmd/riolint ./...
 
 test:
 	go test ./...

@@ -67,7 +67,7 @@ func main() {
 	m.Kernel.VM.Budget = 400_000
 	m.EnableTrace(4096)
 
-	mt := workload.NewMemTest(*seed^0xABCD, 1<<21)
+	mt := workload.NewMemTest(sim.Mix(*seed, 0xABCD), 1<<21)
 	for i := 0; i < 30; i++ {
 		if err := mt.Step(m.FS); err != nil {
 			fmt.Fprintln(os.Stderr, "riotrace: warmup:", err)

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"rio/internal/fault"
 	"rio/internal/kernel"
@@ -362,6 +363,70 @@ func TestCampaignRealDoubleFaultDeterministic(t *testing.T) {
 			if c.Aborted > 0 {
 				t.Errorf("%v/%v: %d recoveries aborted (want none): %s",
 					sys, ft, c.Aborted, c.LastError)
+			}
+		}
+	}
+}
+
+// fakeClock is a deterministic wallClock: every Now call advances the
+// reading by one fixed step, and the call count is recorded so tests can
+// compute exactly what the campaign's telemetry should report.
+type fakeClock struct {
+	mu    sync.Mutex
+	now   time.Time
+	step  time.Duration
+	calls int
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	c.now = c.now.Add(c.step)
+	return c.now
+}
+
+func (c *fakeClock) Calls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+// TestSummaryTimingUsesInjectedClock pins the campaign's telemetry to
+// the wallClock seam: WallTime must span exactly from the epoch reading
+// to the summarize reading of the injected clock (the host clock must
+// not leak in), and RunsPerSec must be derived from that same span.
+func TestSummaryTimingUsesInjectedClock(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0), step: time.Millisecond}
+	cfg := CampaignConfig{
+		Seed:              7,
+		RunsPerCell:       3,
+		MaxAttemptsFactor: 4,
+		Workers:           2,
+		runner:            fakeRunner,
+		clock:             clk,
+	}
+	rep, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatalf("RunCampaign: %v", err)
+	}
+	// The first Now call is the epoch, the last is summarize's WallTime
+	// reading; every call advances the fake by one step.
+	wantWall := time.Duration(clk.Calls()-1) * clk.step
+	if rep.Summary.WallTime != wantWall {
+		t.Errorf("WallTime = %v, want %v (from %d fake-clock calls)",
+			rep.Summary.WallTime, wantWall, clk.Calls())
+	}
+	wantRate := float64(rep.Summary.Runs) / wantWall.Seconds()
+	if rep.Summary.RunsPerSec != wantRate {
+		t.Errorf("RunsPerSec = %v, want %v", rep.Summary.RunsPerSec, wantRate)
+	}
+	// Each folded run contributes at least one clock step of CPU time.
+	for _, bySys := range rep.Cells {
+		for _, c := range bySys {
+			if c.Elapsed < time.Duration(c.Attempts)*clk.step {
+				t.Errorf("cell Elapsed = %v for %d attempts, want >= %v",
+					c.Elapsed, c.Attempts, time.Duration(c.Attempts)*clk.step)
 			}
 		}
 	}

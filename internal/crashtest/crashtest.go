@@ -66,12 +66,14 @@ type RunConfig struct {
 	DiskFaults bool
 }
 
-// Salts for the recovery-path randomness. Both streams derive purely
+// Salts for the per-run derived randomness. Every stream derives purely
 // from the run seed via sim.Mix — no shared PRNG is consumed — so the
 // campaign report stays byte-identical at any worker count.
 const (
 	diskFaultSalt     = 0xD15CFA17
 	recoveryCrashSalt = 0x2ECC4A57
+	regNoiseSalt      = 0x4E6015E5
+	coldBootSalt      = 0xC01DB007
 	// recoveryCrashWindow bounds the injected second-crash step. Steps
 	// past the protocol's end leave the recovery uninterrupted, so the
 	// campaign samples both interrupted and clean recoveries.
@@ -182,7 +184,7 @@ func buildMachine(sys System, cfg RunConfig) (*machine.Machine, error) {
 	// Register noise: between kernel entries the register file has been
 	// churned by unrelated kernel code, so stale registers rarely still
 	// hold live file-cache pointers.
-	noise := sim.NewRand(cfg.Seed ^ 0x9e3779b97f4a7c15)
+	noise := sim.NewRand(sim.Mix(cfg.Seed, regNoiseSalt))
 	m.Kernel.VM.RegNoise = func() (uint64, bool) {
 		if noise.Float64() < 0.85 {
 			return noise.Uint64(), true
@@ -314,7 +316,7 @@ func RunOne(sys System, ft fault.Type, cfg RunConfig) (res RunResult, err error)
 
 	switch sys {
 	case DiskWT:
-		if _, err := warmreboot.Cold(m, cfg.Seed^0xdead); err != nil {
+		if _, err := warmreboot.Cold(m, sim.Mix(cfg.Seed, coldBootSalt)); err != nil {
 			// An unrecoverable volume (e.g. torn superblock) is the
 			// worst corruption outcome, not a harness error.
 			m.Disk.SetFaultPlan(nil)

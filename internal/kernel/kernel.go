@@ -253,6 +253,9 @@ func (k *Kernel) FreeFrame(f int) {
 	k.Mem.Frame(f).FileCache = false
 	k.Mem.Frame(f).Registry = false
 	if k.Mem.Frame(f).WriteProtected {
+		// The frame is leaving the cache: its write window closes by
+		// ceasing to be cache memory, not by re-protection.
+		//riolint:protpair freed frame returns to the pool unprotected by design
 		k.MMU.SetFrameProtection(f, false)
 	}
 	k.freeFrames = append(k.freeFrames, f)
@@ -449,14 +452,18 @@ func (k *Kernel) Fill(dst uint64, n int, seed uint64) error {
 	return k.Exec("fill", dst, uint64(n), seed)
 }
 
-// FillBytes is the reference implementation of the kernel fill pattern.
+// FillBytes is the reference implementation of the kernel fill pattern:
+// an xorshift64 chain over the pattern state, seeded once. (The chain is
+// generator state, not seed derivation — callers wanting independent
+// patterns derive their seeds with sim.Mix.)
 func FillBytes(n int, seed uint64) []byte {
 	out := make([]byte, n)
+	x := seed
 	for i := range out {
-		out[i] = byte(seed)
-		seed ^= seed << 13
-		seed ^= seed >> 7
-		seed ^= seed << 17
+		out[i] = byte(x)
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
 	}
 	return out
 }

@@ -1,0 +1,326 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Maporder flags `for … range` over a map value in determinism-critical
+// packages when the loop body has order-sensitive effects: Go randomizes
+// map iteration order per run, so any effect whose outcome depends on
+// visit order (appends, calls with side effects, channel sends, returns,
+// non-commutative writes to outer variables) makes the result differ
+// between identical seeded runs. This is the PR-2 bug class: map order
+// leaked through cache.DropFileData and kernel.FramesOf into free-list
+// order, and from there into the disk-op order that a fault plan keys on.
+//
+// Benign bodies are not flagged: purely local computation, commutative
+// accumulation into outer numeric variables (n += x, n++), writes to
+// distinct keys of another map indexed by the range key, and deletes.
+// The canonical fix — append into a slice, then sort it immediately
+// after the loop — is recognized and passes. Anything else needs
+// `//riolint:ordered <reason>`.
+var Maporder = &Analyzer{
+	Name:      "maporder",
+	Directive: "ordered",
+	Doc:       "order-sensitive effects inside range-over-map loops in determinism-critical packages",
+	Run:       runMaporder,
+}
+
+// mapEffect is one order-sensitive effect found in a range body.
+type mapEffect struct {
+	pos  token.Pos
+	desc string
+	// appendTo is the outer variable receiving an append, if this effect
+	// is one; such effects are forgiven when the target is sorted right
+	// after the loop.
+	appendTo types.Object
+}
+
+func runMaporder(p *Pass) {
+	if !detPackages[p.Pkg.Name] {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		// Range statements occur only in statement lists; visiting every
+		// list also hands us the statements that follow each loop, which
+		// the sorted-after exoneration needs.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch b := n.(type) {
+			case *ast.BlockStmt:
+				list = b.List
+			case *ast.CaseClause:
+				list = b.Body
+			case *ast.CommClause:
+				list = b.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				rng := asRangeStmt(stmt)
+				if rng == nil {
+					continue
+				}
+				checkMapRange(p, rng, list[i+1:])
+			}
+			return true
+		})
+	}
+}
+
+func asRangeStmt(stmt ast.Stmt) *ast.RangeStmt {
+	if l, ok := stmt.(*ast.LabeledStmt); ok {
+		stmt = l.Stmt
+	}
+	rng, _ := stmt.(*ast.RangeStmt)
+	return rng
+}
+
+func checkMapRange(p *Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
+	t := p.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	effects := collectMapEffects(p, rng)
+	if len(effects) == 0 {
+		return
+	}
+	// Collect-then-sort: if every effect is an append and every appended
+	// slice is sorted immediately after the loop, order is laundered out.
+	allSorted := true
+	for _, e := range effects {
+		if e.appendTo == nil || !sortedAfter(p, rest, e.appendTo) {
+			allSorted = false
+			break
+		}
+	}
+	if allSorted {
+		return
+	}
+	descs := make([]string, 0, 3)
+	for _, e := range effects {
+		line := p.Fset.Position(e.pos).Line
+		descs = append(descs, fmt.Sprintf("%s (line %d)", e.desc, line))
+		if len(descs) == 3 {
+			break
+		}
+	}
+	more := ""
+	if n := len(effects) - len(descs); n > 0 {
+		more = fmt.Sprintf(" and %d more", n)
+	}
+	p.Reportf(rng.Pos(),
+		"iteration order of map %s is random but the loop body is order-sensitive: %s%s; iterate sorted keys, sort the result, or annotate //riolint:ordered <reason>",
+		types.ExprString(rng.X), strings.Join(descs, ", "), more)
+}
+
+// collectMapEffects walks a range body and returns its order-sensitive
+// effects. Function literals are walked too: their bodies run (or leak)
+// per iteration.
+func collectMapEffects(p *Pass, rng *ast.RangeStmt) []mapEffect {
+	isLocal := func(obj types.Object) bool {
+		return obj == nil || (obj.Pos() >= rng.Pos() && obj.Pos() < rng.End())
+	}
+	keyObj := definedVar(p, rng.Key)
+	localBase := func(e ast.Expr) (types.Object, bool) {
+		id := baseIdent(e)
+		if id == nil {
+			return nil, false // unresolvable target: assume the worst
+		}
+		if id.Name == "_" {
+			return nil, true
+		}
+		obj := p.ObjectOf(id)
+		return obj, isLocal(obj)
+	}
+
+	var effects []mapEffect
+	add := func(pos token.Pos, format string, args ...any) {
+		effects = append(effects, mapEffect{pos: pos, desc: fmt.Sprintf(format, args...)})
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			add(s.Pos(), "channel send")
+
+		case *ast.ReturnStmt:
+			add(s.Pos(), "return inside the loop (which iteration returns depends on order)")
+
+		case *ast.IncDecStmt:
+			// ++/-- on anything is commutative accumulation.
+			return true
+
+		case *ast.AssignStmt:
+			checkMapAssign(p, s, keyObj, localBase, &effects)
+			// Walk the RHS for calls, but the assignment itself is handled.
+			for _, r := range s.Rhs {
+				ast.Inspect(r, func(n ast.Node) bool {
+					if c, ok := n.(*ast.CallExpr); ok {
+						checkMapCall(p, c, rng, localBase, add)
+					}
+					return true
+				})
+			}
+			return false
+
+		case *ast.CallExpr:
+			checkMapCall(p, s, rng, localBase, add)
+			return true
+		}
+		return true
+	})
+	return effects
+}
+
+// checkMapAssign classifies one assignment inside a range-over-map body.
+func checkMapAssign(p *Pass, s *ast.AssignStmt, keyObj types.Object,
+	localBase func(ast.Expr) (types.Object, bool), effects *[]mapEffect) {
+	for i, lhs := range s.Lhs {
+		obj, local := localBase(lhs)
+		if local {
+			continue
+		}
+		if obj == nil {
+			*effects = append(*effects, mapEffect{pos: lhs.Pos(),
+				desc: fmt.Sprintf("write to %s", types.ExprString(lhs))})
+			continue
+		}
+		// x = append(x, ...): forgivable if x is sorted after the loop.
+		if len(s.Rhs) == len(s.Lhs) {
+			if call, ok := unparen(s.Rhs[i]).(*ast.CallExpr); ok && isBuiltin(p, call, "append") {
+				*effects = append(*effects, mapEffect{pos: s.Pos(),
+					desc: fmt.Sprintf("append to %s", obj.Name()), appendTo: obj})
+				continue
+			}
+		}
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+			token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.AND_NOT_ASSIGN:
+			// Commutative on numbers (min/max/sum-style accumulators);
+			// string += is concatenation and stays order-sensitive.
+			if t := p.TypeOf(lhs); t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsNumeric != 0 {
+					continue
+				}
+			}
+		case token.ASSIGN, token.DEFINE:
+			// m[key] = v writes a distinct element per iteration.
+			if idx, ok := unparen(lhs).(*ast.IndexExpr); ok && keyObj != nil && usesObject(p, idx.Index, keyObj) {
+				continue
+			}
+		}
+		*effects = append(*effects, mapEffect{pos: s.Pos(),
+			desc: fmt.Sprintf("write to outer %s", obj.Name())})
+	}
+}
+
+// checkMapCall classifies one call inside a range-over-map body.
+func checkMapCall(p *Pass, call *ast.CallExpr, rng *ast.RangeStmt,
+	localBase func(ast.Expr) (types.Object, bool), add func(token.Pos, string, ...any)) {
+	// Conversions are pure.
+	if tv, ok := p.Pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if _, isB := p.ObjectOf(id).(*types.Builtin); isB {
+			switch id.Name {
+			case "append":
+				// Handled at the assignment; a bare append is a no-op.
+				return
+			case "copy":
+				if len(call.Args) == 2 {
+					if _, local := localBase(call.Args[0]); local {
+						return
+					}
+					add(call.Pos(), "copy into outer %s", types.ExprString(call.Args[0]))
+				}
+				return
+			case "panic":
+				// Aborts the loop; which violation paniced first is not a
+				// simulated outcome.
+				return
+			default:
+				// len, cap, make, new, delete, min, max, ... are order-blind.
+				return
+			}
+		}
+	}
+	add(call.Pos(), "call to %s", types.ExprString(call.Fun))
+}
+
+// sortedAfter reports whether obj is passed to a sort.* / slices.* call
+// in one of the statements directly following the loop.
+func sortedAfter(p *Pass, rest []ast.Stmt, obj types.Object) bool {
+	for _, stmt := range rest {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		fo := p.ObjectOf(sel.Sel)
+		if fo == nil || fo.Pkg() == nil || (fo.Pkg().Path() != "sort" && fo.Pkg().Path() != "slices") {
+			continue
+		}
+		for _, arg := range call.Args {
+			if id := baseIdent(arg); id != nil && p.ObjectOf(id) == obj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// definedVar returns the object of a range key/value identifier.
+func definedVar(p *Pass, e ast.Expr) types.Object {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return p.ObjectOf(id)
+}
+
+// usesObject reports whether expr mentions obj.
+func usesObject(p *Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isBuiltin(p *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isB := p.ObjectOf(id).(*types.Builtin)
+	return isB
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}

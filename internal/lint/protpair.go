@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Protpair enforces the paper's sanctioned-write window (§3): a frame's
+// write protection may be dropped — SetFrameProtection(f, false) — only
+// for the brief span of a sanctioned store, and must be re-raised on
+// every return path of the same function. The accepted shapes are a
+// matching `defer ...SetFrameProtection(f, true)` (covers all paths by
+// construction) or a later matching call with no `return` between the
+// two (the straight-line open-copy-close idiom). A frame that
+// legitimately leaves the window open (e.g. the frame is being freed and
+// its protection dropped with it) carries `//riolint:protpair <reason>`.
+//
+// Matching is by the source text of the frame argument: the re-protect
+// must name the same frame expression the unprotect did.
+var Protpair = &Analyzer{
+	Name:      "protpair",
+	Directive: "protpair",
+	Doc:       "SetFrameProtection(f, false) must be paired with re-protection on all return paths",
+	Run:       runProtpair,
+}
+
+// unprotectNames are the recognized protection-toggle entry points: the
+// MMU primitive plus any kernel-level wrapper that grows the same
+// signature (frame, protected bool).
+var unprotectNames = map[string]bool{
+	"SetFrameProtection": true,
+}
+
+type protEvent struct {
+	frameKey string // normalized source of the frame argument
+	pos      token.Pos
+	deferred bool
+}
+
+type protContext struct {
+	unprot  []protEvent
+	prot    []protEvent
+	returns []token.Pos
+}
+
+func runProtpair(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkProtContext(p, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkProtContext(p, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkProtContext analyzes one function body. Nested function literals
+// are their own contexts (a re-protect in a closure that may never run
+// does not close the window), except deferred literals, which run on all
+// return paths of *this* context.
+func checkProtContext(p *Pass, body *ast.BlockStmt) {
+	ctx := &protContext{}
+	collectProtEvents(p, body, ctx, false)
+
+	for _, u := range ctx.unprot {
+		if deferredProtFor(ctx, u.frameKey) {
+			continue
+		}
+		nearest := token.Pos(-1)
+		for _, pr := range ctx.prot {
+			if pr.frameKey == u.frameKey && pr.pos > u.pos && (nearest == -1 || pr.pos < nearest) {
+				nearest = pr.pos
+			}
+		}
+		if nearest == -1 {
+			p.Reportf(u.pos,
+				"frame %s is unprotected here and never re-protected in this function; close the write window (a defer of SetFrameProtection(%s, true) covers every return path) or annotate //riolint:protpair <reason>",
+				u.frameKey, u.frameKey)
+			continue
+		}
+		for _, ret := range ctx.returns {
+			if ret > u.pos && ret < nearest {
+				p.Reportf(u.pos,
+					"frame %s is unprotected here but the return at line %d escapes before the re-protection at line %d; use defer, or re-protect on that path",
+					u.frameKey, p.Fset.Position(ret).Line, p.Fset.Position(nearest).Line)
+				break
+			}
+		}
+	}
+}
+
+func deferredProtFor(ctx *protContext, frameKey string) bool {
+	for _, pr := range ctx.prot {
+		if pr.deferred && pr.frameKey == frameKey {
+			return true
+		}
+	}
+	return false
+}
+
+// collectProtEvents gathers protection toggles and returns from body,
+// stopping at nested (non-deferred) function literals.
+func collectProtEvents(p *Pass, body ast.Node, ctx *protContext, deferred bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false // its own context
+		case *ast.DeferStmt:
+			if ev, ok := protCall(p, s.Call); ok {
+				ev.deferred = true
+				if isProtectValue(p, s.Call) {
+					ctx.prot = append(ctx.prot, ev)
+				} else {
+					ctx.unprot = append(ctx.unprot, ev)
+				}
+				return false
+			}
+			// defer func() { ... SetFrameProtection(f, true) ... }()
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				collectProtEvents(p, lit.Body, ctx, true)
+			}
+			return false
+		case *ast.ReturnStmt:
+			if !deferred {
+				ctx.returns = append(ctx.returns, s.Pos())
+			}
+		case *ast.CallExpr:
+			if ev, ok := protCall(p, s); ok {
+				ev.deferred = deferred
+				if isProtectValue(p, s) {
+					ctx.prot = append(ctx.prot, ev)
+				} else {
+					ctx.unprot = append(ctx.unprot, ev)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// protCall recognizes a call to a protection-toggle function with a
+// constant bool second argument and returns its event (deferred unset).
+// Calls with a non-constant flag — notably the toggle primitive's own
+// definition forwarding its parameter — are not events.
+func protCall(p *Pass, call *ast.CallExpr) (protEvent, bool) {
+	var name string
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return protEvent{}, false
+	}
+	if !unprotectNames[name] || len(call.Args) != 2 {
+		return protEvent{}, false
+	}
+	if _, ok := constBool(p, call.Args[1]); !ok {
+		return protEvent{}, false
+	}
+	return protEvent{frameKey: types.ExprString(call.Args[0]), pos: call.Pos()}, true
+}
+
+func isProtectValue(p *Pass, call *ast.CallExpr) bool {
+	v, _ := constBool(p, call.Args[1])
+	return v
+}
+
+func constBool(p *Pass, e ast.Expr) (bool, bool) {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Bool {
+		return false, false
+	}
+	return constant.BoolVal(tv.Value), true
+}

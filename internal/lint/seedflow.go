@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Seedflow flags seed values derived by arithmetic — seed++, seed+i,
+// base^constant — instead of sim.Mix. This is the PR-1 bug class: a
+// shared counter (or any arithmetic chain) couples streams, so changing
+// how many seeds one consumer draws silently resamples every later
+// consumer, and nearby seeds feed correlated state into weak PRNG
+// seeding. sim.Mix(parent, coordinates...) derives an independent,
+// well-dispersed stream per point in a parameter space and is the only
+// sanctioned derivation.
+//
+// The heuristic keys on names: any identifier or field whose name
+// contains "seed" that is incremented, compound-assigned with an
+// arithmetic operator, assigned from an arithmetic expression, or used
+// as an operand of one, is flagged. One diagnostic per source line;
+// suppress deliberate non-derivation arithmetic with
+// `//riolint:seedflow <reason>`.
+var Seedflow = &Analyzer{
+	Name:      "seedflow",
+	Directive: "seedflow",
+	Doc:       "seeds derived by counter/arithmetic instead of sim.Mix",
+	Run:       runSeedflow,
+}
+
+var arithAssignOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true,
+	token.XOR_ASSIGN: true, token.SHL_ASSIGN: true, token.SHR_ASSIGN: true,
+	token.OR_ASSIGN: true, token.AND_ASSIGN: true, token.AND_NOT_ASSIGN: true,
+}
+
+var arithBinOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.XOR: true,
+	token.SHL: true, token.SHR: true, token.OR: true, token.AND: true,
+	token.AND_NOT: true,
+}
+
+func runSeedflow(p *Pass) {
+	seen := make(map[string]map[int]bool) // file -> line -> reported
+	report := func(pos token.Pos, format string, args ...any) {
+		position := p.Fset.Position(pos)
+		lines := seen[position.Filename]
+		if lines == nil {
+			lines = make(map[int]bool)
+			seen[position.Filename] = lines
+		}
+		if lines[position.Line] {
+			return
+		}
+		lines[position.Line] = true
+		p.Reportf(pos, format, args...)
+	}
+
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.IncDecStmt:
+				if seedNamed(p, s.X) {
+					report(s.Pos(),
+						"%s%s derives seeds from a shared counter, coupling every later stream; derive each seed as sim.Mix(parent, coordinates...)",
+						types.ExprString(s.X), s.Tok)
+				}
+
+			case *ast.AssignStmt:
+				for i, lhs := range s.Lhs {
+					if !seedNamed(p, lhs) {
+						continue
+					}
+					if arithAssignOps[s.Tok] {
+						report(s.Pos(),
+							"%s %s … advances a seed arithmetically; derive independent seeds with sim.Mix(parent, coordinates...)",
+							types.ExprString(lhs), s.Tok)
+					} else if (s.Tok == token.ASSIGN || s.Tok == token.DEFINE) && i < len(s.Rhs) {
+						if b, ok := unparen(s.Rhs[i]).(*ast.BinaryExpr); ok && arithBinOps[b.Op] {
+							report(s.Pos(),
+								"%s is derived by arithmetic (%s); nearby seeds are correlated — use sim.Mix(parent, coordinates...)",
+								types.ExprString(lhs), types.ExprString(s.Rhs[i]))
+						}
+					}
+				}
+
+			case *ast.BinaryExpr:
+				if !arithBinOps[s.Op] || !isInteger(p, s) {
+					return true
+				}
+				if seedNamed(p, s.X) || seedNamed(p, s.Y) {
+					report(s.Pos(),
+						"seed arithmetic %s produces correlated streams; use sim.Mix(parent, coordinates...)",
+						types.ExprString(s))
+					return false // one report per chain
+				}
+			}
+			return true
+		})
+	}
+}
+
+// seedNamed reports whether the expression names a seed: an identifier,
+// field, or element whose (rightmost) name contains "seed".
+func seedNamed(p *Pass, e ast.Expr) bool {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(x.Name), "seed")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(x.Sel.Name), "seed") || seedNamed(p, x.X)
+	case *ast.IndexExpr:
+		return seedNamed(p, x.X)
+	case *ast.StarExpr:
+		return seedNamed(p, x.X)
+	case *ast.UnaryExpr:
+		return seedNamed(p, x.X)
+	case *ast.CallExpr:
+		// Look through conversions: uint64(seed) is still the seed.
+		if tv, ok := p.Pkg.Info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return seedNamed(p, x.Args[0])
+		}
+	}
+	return false
+}
+
+func isInteger(p *Pass, e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

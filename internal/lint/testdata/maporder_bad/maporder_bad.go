@@ -1,0 +1,68 @@
+// Package cache is a maporder violating fixture. dropFileData is a
+// regression-test reconstruction of the PR-2 motivating bug: map
+// iteration order decided the order buffers were removed, which decided
+// free-list order, which decided the disk-op order a fault plan keyed
+// on — identical seeded runs diverged.
+package cache
+
+type buf struct {
+	fileBlock int64
+}
+
+type store struct {
+	data  map[int64]*buf
+	freed []int64
+	sum   int64
+	last  int64
+	log   chan int64
+}
+
+func (s *store) remove(b *buf) {
+	s.freed = append(s.freed, b.fileBlock)
+}
+
+// dropFileData removes victims straight out of map order: the PR-2 bug.
+func (s *store) dropFileData(from int64) {
+	for _, b := range s.data { // want maporder "order-sensitive"
+		if b.fileBlock >= from {
+			s.remove(b)
+		}
+	}
+}
+
+// announce leaks map order through a channel.
+func (s *store) announce() {
+	for k := range s.data { // want maporder "order-sensitive"
+		s.log <- k
+	}
+}
+
+// lastKey publishes whichever key the runtime happened to visit last.
+func (s *store) lastKey() {
+	for k := range s.data { // want maporder "order-sensitive"
+		s.last = k
+	}
+}
+
+// firstOver returns an arbitrary matching element: first-match depends
+// on iteration order.
+func (s *store) firstOver(from int64) *buf {
+	for _, b := range s.data { // want maporder "order-sensitive"
+		if b.fileBlock >= from {
+			return b
+		}
+	}
+	return nil
+}
+
+// collectUnsorted appends in map order and never sorts, so the caller
+// sees a randomly ordered slice.
+func (s *store) collectUnsorted() []int64 {
+	var out []int64
+	for k := range s.data { // want maporder "order-sensitive"
+		out = append(out, k)
+	}
+	return out
+}
+
+var _ = (&store{}).dropFileData

@@ -1,0 +1,88 @@
+// Package cache is the maporder clean fixture: every range-over-map
+// here is order-benign, uses the canonical collect-then-sort fix, or
+// carries a reasoned suppression.
+package cache
+
+import "sort"
+
+type buf struct {
+	fileBlock int64
+	dirty     bool
+}
+
+type store struct {
+	data   map[int64]*buf
+	freed  []int64
+	mirror map[int64]int64
+}
+
+func (s *store) remove(b *buf) {
+	s.freed = append(s.freed, b.fileBlock)
+}
+
+// dropFileData is the fixed PR-2 shape: collect in map order, sort, then
+// apply effects in deterministic order.
+func (s *store) dropFileData(from int64) {
+	var victims []*buf
+	for _, b := range s.data {
+		if b.fileBlock >= from {
+			victims = append(victims, b)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].fileBlock < victims[j].fileBlock })
+	for _, b := range victims {
+		s.remove(b)
+	}
+}
+
+// stats only accumulates commutatively.
+func (s *store) stats() (n int, sum int64) {
+	for k, b := range s.data {
+		n++
+		sum += k
+		if b.dirty {
+			sum -= 1
+		}
+	}
+	return n, sum
+}
+
+// rekey writes a distinct element of another map per iteration.
+func (s *store) rekey() {
+	for k, b := range s.data {
+		s.mirror[k] = b.fileBlock
+	}
+}
+
+// prune deletes while ranging, which the spec sanctions and which is
+// order-blind.
+func (s *store) prune(from int64) {
+	for k, b := range s.data {
+		if b.fileBlock >= from {
+			delete(s.data, k)
+		}
+	}
+}
+
+// countBig keeps all per-iteration work local and accumulates only
+// commutatively.
+func (s *store) countBig() int {
+	n := 0
+	for _, b := range s.data {
+		scaled := b.fileBlock * 2
+		if scaled > 1<<40 {
+			n++
+		}
+	}
+	return n
+}
+
+// anyKey hands back an arbitrary key; the suppression documents why
+// order is benign.
+func (s *store) anyKey() (int64, bool) {
+	//riolint:ordered caller asks for an arbitrary representative; all keys are equivalent
+	for k := range s.data {
+		return k, true
+	}
+	return 0, false
+}

@@ -1,0 +1,50 @@
+// Package protfix is a protpair violating fixture. writeBlockUnpaired
+// is a regression-test reconstruction of the motivating invariant
+// violation: the write-permission window opens and never closes, so the
+// frame sits writable for the rest of the run and any wild store lands
+// silently — exactly what the paper's protection discipline exists to
+// prevent.
+package protfix
+
+type mmu struct{}
+
+func (m *mmu) SetFrameProtection(frame int, protected bool) {}
+
+type kern struct {
+	mmu mmu
+}
+
+func store(frame int) error { return nil }
+
+// writeBlockUnpaired opens the window and forgets to close it.
+func (k *kern) writeBlockUnpaired(frame int) {
+	k.mmu.SetFrameProtection(frame, false) // want protpair "never re-protected"
+	store(frame)
+}
+
+// writeBlockEscapes closes the window on the happy path only: the error
+// return escapes with the frame still writable.
+func (k *kern) writeBlockEscapes(frame int) error {
+	k.mmu.SetFrameProtection(frame, false) // want protpair "escapes"
+	if err := store(frame); err != nil {
+		return err
+	}
+	k.mmu.SetFrameProtection(frame, true)
+	return nil
+}
+
+// writeBlockWrongFrame re-protects a different frame than it opened.
+func (k *kern) writeBlockWrongFrame(a, b int) {
+	k.mmu.SetFrameProtection(a, false) // want protpair "never re-protected"
+	store(a)
+	k.mmu.SetFrameProtection(b, true)
+}
+
+// closureDoesNotCount stashes the re-protect in a closure that may never
+// run; the window is not provably closed on any path.
+func (k *kern) closureDoesNotCount(frame int) func() {
+	k.mmu.SetFrameProtection(frame, false) // want protpair "never re-protected"
+	return func() {
+		k.mmu.SetFrameProtection(frame, true)
+	}
+}

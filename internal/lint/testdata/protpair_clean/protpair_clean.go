@@ -1,0 +1,45 @@
+// Package protfix is the protpair clean fixture: the accepted window
+// shapes — defer-paired, straight-line paired, defer via closure — plus
+// a reasoned suppression for a frame that legitimately stays writable.
+package protfix
+
+type mmu struct{}
+
+func (m *mmu) SetFrameProtection(frame int, protected bool) {}
+
+type kern struct {
+	mmu mmu
+}
+
+func store(frame int) error { return nil }
+
+// writeBlockDefer closes the window on every return path by defer.
+func (k *kern) writeBlockDefer(frame int) error {
+	k.mmu.SetFrameProtection(frame, false)
+	defer k.mmu.SetFrameProtection(frame, true)
+	return store(frame)
+}
+
+// writeBlockDeferClosure closes it from a deferred closure.
+func (k *kern) writeBlockDeferClosure(frame int) error {
+	k.mmu.SetFrameProtection(frame, false)
+	defer func() {
+		k.mmu.SetFrameProtection(frame, true)
+	}()
+	return store(frame)
+}
+
+// writeBlockStraight is the open-copy-close idiom with no return between
+// the toggles.
+func (k *kern) writeBlockStraight(frame int) {
+	k.mmu.SetFrameProtection(frame, false)
+	store(frame)
+	k.mmu.SetFrameProtection(frame, true)
+}
+
+// freeFrame mirrors the kernel's FreeFrame: the frame is leaving cache
+// service, so dropping protection without re-raising it is the point.
+func (k *kern) freeFrame(frame int) {
+	//riolint:protpair freed frame returns to the pool unprotected by design
+	k.mmu.SetFrameProtection(frame, false)
+}

@@ -1,0 +1,44 @@
+// Package seedfix is a seedflow violating fixture. nextSeeds is a
+// regression-test reconstruction of the PR-1 motivating bug: a shared
+// seed counter handed out consecutive seeds, so inserting one extra run
+// in an early cell silently resampled every later cell, and consecutive
+// seeds fed correlated state into the PRNG's seeding.
+package seedfix
+
+// nextSeeds is the seed++ chain: the PR-1 bug.
+func nextSeeds(campaign uint64, runs int) []uint64 {
+	seed := campaign
+	var out []uint64
+	for i := 0; i < runs; i++ {
+		out = append(out, seed)
+		seed++ // want seedflow "shared counter"
+	}
+	return out
+}
+
+// offsetSeed derives a run seed by adding the attempt index.
+func offsetSeed(campaignSeed uint64, attempt int) uint64 {
+	return campaignSeed + uint64(attempt) // want seedflow "correlated"
+}
+
+// saltedSeed derives a substream by xoring a constant.
+func saltedSeed(seed uint64) uint64 {
+	derived := seed ^ 0xdead // want seedflow "correlated"
+	return derived
+}
+
+// advance walks a seed arithmetically between consumers.
+func advance(seed *uint64) {
+	*seed += 1 // want seedflow "arithmetically"
+}
+
+type runCfg struct {
+	Seed uint64
+}
+
+// stride plants arithmetic into a config field.
+func stride(base runCfg, i uint64) runCfg {
+	var cfg runCfg
+	cfg.Seed = base.Seed * i // want seedflow "arithmetic"
+	return cfg
+}

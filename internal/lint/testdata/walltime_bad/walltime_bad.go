@@ -1,0 +1,31 @@
+// Package sim is a walltime violating fixture: the motivating bug shape
+// is host time read inside a simulation package, where it silently makes
+// outcomes depend on the machine instead of the seed.
+package sim
+
+import (
+	"math/rand" // want walltime "math/rand"
+	"time"
+)
+
+type event struct {
+	at int64
+}
+
+// stamp reads the host clock for a simulated event timestamp.
+func stamp() event {
+	t := time.Now() // want walltime "time.Now"
+	return event{at: t.UnixNano()}
+}
+
+// jitter draws host randomness and blocks the simulation on host time.
+func jitter() int64 {
+	d := rand.Int63n(1000)
+	time.Sleep(time.Duration(d)) // want walltime "time.Sleep"
+	return d
+}
+
+// age measures a simulated duration against the host clock.
+func age(e event) time.Duration {
+	return time.Since(time.Unix(0, e.at)) // want walltime "time.Since"
+}

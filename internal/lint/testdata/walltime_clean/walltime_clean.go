@@ -1,0 +1,33 @@
+// Package sim is the walltime clean fixture: time types, constants, and
+// arithmetic are free; the one host-clock read is an annotated telemetry
+// seam, mirroring the tree's sanctioned site (crashtest's hostClock).
+package sim
+
+import "time"
+
+// tick is a duration constant — no clock is read.
+const tick = 2 * time.Second
+
+// clock is an injectable time source; simulation code takes readings
+// from it, never from the host.
+type clock interface {
+	Now() time.Time
+}
+
+// hostClock is the telemetry implementation; the annotation sanctions
+// its single host-clock read.
+type hostClock struct{}
+
+func (hostClock) Now() time.Time {
+	//riolint:walltime telemetry seam: rates reported to the operator are host wall-clock by design
+	return time.Now()
+}
+
+// span does duration arithmetic on readings already taken.
+func span(a, b time.Time) time.Duration {
+	d := b.Sub(a)
+	if d < tick {
+		return tick
+	}
+	return d
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Walltime forbids reading the host clock or the host's random number
+// generator inside simulation packages. Every simulated outcome must be
+// a pure function of seeds: time flows through the sim clock
+// (sim.Clock), randomness through sim.Mix and sim.Rand, whose streams
+// are stable across Go releases (math/rand's are not, and campaigns
+// cite seeds that must reproduce forever). Host-time telemetry that
+// deliberately reports wall-clock rates gets a `//riolint:walltime
+// <reason>` annotation — the tree sanctions exactly one such site, the
+// crash campaign's injectable clock.
+var Walltime = &Analyzer{
+	Name:      "walltime",
+	Directive: "walltime",
+	Doc:       "host clock and math/rand use in simulation packages",
+	Run:       runWalltime,
+}
+
+// wallFuncs are the package time functions that read the host clock or
+// block on it. Types and constants (time.Duration, time.Second) remain
+// free to use.
+var wallFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+	"AfterFunc": true,
+}
+
+func runWalltime(p *Pass) {
+	if !detPackages[p.Pkg.Name] {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(),
+					"%s is forbidden in simulation packages: its streams change across Go releases; use sim.Rand (seeded via sim.Mix)", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.ObjectOf(sel.Sel)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" || !wallFuncs[obj.Name()] {
+				return true
+			}
+			p.Reportf(sel.Pos(),
+				"time.%s reads the host clock inside a simulation package; route time through the sim clock or annotate //riolint:walltime <reason>",
+				obj.Name())
+			return true
+		})
+	}
+}

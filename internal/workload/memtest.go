@@ -6,6 +6,7 @@ package workload
 import (
 	"bytes"
 	"fmt"
+	"sort"
 
 	"rio/internal/fs"
 	"rio/internal/kernel"
@@ -419,7 +420,16 @@ func (mt *MemTest) Verify(fsys *fs.FS) []Corruption {
 		return nil
 	}
 
-	for path, want := range mt.oracle {
+	// Verification reads go through the real cache and I/O stack, so
+	// their order is simulation state; walk the oracle in sorted path
+	// order, not map order.
+	paths := make([]string, 0, len(mt.oracle))
+	for path := range mt.oracle {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		want := mt.oracle[path]
 		fl := inflight(path)
 		if fl != nil && fl.Kind == OpDelete {
 			continue // may be gone or present; both fine
@@ -478,8 +488,15 @@ func (mt *MemTest) Verify(fsys *fs.FS) []Corruption {
 		}
 	}
 
-	// Symbolic links: each recorded link must still point at its target.
-	for link, target := range mt.links {
+	// Symbolic links: each recorded link must still point at its target
+	// (sorted order, for the same reason as above).
+	links := make([]string, 0, len(mt.links))
+	for link := range mt.links {
+		links = append(links, link)
+	}
+	sort.Strings(links)
+	for _, link := range links {
+		target := mt.links[link]
 		if fl := inflight(link); fl != nil {
 			continue // creation or deletion was in flight; either state is fine
 		}

@@ -472,7 +472,7 @@ func (w *Andrew) Run(m *machine.Machine) (sim.Duration, error) {
 			if err != nil {
 				return 0, err
 			}
-			if err := writeChunked(f, kernel.FillBytes(tmp.size, tf.Seed^uint64(len(tmp.path))), 2048); err != nil {
+			if err := writeChunked(f, kernel.FillBytes(tmp.size, sim.Mix(tf.Seed, uint64(len(tmp.path)))), 2048); err != nil {
 				return 0, err
 			}
 			if err := f.Close(); err != nil {
@@ -485,7 +485,7 @@ func (w *Andrew) Run(m *machine.Machine) (sim.Duration, error) {
 		if err != nil {
 			return 0, err
 		}
-		if err := writeChunked(f, kernel.FillBytes(len(data)*6/10, tf.Seed^0xb1), 2048); err != nil {
+		if err := writeChunked(f, kernel.FillBytes(len(data)*6/10, sim.Mix(tf.Seed, 0xb1)), 2048); err != nil {
 			return 0, err
 		}
 		if err := f.Close(); err != nil {

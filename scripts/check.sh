@@ -7,6 +7,11 @@ cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+# riolint enforces the invariants vet can't see: deterministic iteration,
+# no host clock/randomness in sim packages, paired protection windows,
+# sim.Mix-only seed derivation. A finding fails the gate; fix it or
+# suppress with a reasoned //riolint: comment (see DESIGN.md).
+go run ./cmd/riolint ./...
 go test ./...
 # The campaign scheduler fans runs across goroutines; guard it with the
 # race detector (this re-runs the real mini-campaigns under -race, so it
