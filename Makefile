@@ -2,7 +2,7 @@
 # vet, tests, and the race detector over the concurrent campaign
 # scheduler (scripts/check.sh is the single source of truth).
 
-.PHONY: check build lint test race bench crash-recovery
+.PHONY: check build lint test race bench crash-recovery serve-bench
 
 check:
 	sh scripts/check.sh
@@ -34,6 +34,14 @@ crash-recovery:
 	go run ./cmd/riocrash -runs 2 -seed 1996 -workers 4 -disk-faults -quiet 2>/dev/null \
 		| grep -v '^campaign:' | diff -u testdata/crash-recovery.golden -
 	@echo "crash-recovery: output matches golden"
+
+# Server smoke benchmark: riod's shard fabric under rioload via the
+# in-process transport — 8 closed-loop clients for 10s against 4 shards,
+# plus a 1-shard baseline at the same client count (the acceptance bar:
+# 4 shards must beat 1). Writes BENCH_server.json (throughput, p50/p95/p99).
+serve-bench:
+	go run ./cmd/rioload -net memory -shards 4 -clients 8 -duration 10s \
+		-compare 1 -out BENCH_server.json
 
 crash-recovery-golden:
 	mkdir -p testdata

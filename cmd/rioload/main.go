@@ -1,0 +1,433 @@
+// Command rioload is a closed-loop load generator for riod: N client
+// goroutines each issue one request at a time against the server —
+// over TCP or against an in-process server (-net memory) — with a
+// configurable read/write mix, key count, and key-space skew. Clients
+// follow the EAGAIN discipline: retryable statuses are re-submitted
+// with exponential backoff, so a shard crash plus warm reboot under
+// load shows up as a latency blip, not an error storm.
+//
+// Usage:
+//
+//	rioload [-net memory|tcp] [-addr host:7979] [-clients 8]
+//	        [-duration 10s] [-writes 0.5] [-keys 900] [-size 8192]
+//	        [-skew 0] [-seed 1] [-out BENCH_server.json]
+//	        [-shards 4] [-mem 16] [-disk 32]        (memory mode sizing)
+//	        [-compare N]                            (memory mode: baseline at N shards)
+//	        [-crash-shard K -crash-at D -crash-down D]
+//
+// The run prints a throughput/latency table and writes a JSON report.
+// -compare N first runs the identical load against an N-shard server
+// and reports the aggregate speedup — the serving-path scaling
+// trajectory (more shards = more independent file caches and shorter
+// per-shard directory scans, so a 4-shard server outruns a 1-shard
+// server even on one core).
+//
+// -crash-shard K crashes shard K at -crash-at into the measured run
+// and warm-reboots it -crash-down later, demonstrating crash-under-
+// load recovery: acknowledged writes survive, the other shards never
+// stall, and the report counts how many requests the retry loop
+// absorbed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"rio"
+	"rio/internal/server"
+	"rio/internal/sim"
+	"rio/internal/wire"
+)
+
+type loadConfig struct {
+	Net      string        `json:"net"`
+	Addr     string        `json:"addr,omitempty"`
+	Shards   int           `json:"shards"`
+	Clients  int           `json:"clients"`
+	Duration time.Duration `json:"-"`
+	Writes   float64       `json:"write_fraction"`
+	Keys     int           `json:"keys"`
+	Size     int           `json:"value_bytes"`
+	Skew     float64       `json:"skew"`
+	Seed     uint64        `json:"seed"`
+	Policy   string        `json:"policy"`
+	MemMB    int           `json:"mem_mb"`
+	DiskMB   int           `json:"disk_mb"`
+	Queue    int           `json:"queue_depth"`
+	Batch    int           `json:"max_batch"`
+
+	CrashShard int           `json:"crash_shard,omitempty"`
+	CrashAt    time.Duration `json:"-"`
+	CrashDown  time.Duration `json:"-"`
+}
+
+type latencyJSON struct {
+	P50us float64 `json:"p50_us"`
+	P95us float64 `json:"p95_us"`
+	P99us float64 `json:"p99_us"`
+}
+
+type runResult struct {
+	WallSeconds float64     `json:"wall_seconds"`
+	Ops         uint64      `json:"ops"`
+	OpsPerSec   float64     `json:"ops_per_sec"`
+	Bytes       uint64      `json:"bytes"`
+	MBPerSec    float64     `json:"mb_per_sec"`
+	Reads       uint64      `json:"reads"`
+	Writes      uint64      `json:"writes"`
+	AckedWrites uint64      `json:"acked_writes"`
+	Errors      uint64      `json:"errors"`
+	Retries     uint64      `json:"retries"`
+	Exhausted   uint64      `json:"exhausted"`
+	Latency     latencyJSON `json:"latency_us"`
+
+	hist server.Histogram
+}
+
+type benchReport struct {
+	Bench    string          `json:"bench"`
+	Config   loadConfig      `json:"config"`
+	Duration float64         `json:"duration_sec"`
+	Result   runResult       `json:"result"`
+	Shards   *server.Metrics `json:"server_metrics,omitempty"`
+	Baseline *baselineReport `json:"baseline,omitempty"`
+}
+
+type baselineReport struct {
+	Shards    int     `json:"shards"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Speedup   float64 `json:"speedup"` // main ops/s over baseline ops/s
+}
+
+func main() {
+	var cfg loadConfig
+	flag.StringVar(&cfg.Net, "net", "tcp", "transport: tcp or memory (in-process server)")
+	flag.StringVar(&cfg.Addr, "addr", "localhost:7979", "riod address (tcp mode)")
+	flag.IntVar(&cfg.Clients, "clients", 8, "concurrent closed-loop clients")
+	flag.DurationVar(&cfg.Duration, "duration", 10*time.Second, "measured run length")
+	flag.Float64Var(&cfg.Writes, "writes", 0.5, "write fraction of the op mix [0,1]")
+	// 900 keys fit one machine's 1024-entry inode table, so a -compare 1
+	// baseline can hold the whole key set on a single shard; at 8 KB each
+	// they still overflow one shard's data cache, which is where the
+	// multi-shard capacity win comes from.
+	flag.IntVar(&cfg.Keys, "keys", 900, "distinct keys (flat files; each shard holds at most 1024 inodes)")
+	flag.IntVar(&cfg.Size, "size", 8192, "bytes per write")
+	flag.Float64Var(&cfg.Skew, "skew", 0, "key-space skew exponent (0 = uniform; 1 ≈ zipf)")
+	flag.Uint64Var(&cfg.Seed, "seed", 1, "load seed (per-client streams derived via sim.Mix)")
+	flag.IntVar(&cfg.Shards, "shards", 4, "shards (memory mode)")
+	flag.StringVar(&cfg.Policy, "policy", "rio", "file-system policy (memory mode)")
+	flag.IntVar(&cfg.MemMB, "mem", 16, "memory per shard, MB (memory mode)")
+	flag.IntVar(&cfg.DiskMB, "disk", 32, "disk per shard, MB (memory mode)")
+	flag.IntVar(&cfg.Queue, "queue", 128, "per-shard queue depth (memory mode)")
+	flag.IntVar(&cfg.Batch, "batch", 32, "max batch per drain (memory mode)")
+	compare := flag.Int("compare", 0, "also run a baseline at this shard count (memory mode) and report speedup")
+	flag.IntVar(&cfg.CrashShard, "crash-shard", -1, "crash this shard mid-run (-1 = no crash)")
+	flag.DurationVar(&cfg.CrashAt, "crash-at", 2*time.Second, "when to crash, measured from run start")
+	flag.DurationVar(&cfg.CrashDown, "crash-down", 500*time.Millisecond, "outage length before the warm reboot")
+	out := flag.String("out", "BENCH_server.json", "JSON report path (empty = skip)")
+	flag.Parse()
+
+	if cfg.Writes < 0 || cfg.Writes > 1 {
+		fmt.Fprintln(os.Stderr, "rioload: -writes must be in [0,1]")
+		os.Exit(2)
+	}
+	if cfg.Net != "tcp" && cfg.Net != "memory" {
+		fmt.Fprintf(os.Stderr, "rioload: unknown -net %q (want tcp or memory)\n", cfg.Net)
+		os.Exit(2)
+	}
+
+	report := benchReport{Bench: "riod-load", Config: cfg, Duration: cfg.Duration.Seconds()}
+
+	if *compare > 0 {
+		if cfg.Net != "memory" {
+			fmt.Fprintln(os.Stderr, "rioload: -compare needs -net memory")
+			os.Exit(2)
+		}
+		base := cfg
+		base.Shards = *compare
+		base.CrashShard = -1
+		fmt.Printf("rioload: baseline run, %d shard(s)...\n", base.Shards)
+		baseRes, _, err := runLoad(base)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rioload:", err)
+			os.Exit(1)
+		}
+		report.Baseline = &baselineReport{Shards: base.Shards, OpsPerSec: baseRes.OpsPerSec}
+		printRun(fmt.Sprintf("baseline (%d shard)", base.Shards), baseRes)
+	}
+
+	res, metrics, err := runLoad(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rioload:", err)
+		os.Exit(1)
+	}
+	report.Result = *res
+	report.Shards = metrics
+	printRun(fmt.Sprintf("run (%d shard)", cfg.Shards), res)
+	if metrics != nil {
+		fmt.Println("\nper-shard server metrics:")
+		fmt.Print(metrics.Table())
+	}
+	if report.Baseline != nil && report.Baseline.OpsPerSec > 0 {
+		report.Baseline.Speedup = res.OpsPerSec / report.Baseline.OpsPerSec
+		fmt.Printf("\nshard scaling: %d shards at %.0f ops/s vs %d at %.0f ops/s -> %.2fx\n",
+			cfg.Shards, res.OpsPerSec, report.Baseline.Shards,
+			report.Baseline.OpsPerSec, report.Baseline.Speedup)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(&report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rioload: write report:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func printRun(name string, r *runResult) {
+	fmt.Printf("%-20s %9d ops  %9.0f ops/s  %7.1f MB/s  errors %d  retries %d  p50 %.0fµs  p95 %.0fµs  p99 %.0fµs\n",
+		name, r.Ops, r.OpsPerSec, r.MBPerSec, r.Errors, r.Retries,
+		r.Latency.P50us, r.Latency.P95us, r.Latency.P99us)
+}
+
+// dial returns one client connection for the given transport.
+func dial(cfg loadConfig, srv *server.Server) (server.Client, error) {
+	if srv != nil {
+		return server.MemClient{S: srv}, nil
+	}
+	return server.DialTCP(cfg.Addr)
+}
+
+// runLoad executes populate + measured phases and returns the merged
+// result (plus server metrics in memory mode).
+func runLoad(cfg loadConfig) (*runResult, *server.Metrics, error) {
+	var srv *server.Server
+	if cfg.Net == "memory" {
+		var err error
+		srv, err = server.New(server.Config{
+			Shards: cfg.Shards, QueueDepth: cfg.Queue, MaxBatch: cfg.Batch,
+			Policy: rio.Policy(cfg.Policy), Seed: cfg.Seed,
+			MemoryMB: cfg.MemMB, DiskMB: cfg.DiskMB,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		defer srv.Close()
+	}
+
+	keys := make([]string, cfg.Keys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("/bench-k%05d", i)
+	}
+	cdf := skewCDF(cfg.Keys, cfg.Skew)
+	payload := make([]byte, cfg.Size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	// Populate: every key written once so measured reads mostly hit.
+	if err := populate(cfg, srv, keys, payload); err != nil {
+		return nil, nil, err
+	}
+
+	// Measured phase.
+	results := make([]runResult, cfg.Clients)
+	errs := make([]error, cfg.Clients)
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[c] = client(cfg, srv, c, keys, cdf, payload, deadline, &results[c])
+		}()
+	}
+	if cfg.CrashShard >= 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			crashController(cfg, srv, start)
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	merged := &runResult{WallSeconds: wall.Seconds()}
+	for c := range results {
+		if errs[c] != nil {
+			return nil, nil, fmt.Errorf("client %d: %w", c, errs[c])
+		}
+		r := &results[c]
+		merged.Ops += r.Ops
+		merged.Bytes += r.Bytes
+		merged.Reads += r.Reads
+		merged.Writes += r.Writes
+		merged.AckedWrites += r.AckedWrites
+		merged.Errors += r.Errors
+		merged.Retries += r.Retries
+		merged.Exhausted += r.Exhausted
+		merged.hist.Merge(&r.hist)
+	}
+	merged.OpsPerSec = float64(merged.Ops) / wall.Seconds()
+	merged.MBPerSec = float64(merged.Bytes) / 1e6 / wall.Seconds()
+	merged.Latency = latencyJSON{
+		P50us: merged.hist.Quantile(0.50),
+		P95us: merged.hist.Quantile(0.95),
+		P99us: merged.hist.Quantile(0.99),
+	}
+	var metrics *server.Metrics
+	if srv != nil {
+		m := srv.Metrics()
+		metrics = &m
+	}
+	return merged, metrics, nil
+}
+
+// populate writes every key once, split across the client count.
+func populate(cfg loadConfig, srv *server.Server, keys []string, payload []byte) error {
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := dial(cfg, srv)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer cl.Close()
+			rc := &server.RetryClient{C: cl, Pol: server.DefaultRetryPolicy()}
+			for i := c; i < len(keys); i += cfg.Clients {
+				resp, err := rc.Do(&wire.Request{ID: uint64(i), Op: wire.OpWrite,
+					Shard: -1, Path: keys[i], Data: payload})
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if resp.Status != wire.StatusOK {
+					errs[c] = fmt.Errorf("populate %s: %v %s", keys[i], resp.Status, resp.Msg)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// client is one closed-loop load goroutine.
+func client(cfg loadConfig, srv *server.Server, idx int, keys []string,
+	cdf []float64, payload []byte, deadline time.Time, out *runResult) error {
+	cl, err := dial(cfg, srv)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	rc := &server.RetryClient{C: cl, Pol: server.DefaultRetryPolicy()}
+	rng := sim.NewRand(sim.Mix(cfg.Seed, uint64(idx), 0x10ad))
+
+	id := uint64(idx) << 32
+	for time.Now().Before(deadline) {
+		key := keys[pick(cdf, rng)]
+		id++
+		req := &wire.Request{ID: id, Shard: -1, Path: key}
+		isWrite := rng.Float64() < cfg.Writes
+		if isWrite {
+			req.Op = wire.OpWrite
+			req.Data = payload
+		} else {
+			req.Op = wire.OpRead
+		}
+		begin := time.Now()
+		resp, err := rc.Do(req)
+		if err != nil {
+			return err
+		}
+		out.hist.Observe(time.Since(begin))
+		out.Ops++
+		out.Bytes += uint64(len(req.Data) + len(resp.Data))
+		if isWrite {
+			out.Writes++
+			if resp.Status == wire.StatusOK {
+				out.AckedWrites++
+			}
+		} else {
+			out.Reads++
+		}
+		if resp.Status != wire.StatusOK && !resp.Status.Retryable() {
+			out.Errors++
+		}
+	}
+	out.Retries = rc.Stats.Retries
+	out.Exhausted = rc.Stats.Exhausted
+	out.Latency = latencyJSON{
+		P50us: out.hist.Quantile(0.50),
+		P95us: out.hist.Quantile(0.95),
+		P99us: out.hist.Quantile(0.99),
+	}
+	return nil
+}
+
+// crashController crashes cfg.CrashShard at cfg.CrashAt into the run
+// and warm-reboots it cfg.CrashDown later.
+func crashController(cfg loadConfig, srv *server.Server, start time.Time) {
+	cl, err := dial(cfg, srv)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rioload: crash controller:", err)
+		return
+	}
+	defer cl.Close()
+	time.Sleep(time.Until(start.Add(cfg.CrashAt)))
+	if resp, err := cl.Do(&wire.Request{ID: 1, Op: wire.OpCrash, Shard: int32(cfg.CrashShard)}); err != nil || resp.Status != wire.StatusOK {
+		fmt.Fprintf(os.Stderr, "rioload: crash op: %v %+v\n", err, resp)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "rioload: crashed shard %d at +%v\n", cfg.CrashShard, cfg.CrashAt)
+	time.Sleep(cfg.CrashDown)
+	if resp, err := cl.Do(&wire.Request{ID: 2, Op: wire.OpWarmboot, Shard: int32(cfg.CrashShard)}); err != nil || resp.Status != wire.StatusOK {
+		fmt.Fprintf(os.Stderr, "rioload: warmboot op: %v %+v\n", err, resp)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "rioload: warm-rebooted shard %d after %v down\n", cfg.CrashShard, cfg.CrashDown)
+}
+
+// skewCDF builds the cumulative distribution for a power-law key
+// popularity: weight(i) = 1/(i+1)^s. s=0 is uniform.
+func skewCDF(n int, s float64) []float64 {
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1.0 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return cdf
+}
+
+// pick samples the CDF with one uniform draw.
+func pick(cdf []float64, rng *sim.Rand) int {
+	i := sort.SearchFloat64s(cdf, rng.Float64())
+	if i >= len(cdf) {
+		i = len(cdf) - 1 // guard the float rounding edge at cdf[n-1]
+	}
+	return i
+}

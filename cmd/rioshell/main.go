@@ -7,8 +7,9 @@
 //	rioshell [-policy rio|ufs|mfs|...] [-seed S]
 //
 // Commands: ls [dir], cat <file>, write <file> <text...>, append <file>
-// <text...>, mkdir <dir>, rm <path>, mv <old> <new>, stat <path>, stats,
-// faults, inject <fault>, crash, warmboot, coldboot, policies, help, quit.
+// <text...>, mkdir <dir>, rm <path>, mv <old> <new>, stat <path>, sync,
+// batch, stats, faults, inject <fault>, crash, warmboot, coldboot,
+// policies, help, quit.
 package main
 
 import (
@@ -44,6 +45,12 @@ func main() {
 		}
 		fmt.Print("rio> ")
 		if !sc.Scan() {
+			// EOF is a normal quit; a read error (closed pipe, oversized
+			// line) should be reported, not silently swallowed.
+			if err := sc.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "rioshell: stdin:", err)
+				os.Exit(1)
+			}
 			return
 		}
 		line := strings.TrimSpace(sc.Text())
@@ -68,9 +75,9 @@ func execute(sys *rio.System, args []string) (quit bool) {
 		return true
 	case "help":
 		fmt.Println("ls [dir] | cat f | write f text | append f text | mkdir d |",
-			"rm p | mv a b | ln t l | readlink l | stat p | stats | faults |",
-			"inject <fault> | crash | warmboot | coldboot | ups | powerfail |",
-			"upsboot | policies | quit")
+			"rm p | mv a b | ln t l | readlink l | stat p | sync | batch |",
+			"stats | faults | inject <fault> | crash | warmboot | coldboot |",
+			"ups | powerfail | upsboot | policies | quit")
 	case "ls":
 		dir := "/"
 		if len(args) > 1 {
@@ -164,6 +171,16 @@ func execute(sys *rio.System, args []string) (quit bool) {
 			return
 		}
 		fmt.Printf("%+v\n", st)
+	case "sync":
+		sys.Sync()
+		fmt.Println("sync complete (under Rio this is a no-op for reliability — " +
+			"writes were already permanent)")
+	case "batch":
+		// Deliberate no-op: riod batches at the server's shard queues;
+		// the shell is one client on one machine, so there is nothing to
+		// batch here. Listed in help so users discover the distinction.
+		fmt.Println("batching happens server-side (riod drains shard queues in " +
+			"batches); no-op in the shell")
 	case "stats":
 		st := sys.Stats()
 		fmt.Printf("simulated time %.3fs, %d syscalls, disk %d reads / %d writes (%d bytes),\n",

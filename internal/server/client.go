@@ -1,0 +1,128 @@
+package server
+
+import (
+	"net"
+	"time"
+
+	"rio/internal/wire"
+)
+
+// Client is the transport-independent face of a riod server: tests and
+// the load generator speak to an in-process server and a TCP server
+// through the same interface.
+type Client interface {
+	// Do submits one request and blocks for its response. A non-nil
+	// error means the transport failed; server-side failures come back
+	// as typed statuses in the response.
+	Do(req *wire.Request) (*wire.Response, error)
+	Close() error
+}
+
+// MemClient is the in-process transport: calls land directly on the
+// server with no sockets or frames in between. Deterministic given a
+// deterministic caller, which is what the golden-transcript tests use.
+type MemClient struct{ S *Server }
+
+// Do implements Client.
+func (c MemClient) Do(req *wire.Request) (*wire.Response, error) { return c.S.Do(req), nil }
+
+// Close implements Client (the server's lifecycle is the caller's).
+func (c MemClient) Close() error { return nil }
+
+// TCPClient is a synchronous wire-protocol client over one TCP
+// connection. Not safe for concurrent use; closed-loop load clients
+// hold one each.
+type TCPClient struct {
+	conn net.Conn
+	buf  []byte
+}
+
+// DialTCP connects to a riod server.
+func DialTCP(addr string) (*TCPClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &TCPClient{conn: conn, buf: make([]byte, 0, 4096)}, nil
+}
+
+// Do implements Client.
+func (c *TCPClient) Do(req *wire.Request) (*wire.Response, error) {
+	if err := wire.WriteFrame(c.conn, wire.AppendRequest(c.buf[:0], req)); err != nil {
+		return nil, err
+	}
+	payload, err := wire.ReadFrame(c.conn, wire.MaxFrame)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeResponse(payload)
+}
+
+// Close implements Client.
+func (c *TCPClient) Close() error { return c.conn.Close() }
+
+// RetryPolicy bounds a client's EAGAIN loop. It is ioretry.Policy's
+// shape on the client side of the wire — bounded attempts, exponential
+// backoff, a cap — with wall-clock delays, because load clients live
+// outside the simulation.
+type RetryPolicy struct {
+	// MaxRetries is re-submissions after the first attempt.
+	MaxRetries int
+	// BaseDelay backs off the first retry; each further retry doubles
+	// it, capped at MaxDelay.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+// DefaultRetryPolicy rides out a shard warm reboot: ~10 attempts
+// backing off 1ms -> 128ms covers several hundred milliseconds of
+// outage before giving up.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 10, BaseDelay: time.Millisecond, MaxDelay: 128 * time.Millisecond}
+}
+
+// RetryStats counts what the retry loop absorbed.
+type RetryStats struct {
+	Retries   uint64 // re-submissions issued
+	Exhausted uint64 // requests that stayed retryable after MaxRetries
+	Backoff   time.Duration
+}
+
+// RetryClient wraps a Client with the EAGAIN discipline: responses
+// whose status is Retryable are re-submitted with exponential backoff.
+// All other responses, and transport errors, pass through. Not safe
+// for concurrent use (wraps a single-connection client).
+type RetryClient struct {
+	C     Client
+	Pol   RetryPolicy
+	Stats RetryStats
+}
+
+// Do implements Client.
+func (r *RetryClient) Do(req *wire.Request) (*wire.Response, error) {
+	resp, err := r.C.Do(req)
+	if err != nil {
+		return resp, err
+	}
+	for n := 0; n < r.Pol.MaxRetries && resp.Status.Retryable(); n++ {
+		d := r.Pol.BaseDelay << uint(n)
+		if r.Pol.MaxDelay > 0 && d > r.Pol.MaxDelay {
+			d = r.Pol.MaxDelay
+		}
+		if d > 0 {
+			r.Stats.Backoff += d
+			time.Sleep(d)
+		}
+		r.Stats.Retries++
+		if resp, err = r.C.Do(req); err != nil {
+			return resp, err
+		}
+	}
+	if resp.Status.Retryable() {
+		r.Stats.Exhausted++
+	}
+	return resp, nil
+}
+
+// Close implements Client.
+func (r *RetryClient) Close() error { return r.C.Close() }

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"time"
+)
+
+// histBuckets covers [1µs, 2^25µs ≈ 34s) in power-of-two buckets, with
+// bucket 0 for sub-microsecond observations and the last bucket as
+// overflow. Fixed buckets keep Observe allocation-free and O(1), which
+// is what a per-request hot path wants; the price is ~2x quantile
+// resolution, plenty for a load report.
+const histBuckets = 26
+
+// Histogram is a fixed-bucket latency histogram. The zero value is
+// ready to use. Not safe for concurrent use; keep one per goroutine
+// (or behind the owner's lock) and Merge at reporting time.
+type Histogram struct {
+	counts [histBuckets]uint64
+	total  uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	b := bits.Len64(uint64(us)) // 0 -> 0, [2^(k-1), 2^k) -> k
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.counts[b]++
+	h.total++
+}
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Quantile returns the q-th quantile in microseconds (q in [0,1]),
+// interpolating linearly within the winning bucket. Returns 0 for an
+// empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.total)
+	var cum float64
+	for b, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			lo, hi := bucketBounds(b)
+			frac := (rank - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	_, hi := bucketBounds(histBuckets - 1)
+	return hi
+}
+
+// bucketBounds returns bucket b's [lo, hi) range in microseconds.
+func bucketBounds(b int) (lo, hi float64) {
+	if b == 0 {
+		return 0, 1
+	}
+	return float64(uint64(1) << (b - 1)), float64(uint64(1) << b)
+}
+
+// ShardMetrics is one shard's activity snapshot.
+type ShardMetrics struct {
+	Shard     int     `json:"shard"`
+	Ops       uint64  `json:"ops"`        // requests answered (any status)
+	Errors    uint64  `json:"errors"`     // non-OK, non-retryable answers
+	Retried   uint64  `json:"retried"`    // StatusAgain answers (shard down)
+	Rejected  uint64  `json:"rejected"`   // StatusAgain at enqueue (queue full)
+	Bytes     uint64  `json:"bytes"`      // payload in + out
+	Batches   uint64  `json:"batches"`    // drain cycles
+	AvgBatch  float64 `json:"avg_batch"`  // mean requests per drain
+	MaxBatch  int     `json:"max_batch"`  // largest drain observed
+	QueueLen  int     `json:"queue_len"`  // queued requests at snapshot time
+	Down      bool    `json:"down"`       // crashed, awaiting warmboot
+	Crashes   uint64  `json:"crashes"`    // admin crash ops honoured
+	Warmboots uint64  `json:"warmboots"`  // warm reboots completed
+	P50us     float64 `json:"p50_us"`     // request latency, enqueue to reply
+	P95us     float64 `json:"p95_us"`
+	P99us     float64 `json:"p99_us"`
+}
+
+// Metrics is a whole-server snapshot: per-shard rows plus aggregate
+// totals and merged-latency quantiles.
+type Metrics struct {
+	Shards []ShardMetrics `json:"shards"`
+	Ops    uint64         `json:"ops"`
+	Bytes  uint64         `json:"bytes"`
+	P50us  float64        `json:"p50_us"`
+	P95us  float64        `json:"p95_us"`
+	P99us  float64        `json:"p99_us"`
+}
+
+// Table renders the snapshot as an aligned text table.
+func (m Metrics) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %10s %8s %8s %8s %12s %9s %6s %9s %9s %9s %5s\n",
+		"shard", "ops", "errors", "retried", "rejected", "bytes", "batches", "avg", "p50us", "p95us", "p99us", "down")
+	for _, s := range m.Shards {
+		down := ""
+		if s.Down {
+			down = "DOWN"
+		}
+		fmt.Fprintf(&b, "%-6d %10d %8d %8d %8d %12d %9d %6.1f %9.0f %9.0f %9.0f %5s\n",
+			s.Shard, s.Ops, s.Errors, s.Retried, s.Rejected, s.Bytes,
+			s.Batches, s.AvgBatch, s.P50us, s.P95us, s.P99us, down)
+	}
+	fmt.Fprintf(&b, "%-6s %10d %8s %8s %8s %12d %9s %6s %9.0f %9.0f %9.0f\n",
+		"total", m.Ops, "", "", "", m.Bytes, "", "", m.P50us, m.P95us, m.P99us)
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	// 100 observations at ~10µs, 10 at ~1000µs, 1 at ~100000µs.
+	for i := 0; i < 100; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000 * time.Microsecond)
+	}
+	h.Observe(100000 * time.Microsecond)
+	if h.Count() != 111 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 8 || p50 > 16 {
+		t.Fatalf("p50 = %v, want within [8,16]µs bucket", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 512 || p99 > 131072 {
+		t.Fatalf("p99 = %v, want in the tail", p99)
+	}
+	if max := h.Quantile(1.0); max < 65536 {
+		t.Fatalf("p100 = %v, want in the overflow observation's bucket", max)
+	}
+	// Quantiles are monotone in q.
+	prev := 0.0
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 50; i++ {
+		a.Observe(time.Microsecond * 4)
+		b.Observe(time.Millisecond * 4)
+	}
+	a.Merge(&b)
+	if a.Count() != 100 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if p50 := a.Quantile(0.50); p50 > 1000 {
+		t.Fatalf("merged p50 = %v, want in the fast half", p50)
+	}
+	if p95 := a.Quantile(0.95); p95 < 1000 {
+		t.Fatalf("merged p95 = %v, want in the slow half", p95)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(24 * time.Hour) // far past the last bucket
+	h.Observe(-time.Second)   // negative clamps to bucket 0
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if v := h.Quantile(1); v <= 0 {
+		t.Fatalf("overflow quantile = %v", v)
+	}
+}

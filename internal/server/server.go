@@ -1,0 +1,618 @@
+// Package server is riod's serving layer: a sharded concurrent front
+// end over the single-threaded Rio simulation.
+//
+// The deterministic core (rio.System and everything below it) models
+// one machine and must stay on one goroutine — that is what makes crash
+// campaigns reproducible. This package gets concurrency the way a
+// sharded storage service does: S independent rio.System instances,
+// each owned by exactly one shard goroutine, with requests routed to a
+// shard by path hash and queued on a bounded per-shard channel. The
+// shard goroutine drains its queue in batches and runs each request
+// against its System sequentially, so no simulation state is ever
+// touched from two goroutines; all cross-goroutine traffic is requests
+// and responses by value.
+//
+// Each shard plays the paper's role of one Rio machine: writes are
+// durable the moment they are acknowledged, and an administratively
+// crashed shard warm-reboots back to exactly the acknowledged state
+// while its neighbours keep serving. While a shard is down, requests
+// for it fail fast with wire.StatusAgain — the EAGAIN discipline —
+// rather than queueing behind an outage.
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rio"
+	"rio/internal/wire"
+)
+
+// Config sizes a server. The zero value of any field picks the default.
+type Config struct {
+	// Shards is the number of independent rio.System instances
+	// (default 4). Requests route to a shard by FNV-1a hash of Path.
+	Shards int
+	// QueueDepth bounds each shard's request queue (default 128). A
+	// full queue answers wire.StatusAgain instead of blocking — load
+	// shedding, not buffering, is the overload response.
+	QueueDepth int
+	// MaxBatch bounds how many queued requests one drain cycle hands
+	// the shard goroutine (default 32).
+	MaxBatch int
+	// Policy, Seed, MemoryMB, DiskMB configure each shard's machine.
+	// Shard i boots with seed sim.Mix(Seed, i) via rio.NewShards.
+	Policy   rio.Policy
+	Seed     uint64
+	MemoryMB int
+	DiskMB   int
+
+	// testGate, when set, is called by a shard goroutine before each
+	// drain cycle. Tests use it to stall a shard and observe queueing
+	// behaviour deterministically.
+	testGate func(shard int)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// task carries one request through a shard queue. The response channel
+// is buffered so the shard goroutine never blocks on a reply.
+type task struct {
+	req  *wire.Request
+	resp chan *wire.Response
+	enq  time.Time
+}
+
+// shard owns one rio.System. Only the shard goroutine touches sys and
+// down; mu guards the metrics fields read by Metrics().
+type shard struct {
+	id  int
+	sys *rio.System
+	ch  chan task
+
+	mu        sync.Mutex
+	down      bool
+	ops       uint64
+	errors    uint64
+	retried   uint64
+	rejected  uint64
+	bytes     uint64
+	batches   uint64
+	batchSum  uint64
+	maxBatch  int
+	crashes   uint64
+	warmboots uint64
+	lat       Histogram
+}
+
+// Server routes requests to shards. Safe for concurrent use.
+type Server struct {
+	cfg    Config
+	shards []*shard
+
+	mu     sync.RWMutex // guards closed and the enqueue-vs-close race
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New boots cfg.Shards independent machines and starts their shard
+// goroutines. Call Close to drain and stop.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	systems, err := rio.NewShards(cfg.Shards, rio.Config{
+		Policy:   cfg.Policy,
+		Seed:     cfg.Seed,
+		MemoryMB: cfg.MemoryMB,
+		DiskMB:   cfg.DiskMB,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg}
+	s.shards = make([]*shard, cfg.Shards)
+	for i, sys := range systems {
+		sh := &shard{id: i, sys: sys, ch: make(chan task, cfg.QueueDepth)}
+		s.shards[i] = sh
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			sh.run(cfg)
+		}()
+	}
+	return s, nil
+}
+
+// NumShards returns the shard count.
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// ShardOf returns the shard a path routes to: FNV-1a 64 of the path,
+// reduced mod the shard count. The hash is stable across processes and
+// versions — campaign seeds and golden transcripts depend on routing
+// never drifting.
+func (s *Server) ShardOf(path string) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(path); i++ {
+		h ^= uint64(path[i])
+		h *= prime64
+	}
+	return int(h % uint64(len(s.shards)))
+}
+
+// Do submits one request and blocks until its response. It never
+// returns nil. Overload and outages surface as typed statuses:
+// wire.StatusAgain (retry with backoff) when the target shard's queue
+// is full or the shard is down, wire.StatusClosed once the server is
+// draining or stopped.
+func (s *Server) Do(req *wire.Request) *wire.Response {
+	sh, errResp := s.route(req)
+	if errResp != nil {
+		return errResp
+	}
+	t := task{req: req, resp: make(chan *wire.Response, 1), enq: time.Now()}
+
+	// The read lock pins the closed flag across the enqueue so Close
+	// cannot close a shard channel between our check and our send.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return &wire.Response{ID: req.ID, Status: wire.StatusClosed, Msg: "server closed"}
+	}
+	select {
+	case sh.ch <- t:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		sh.mu.Lock()
+		sh.rejected++
+		sh.mu.Unlock()
+		return &wire.Response{ID: req.ID, Status: wire.StatusAgain,
+			Msg: fmt.Sprintf("shard %d queue full", sh.id)}
+	}
+	return <-t.resp
+}
+
+// route validates the request and picks its shard.
+func (s *Server) route(req *wire.Request) (*shard, *wire.Response) {
+	fail := func(msg string) (*shard, *wire.Response) {
+		return nil, &wire.Response{ID: req.ID, Status: wire.StatusInvalid, Msg: msg}
+	}
+	if !req.Op.Valid() {
+		return fail(fmt.Sprintf("unknown op %d", uint8(req.Op)))
+	}
+	switch req.Op {
+	case wire.OpCrash, wire.OpWarmboot:
+		if req.Shard < 0 || int(req.Shard) >= len(s.shards) {
+			return fail(fmt.Sprintf("admin op %v: shard %d out of range [0,%d)",
+				req.Op, req.Shard, len(s.shards)))
+		}
+		return s.shards[req.Shard], nil
+	case wire.OpSync:
+		// Sync with a path routes like a data op. With an empty path it
+		// targets Request.Shard (clients wanting every shard issue one
+		// per shard), defaulting to shard 0.
+		if req.Path == "" {
+			if req.Shard >= 0 && int(req.Shard) < len(s.shards) {
+				return s.shards[req.Shard], nil
+			}
+			return s.shards[0], nil
+		}
+	case wire.OpMv:
+		if req.Path == "" || req.Path2 == "" {
+			return fail("mv needs two paths")
+		}
+		if s.ShardOf(req.Path) != s.ShardOf(req.Path2) {
+			return fail(fmt.Sprintf("mv across shards (%d -> %d) is not supported",
+				s.ShardOf(req.Path), s.ShardOf(req.Path2)))
+		}
+	default:
+		if req.Path == "" {
+			return fail(fmt.Sprintf("%v needs a path", req.Op))
+		}
+	}
+	if len(req.Path) > wire.MaxPath || len(req.Path2) > wire.MaxPath {
+		return fail("path too long")
+	}
+	if len(req.Data) > wire.MaxData {
+		return fail("data too large")
+	}
+	return s.shards[s.ShardOf(req.Path)], nil
+}
+
+// Close drains and stops the server: new requests are refused with
+// wire.StatusClosed, every already-queued request is answered, and all
+// shard goroutines exit before Close returns. Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	for _, sh := range s.shards {
+		close(sh.ch)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Metrics snapshots per-shard and aggregate counters.
+func (s *Server) Metrics() Metrics {
+	var m Metrics
+	var merged Histogram
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		row := ShardMetrics{
+			Shard: sh.id, Ops: sh.ops, Errors: sh.errors, Retried: sh.retried,
+			Rejected: sh.rejected, Bytes: sh.bytes, Batches: sh.batches,
+			MaxBatch: sh.maxBatch, QueueLen: len(sh.ch), Down: sh.down,
+			Crashes: sh.crashes, Warmboots: sh.warmboots,
+			P50us: sh.lat.Quantile(0.50), P95us: sh.lat.Quantile(0.95),
+			P99us: sh.lat.Quantile(0.99),
+		}
+		if sh.batches > 0 {
+			row.AvgBatch = float64(sh.batchSum) / float64(sh.batches)
+		}
+		merged.Merge(&sh.lat)
+		sh.mu.Unlock()
+		m.Shards = append(m.Shards, row)
+		m.Ops += row.Ops
+		m.Bytes += row.Bytes
+	}
+	m.P50us = merged.Quantile(0.50)
+	m.P95us = merged.Quantile(0.95)
+	m.P99us = merged.Quantile(0.99)
+	return m
+}
+
+// run is the shard goroutine: drain a batch, serve it, repeat, until
+// the channel closes — then serve what remains and exit. The batch
+// size is recorded so the metrics show how much coalescing the queue
+// actually achieves under load.
+func (sh *shard) run(cfg Config) {
+	batch := make([]task, 0, cfg.MaxBatch)
+	for {
+		if cfg.testGate != nil {
+			cfg.testGate(sh.id)
+		}
+		t, ok := <-sh.ch
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], t)
+	drain:
+		for len(batch) < cfg.MaxBatch {
+			select {
+			case t, ok := <-sh.ch:
+				if !ok {
+					// A receive only reports closed once the buffer is
+					// empty, so this batch is the last of the work:
+					// answer it and exit — Close promises a drain.
+					sh.serve(batch)
+					return
+				}
+				batch = append(batch, t)
+			default:
+				break drain
+			}
+		}
+		sh.serve(batch)
+	}
+}
+
+// serve answers one drained batch sequentially on the shard's System.
+func (sh *shard) serve(batch []task) {
+	type done struct {
+		t    task
+		resp *wire.Response
+	}
+	results := make([]done, 0, len(batch))
+	for _, t := range batch {
+		results = append(results, done{t, sh.handle(t.req)})
+	}
+	now := time.Now()
+	sh.mu.Lock()
+	sh.batches++
+	sh.batchSum += uint64(len(batch))
+	if len(batch) > sh.maxBatch {
+		sh.maxBatch = len(batch)
+	}
+	for _, d := range results {
+		sh.ops++
+		sh.bytes += uint64(len(d.t.req.Data) + len(d.resp.Data))
+		switch {
+		case d.resp.Status == wire.StatusOK:
+		case d.resp.Status.Retryable():
+			sh.retried++
+		default:
+			sh.errors++
+		}
+		sh.lat.Observe(now.Sub(d.t.enq))
+	}
+	sh.mu.Unlock()
+	for _, d := range results {
+		d.t.resp <- d.resp
+	}
+}
+
+// setDown flips the shard's outage flag (shard goroutine only).
+func (sh *shard) setDown(v bool) {
+	sh.mu.Lock()
+	sh.down = v
+	sh.mu.Unlock()
+}
+
+func (sh *shard) isDown() bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.down
+}
+
+// handle executes one request against the shard's System. Runs only on
+// the shard goroutine.
+func (sh *shard) handle(req *wire.Request) *wire.Response {
+	ok := func() *wire.Response { return &wire.Response{ID: req.ID, Status: wire.StatusOK} }
+	fail := func(st wire.Status, msg string) *wire.Response {
+		return &wire.Response{ID: req.ID, Status: st, Msg: msg}
+	}
+
+	switch req.Op {
+	case wire.OpCrash:
+		if sh.isDown() {
+			return fail(wire.StatusInvalid, fmt.Sprintf("shard %d already down", sh.id))
+		}
+		sh.sys.Crash("riod: administrative crash op")
+		sh.setDown(true)
+		sh.mu.Lock()
+		sh.crashes++
+		sh.mu.Unlock()
+		return ok()
+
+	case wire.OpWarmboot:
+		// Legal on a healthy shard too: Rio supports a clean
+		// administrative warm reboot.
+		rep, err := sh.sys.WarmReboot()
+		if err != nil {
+			// Volume lost; the shard stays down rather than serve a
+			// filesystem it cannot certify.
+			sh.setDown(true)
+			return fail(wire.StatusIO, "warm reboot failed: "+err.Error())
+		}
+		sh.setDown(false)
+		sh.mu.Lock()
+		sh.warmboots++
+		sh.mu.Unlock()
+		r := ok()
+		r.Size = int64(rep.MetaRestored + rep.DataRestored)
+		return r
+	}
+
+	if sh.isDown() {
+		return fail(wire.StatusAgain, fmt.Sprintf("shard %d down (crashed; awaiting warmboot)", sh.id))
+	}
+
+	resp := sh.data(req)
+	// A shard that crashed organically mid-request (it cannot inject
+	// its own faults, but belt and braces) flips to the outage path so
+	// later requests get the retryable status instead of nonsense.
+	if crashed, why := sh.sys.Crashed(); crashed {
+		sh.setDown(true)
+		return fail(wire.StatusAgain, fmt.Sprintf("shard %d crashed serving request: %s", sh.id, why))
+	}
+	return resp
+}
+
+// data executes a data op. Runs only on the shard goroutine, only on a
+// healthy shard.
+func (sh *shard) data(req *wire.Request) *wire.Response {
+	sys := sh.sys
+	resp := &wire.Response{ID: req.ID}
+	fail := func(err error) *wire.Response {
+		resp.Status, resp.Msg = statusOf(err)
+		return resp
+	}
+
+	switch req.Op {
+	case wire.OpOpen:
+		if _, err := sys.Stat(req.Path); err == nil {
+			return resp
+		} else if !rio.IsNotExist(err) {
+			return fail(err)
+		}
+		f, err := sh.create(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+
+	case wire.OpRead:
+		st, err := sys.Stat(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		if st.IsDir {
+			return fail(rio.ErrIsDir)
+		}
+		if req.Offset < 0 {
+			resp.Status, resp.Msg = wire.StatusInvalid, "negative read offset"
+			return resp
+		}
+		resp.Size = st.Size
+		want := int64(req.Len)
+		if want == 0 || want > wire.MaxData {
+			want = wire.MaxData
+		}
+		if remain := st.Size - req.Offset; remain < want {
+			want = remain
+		}
+		if want <= 0 {
+			return resp
+		}
+		f, err := sys.Open(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		buf := make([]byte, want)
+		n, err := f.ReadAt(buf, req.Offset)
+		cerr := f.Close()
+		if err != nil {
+			return fail(err)
+		}
+		if cerr != nil {
+			return fail(cerr)
+		}
+		resp.Data = buf[:n]
+
+	case wire.OpWrite:
+		f, err := sys.Open(req.Path)
+		if rio.IsNotExist(err) {
+			f, err = sh.create(req.Path)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		off := req.Offset
+		if off < 0 {
+			if off, err = f.Size(); err != nil {
+				f.Close()
+				return fail(err)
+			}
+		}
+		n, err := f.WriteAt(req.Data, off)
+		cerr := f.Close()
+		resp.Size = int64(n)
+		if err != nil {
+			return fail(err)
+		}
+		if cerr != nil {
+			return fail(cerr)
+		}
+
+	case wire.OpMkdir:
+		if err := sh.mkdirAll(req.Path); err != nil {
+			return fail(err)
+		}
+
+	case wire.OpRm:
+		if err := sys.Remove(req.Path); err != nil {
+			return fail(err)
+		}
+
+	case wire.OpMv:
+		if err := sys.Rename(req.Path, req.Path2); err != nil {
+			return fail(err)
+		}
+
+	case wire.OpStat:
+		st, err := sys.Stat(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Size = st.Size
+		if st.IsDir {
+			resp.Flags |= wire.FlagDir
+		}
+		if st.IsSymlink {
+			resp.Flags |= wire.FlagSymlink
+		}
+
+	case wire.OpSync:
+		sys.Sync()
+
+	default:
+		resp.Status = wire.StatusInvalid
+		resp.Msg = fmt.Sprintf("op %v not servable", req.Op)
+	}
+	return resp
+}
+
+// create makes path, materialising missing parent directories first.
+// Each shard is its own filesystem, so a directory tree exists
+// per-shard: creating /smoke/f01 on shard 3 creates shard 3's /smoke.
+// Open and write therefore have mkdir-p semantics — a path-keyed store
+// where a key's parents are namespace bookkeeping, not client state.
+func (sh *shard) create(path string) (*rio.File, error) {
+	f, err := sh.sys.Create(path)
+	if err != rio.ErrNotFound {
+		return f, err
+	}
+	if err := sh.mkdirAll(parentDir(path)); err != nil {
+		return nil, err
+	}
+	return sh.sys.Create(path)
+}
+
+// mkdirAll creates path and any missing parents (mkdir -p).
+func (sh *shard) mkdirAll(path string) error {
+	if path == "" || path == "/" {
+		return nil
+	}
+	if st, err := sh.sys.Stat(path); err == nil {
+		if st.IsDir {
+			return nil
+		}
+		return rio.ErrNotDir
+	}
+	if err := sh.mkdirAll(parentDir(path)); err != nil {
+		return err
+	}
+	if err := sh.sys.Mkdir(path); err != nil && err != rio.ErrExists {
+		return err
+	}
+	return nil
+}
+
+// parentDir returns path's parent ("/a/b" -> "/a", "/a" -> "/").
+func parentDir(path string) string {
+	for i := len(path) - 1; i > 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "/"
+}
+
+// statusOf maps the public rio error codes onto wire statuses.
+func statusOf(err error) (wire.Status, string) {
+	switch err {
+	case nil:
+		return wire.StatusOK, ""
+	case rio.ErrNotFound:
+		return wire.StatusNotFound, err.Error()
+	case rio.ErrExists:
+		return wire.StatusExists, err.Error()
+	case rio.ErrIsDir:
+		return wire.StatusIsDir, err.Error()
+	case rio.ErrNotDir:
+		return wire.StatusNotDir, err.Error()
+	case rio.ErrNotEmpty:
+		return wire.StatusNotEmpty, err.Error()
+	case rio.ErrNoSpace, rio.ErrNoInodes:
+		return wire.StatusNoSpace, err.Error()
+	case rio.ErrReadOnly:
+		return wire.StatusReadOnly, err.Error()
+	default:
+		return wire.StatusIO, err.Error()
+	}
+}

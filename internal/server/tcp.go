@@ -1,0 +1,57 @@
+package server
+
+import (
+	"errors"
+	"net"
+
+	"rio/internal/wire"
+)
+
+// Serve accepts connections on ln and serves each on its own
+// goroutine until ln is closed (Accept then returns an error) — the
+// caller owns the listener's lifecycle. Each connection is served
+// synchronously: one frame in, one frame out, in order. Concurrency
+// comes from connections, matching riod's closed-loop clients; the
+// shard queues below multiplex them.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn runs one connection's request loop. Any transport or
+// decode error ends the connection: the framing carries no resync
+// marker, so after a bad frame the stream cannot be trusted.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	buf := make([]byte, 0, 4096)
+	for {
+		payload, err := wire.ReadFrame(conn, wire.MaxFrame)
+		if err != nil {
+			return
+		}
+		req, err := wire.DecodeRequest(payload)
+		if err != nil {
+			// The ID is unknowable from a frame that did not decode;
+			// answer ID 0 so the peer sees why, then drop the stream.
+			bad := &wire.Response{Status: wire.StatusInvalid, Msg: "bad request frame: " + err.Error()}
+			wire.WriteFrame(conn, wire.AppendResponse(buf[:0], bad))
+			return
+		}
+		resp := s.Do(req)
+		if err := wire.WriteFrame(conn, wire.AppendResponse(buf[:0], resp)); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,355 @@
+// Package wire is riod's request/response codec: a length-prefixed
+// binary framing with fixed-width headers and explicitly bounded
+// variable-length fields.
+//
+// The format is deliberately dumb — big-endian integers, u16/u32 length
+// prefixes, no compression, no versioned schema — because the decoder
+// sits on the server's untrusted edge and must be total: any byte
+// string either decodes to a well-formed message or returns an error.
+// Every declared length is checked against both a protocol maximum and
+// the bytes actually present *before* any allocation happens, so a
+// hostile frame can neither panic the decoder nor make it allocate more
+// than the frame it sent (see FuzzDecodeRequest).
+//
+// A frame on the stream is a u32 payload length followed by the
+// payload. Request payloads and response payloads are distinct message
+// types; the transport knows which it is expecting.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Op identifies a request operation.
+type Op uint8
+
+// The wire operations. Data ops route to a shard by path hash; the two
+// admin ops (OpCrash, OpWarmboot) target Request.Shard explicitly.
+const (
+	OpInvalid Op = iota
+	OpOpen       // ensure Path exists (create an empty file if absent)
+	OpRead       // read Len bytes of Path at Offset (Len 0 = whole file)
+	OpWrite      // write Data to Path at Offset (-1 = append), creating it
+	OpMkdir      // create directory Path
+	OpRm         // unlink file / remove empty directory Path
+	OpMv         // rename Path to Path2
+	OpStat       // stat Path
+	OpSync       // schedule the shard's dirty buffers for write-back
+	OpCrash      // admin: crash shard Request.Shard (kernel panic, no sync)
+	OpWarmboot   // admin: warm-reboot shard Request.Shard
+	opMax
+)
+
+var opNames = [...]string{
+	OpInvalid: "invalid", OpOpen: "open", OpRead: "read", OpWrite: "write",
+	OpMkdir: "mkdir", OpRm: "rm", OpMv: "mv", OpStat: "stat",
+	OpSync: "sync", OpCrash: "crash", OpWarmboot: "warmboot",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined operation.
+func (o Op) Valid() bool { return o > OpInvalid && o < opMax }
+
+// Status is a response's outcome code. Errors are typed so clients can
+// branch without parsing message strings; StatusAgain is the one
+// retryable code (the shard exists but cannot serve right now).
+type Status uint8
+
+// Response statuses.
+const (
+	StatusOK       Status = iota
+	StatusAgain           // EAGAIN: queue full or shard crashed; retry with backoff
+	StatusNotFound        // no such file or directory
+	StatusExists          // path already exists
+	StatusIsDir           // operation needs a file, path is a directory
+	StatusNotDir          // path component is not a directory
+	StatusNotEmpty        // directory not empty
+	StatusNoSpace         // no space / no inodes on the shard's volume
+	StatusReadOnly        // shard volume degraded to read-only
+	StatusInvalid         // malformed or inapplicable request
+	StatusClosed          // server is draining or stopped; not retryable
+	StatusIO              // other shard-side failure (see Msg)
+	statusMax
+)
+
+var statusNames = [...]string{
+	StatusOK: "ok", StatusAgain: "again", StatusNotFound: "not-found",
+	StatusExists: "exists", StatusIsDir: "is-dir", StatusNotDir: "not-dir",
+	StatusNotEmpty: "not-empty", StatusNoSpace: "no-space",
+	StatusReadOnly: "read-only", StatusInvalid: "invalid",
+	StatusClosed: "closed", StatusIO: "io-error",
+}
+
+func (s Status) String() string {
+	if int(s) < len(statusNames) {
+		return statusNames[s]
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Retryable reports whether the request may succeed if simply re-sent
+// after a backoff (the EAGAIN discipline riod's clients follow).
+func (s Status) Retryable() bool { return s == StatusAgain }
+
+// Protocol limits. DecodeRequest/DecodeResponse reject any declared
+// length beyond these before allocating, so a frame can never make the
+// decoder hold more memory than MaxFrame.
+const (
+	MaxPath  = 4096    // bytes per path
+	MaxData  = 1 << 20 // bytes per read or write payload
+	MaxMsg   = 4096    // bytes per response message
+	MaxFrame = MaxData + 2*MaxPath + MaxMsg + 64
+)
+
+// Response flags (stat results).
+const (
+	FlagDir     uint8 = 1 << 0
+	FlagSymlink uint8 = 1 << 1
+)
+
+// Request is one client operation.
+type Request struct {
+	ID     uint64 // echoed verbatim in the response
+	Op     Op
+	Shard  int32  // admin-op target; -1 (route by path) for data ops
+	Offset int64  // read/write offset; -1 on write = append
+	Len    uint32 // read length; 0 = whole file (capped at MaxData)
+	Path   string
+	Path2  string // mv destination
+	Data   []byte // write payload
+}
+
+// Response is the outcome of one request.
+type Response struct {
+	ID     uint64
+	Status Status
+	Flags  uint8  // stat: FlagDir / FlagSymlink
+	Size   int64  // stat size, bytes written, or file size on read
+	Data   []byte // read payload
+	Msg    string // human-readable error detail (empty on StatusOK)
+}
+
+// Decode errors.
+var (
+	ErrTruncated = errors.New("wire: truncated message")
+	ErrTooLong   = errors.New("wire: declared length exceeds protocol limit")
+	ErrTrailing  = errors.New("wire: trailing bytes after message")
+	ErrFrame     = errors.New("wire: frame exceeds maximum size")
+)
+
+// AppendRequest appends r's encoding to dst and returns the result.
+func AppendRequest(dst []byte, r *Request) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, r.ID)
+	dst = append(dst, byte(r.Op))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Shard))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(r.Offset))
+	dst = binary.BigEndian.AppendUint32(dst, r.Len)
+	dst = appendString16(dst, r.Path)
+	dst = appendString16(dst, r.Path2)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Data)))
+	return append(dst, r.Data...)
+}
+
+// DecodeRequest decodes exactly one request from buf. The entire buffer
+// must be consumed; trailing bytes are an error.
+func DecodeRequest(buf []byte) (*Request, error) {
+	c := cursor{buf: buf}
+	var r Request
+	r.ID = c.u64()
+	r.Op = Op(c.u8())
+	r.Shard = int32(c.u32())
+	r.Offset = int64(c.u64())
+	r.Len = c.u32()
+	r.Path = c.str16(MaxPath)
+	r.Path2 = c.str16(MaxPath)
+	r.Data = c.bytes32(MaxData)
+	if err := c.finish(); err != nil {
+		return nil, err
+	}
+	if !r.Op.Valid() {
+		return nil, fmt.Errorf("wire: unknown op %d", uint8(r.Op))
+	}
+	if r.Len > MaxData {
+		return nil, fmt.Errorf("wire: read length %d exceeds %d: %w", r.Len, MaxData, ErrTooLong)
+	}
+	return &r, nil
+}
+
+// AppendResponse appends r's encoding to dst and returns the result.
+func AppendResponse(dst []byte, r *Response) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, r.ID)
+	dst = append(dst, byte(r.Status), r.Flags)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(r.Size))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Data)))
+	dst = append(dst, r.Data...)
+	return appendString16(dst, r.Msg)
+}
+
+// DecodeResponse decodes exactly one response from buf.
+func DecodeResponse(buf []byte) (*Response, error) {
+	c := cursor{buf: buf}
+	var r Response
+	r.ID = c.u64()
+	r.Status = Status(c.u8())
+	r.Flags = c.u8()
+	r.Size = int64(c.u64())
+	r.Data = c.bytes32(MaxData)
+	r.Msg = c.str16(MaxMsg)
+	if err := c.finish(); err != nil {
+		return nil, err
+	}
+	if r.Status >= statusMax {
+		return nil, fmt.Errorf("wire: unknown status %d", uint8(r.Status))
+	}
+	return &r, nil
+}
+
+// WriteFrame writes a u32 length prefix followed by payload.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrame
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame. A declared length beyond
+// max is rejected before any allocation, bounding what a hostile peer
+// can make the reader hold.
+func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if int64(n) > int64(max) {
+		return nil, ErrFrame
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+func appendString16(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+// cursor is a bounds-checked sequential reader. The first failure
+// sticks; every later read returns zero values.
+type cursor struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || c.off+n > len(c.buf) || c.off+n < c.off {
+		c.err = ErrTruncated
+		return nil
+	}
+	b := c.buf[c.off : c.off+n]
+	c.off += n
+	return b
+}
+
+func (c *cursor) u8() uint8 {
+	b := c.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (c *cursor) u32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (c *cursor) u64() uint64 {
+	b := c.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// str16 reads a u16-prefixed string of at most max bytes. The length is
+// validated against the remaining buffer before the string is
+// materialised, so a lying prefix cannot over-allocate.
+func (c *cursor) str16(max int) string {
+	b := c.take(2)
+	if b == nil {
+		return ""
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	if n > max {
+		if c.err == nil {
+			c.err = ErrTooLong
+		}
+		return ""
+	}
+	s := c.take(n)
+	if s == nil {
+		return ""
+	}
+	return string(s)
+}
+
+// bytes32 reads a u32-prefixed byte slice of at most max bytes, copied
+// out of the frame so the caller may retain it.
+func (c *cursor) bytes32(max int) []byte {
+	b := c.take(4)
+	if b == nil {
+		return nil
+	}
+	n := int64(binary.BigEndian.Uint32(b))
+	if n > int64(max) {
+		if c.err == nil {
+			c.err = ErrTooLong
+		}
+		return nil
+	}
+	p := c.take(int(n))
+	if p == nil {
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, p)
+	return out
+}
+
+func (c *cursor) finish() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.off != len(c.buf) {
+		return ErrTrailing
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func sampleRequests() []*Request {
+	return []*Request{
+		{ID: 1, Op: OpOpen, Shard: -1, Path: "/a"},
+		{ID: 2, Op: OpRead, Shard: -1, Offset: 4096, Len: 8192, Path: "/bench/k0001"},
+		{ID: 3, Op: OpWrite, Shard: -1, Offset: -1, Path: "/log", Data: []byte("hello, rio")},
+		{ID: 4, Op: OpMkdir, Shard: -1, Path: "/dir"},
+		{ID: 5, Op: OpRm, Shard: -1, Path: "/dir"},
+		{ID: 6, Op: OpMv, Shard: -1, Path: "/a", Path2: "/b"},
+		{ID: 7, Op: OpStat, Shard: -1, Path: "/b"},
+		{ID: 8, Op: OpSync, Shard: -1},
+		{ID: 9, Op: OpCrash, Shard: 2},
+		{ID: 10, Op: OpWarmboot, Shard: 2},
+		{ID: ^uint64(0), Op: OpWrite, Shard: -1, Offset: 1<<62 - 1, Path: "/x", Data: make([]byte, 3000)},
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, want := range sampleRequests() {
+		buf := AppendRequest(nil, want)
+		got, err := DecodeRequest(buf)
+		if err != nil {
+			t.Fatalf("decode %v: %v", want.Op, err)
+		}
+		if want.Data == nil {
+			want.Data = got.Data // nil vs empty: both encode to length 0
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip %v:\n got %+v\nwant %+v", want.Op, got, want)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	samples := []*Response{
+		{ID: 1, Status: StatusOK, Size: 42, Data: []byte("payload")},
+		{ID: 2, Status: StatusNotFound, Msg: "fs: no such file or directory"},
+		{ID: 3, Status: StatusAgain, Msg: "shard 2 down (awaiting warmboot)"},
+		{ID: 4, Status: StatusOK, Flags: FlagDir | FlagSymlink, Size: 8192},
+	}
+	for _, want := range samples {
+		buf := AppendResponse(nil, want)
+		got, err := DecodeResponse(buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if want.Data == nil {
+			want.Data = got.Data
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+// Every strict prefix of a valid encoding must decode to ErrTruncated
+// (or a length error), never succeed and never panic.
+func TestDecodeRequestTruncations(t *testing.T) {
+	full := AppendRequest(nil, &Request{
+		ID: 7, Op: OpMv, Shard: -1, Path: "/old/name", Path2: "/new/name",
+		Data: []byte("x"),
+	})
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeRequest(full[:n]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", n, len(full))
+		}
+	}
+	if _, err := DecodeRequest(append(full[:len(full):len(full)], 0)); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("trailing byte: got %v, want ErrTrailing", err)
+	}
+}
+
+func TestDecodeRequestOversizeLengths(t *testing.T) {
+	// A path length prefix of 0xffff exceeds MaxPath.
+	buf := AppendRequest(nil, &Request{ID: 1, Op: OpOpen, Path: "/x"})
+	// Path prefix starts after ID(8)+Op(1)+Shard(4)+Offset(8)+Len(4) = 25.
+	buf[25], buf[26] = 0xff, 0xff
+	if _, err := DecodeRequest(buf); err == nil {
+		t.Fatal("oversize path length decoded without error")
+	}
+	// Declared read length beyond MaxData is rejected.
+	buf2 := AppendRequest(nil, &Request{ID: 1, Op: OpRead, Len: MaxData + 1, Path: "/x"})
+	if _, err := DecodeRequest(buf2); !errors.Is(err, ErrTooLong) {
+		t.Fatalf("oversize read len: got %v, want ErrTooLong", err)
+	}
+}
+
+func TestDecodeRequestUnknownOp(t *testing.T) {
+	buf := AppendRequest(nil, &Request{ID: 1, Op: Op(200), Path: "/x"})
+	if _, err := DecodeRequest(buf); err == nil {
+		t.Fatal("unknown op decoded without error")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var b bytes.Buffer
+	payload := AppendRequest(nil, &Request{ID: 9, Op: OpSync})
+	if err := WriteFrame(&b, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&b, MaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("frame payload mismatch")
+	}
+}
+
+func TestReadFrameRejectsOversize(t *testing.T) {
+	// Header declaring 1GB: must be rejected before allocation.
+	hdr := []byte{0x40, 0x00, 0x00, 0x00}
+	if _, err := ReadFrame(bytes.NewReader(hdr), MaxFrame); !errors.Is(err, ErrFrame) {
+		t.Fatalf("got %v, want ErrFrame", err)
+	}
+}
+
+func TestStatusRetryable(t *testing.T) {
+	if !StatusAgain.Retryable() {
+		t.Fatal("StatusAgain must be retryable")
+	}
+	for _, s := range []Status{StatusOK, StatusNotFound, StatusClosed, StatusIO, StatusInvalid} {
+		if s.Retryable() {
+			t.Fatalf("%v must not be retryable", s)
+		}
+	}
+}

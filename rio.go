@@ -142,7 +142,27 @@ func (c Config) options() (machine.Options, error) {
 	return opt, nil
 }
 
+// Exported error codes. File-system operations return exactly these
+// values for their respective conditions, so callers — and wire-level
+// services like riod that must map failures to typed status codes —
+// can branch with == instead of matching message strings.
+var (
+	ErrNotFound = fs.ErrNotFound
+	ErrExists   = fs.ErrExists
+	ErrNotDir   = fs.ErrNotDir
+	ErrIsDir    = fs.ErrIsDir
+	ErrNotEmpty = fs.ErrNotEmpty
+	ErrNoSpace  = fs.ErrNoSpace
+	ErrNoInodes = fs.ErrNoInodes
+	ErrReadOnly = fs.ErrReadOnly
+)
+
 // System is a booted simulated machine with a mounted file system.
+//
+// A System is single-threaded: it models one machine, and its methods
+// must not be called concurrently. Services that want parallelism run
+// several Systems side by side (see NewShards) with each instance owned
+// by exactly one goroutine.
 type System struct {
 	m   *machine.Machine
 	cfg Config
@@ -159,6 +179,37 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	return &System{m: m, cfg: cfg}, nil
+}
+
+// NewShards boots n independent Systems from one Config for a sharded
+// service. Each shard's seed is derived with sim.Mix(cfg.Seed, shard),
+// so shard i's machine is identical no matter how many shards exist
+// beside it, and no two shards share a random stream. The Systems are
+// fully independent (separate memory, disk, file system); the caller
+// provides any cross-shard routing and must keep each System on a
+// single goroutine.
+func NewShards(n int, cfg Config) ([]*System, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("rio: NewShards needs n > 0, got %d", n)
+	}
+	base := cfg.Seed
+	if base == 0 {
+		base = 1
+	}
+	systems := make([]*System, n)
+	for i := range systems {
+		c := cfg
+		c.Seed = sim.Mix(base, uint64(i))
+		if c.Seed == 0 {
+			c.Seed = 1 // Config treats 0 as "default"; keep shards explicit
+		}
+		sys, err := New(c)
+		if err != nil {
+			return nil, fmt.Errorf("rio: shard %d: %w", i, err)
+		}
+		systems[i] = sys
+	}
+	return systems, nil
 }
 
 // Machine exposes the underlying simulated machine for advanced use (the

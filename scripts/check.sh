@@ -22,3 +22,10 @@ go test -race -timeout 60m ./internal/crashtest/...
 # retrying I/O) is what the double-fault campaign leans on; race-check it
 # too — these packages are fast even under the detector.
 go test -race -timeout 10m ./internal/warmreboot/... ./internal/disk/... ./internal/ioretry/...
+# The serving layer is the one place real goroutines share state (shard
+# queues, metrics, close/drain); the wire codec fuzz seeds ride along.
+go test -race -timeout 10m ./internal/server/... ./internal/wire/...
+# Server smoke benchmark: rioload against riod's in-process transport,
+# with a 1-shard baseline — fails if the run errors; the report lands in
+# BENCH_server.json (uploaded as a CI artifact).
+make serve-bench
