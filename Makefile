@@ -2,7 +2,7 @@
 # vet, tests, and the race detector over the concurrent campaign
 # scheduler (scripts/check.sh is the single source of truth).
 
-.PHONY: check build lint test race bench crash-recovery serve-bench
+.PHONY: check build lint test race bench bench-core crash-recovery serve-bench
 
 check:
 	sh scripts/check.sh
@@ -25,6 +25,20 @@ race:
 bench:
 	go test -run '^$$' -bench . -benchtime 1x .
 
+# Core-op microbenchmarks: riobench measures create/unlink/lookup-deep/
+# read/write against one simulated machine (host ns/op, allocs/op, and
+# simulated µs/op) and writes BENCH_core.json. When a previous snapshot
+# exists it is embedded as the baseline, so the fresh report carries its
+# own before/after deltas — in CI that compares the run against the
+# checked-in snapshot. scripts/benchdiff.sh diffs any two reports.
+bench-core:
+	@if [ -f BENCH_core.json ]; then \
+		cp BENCH_core.json /tmp/bench_core_prev.json; \
+		go run ./cmd/riobench -out BENCH_core.json -baseline /tmp/bench_core_prev.json; \
+	else \
+		go run ./cmd/riobench -out BENCH_core.json; \
+	fi
+
 # Double-fault campaign smoke test: a small fixed-seed campaign with
 # storage faults and second crashes enabled, diffed against the golden
 # report in testdata (the campaign: summary line carries wall time and
@@ -36,12 +50,14 @@ crash-recovery:
 	@echo "crash-recovery: output matches golden"
 
 # Server smoke benchmark: riod's shard fabric under rioload via the
-# in-process transport — 8 closed-loop clients for 10s against 4 shards,
-# plus a 1-shard baseline at the same client count (the acceptance bar:
-# 4 shards must beat 1). Writes BENCH_server.json (throughput, p50/p95/p99).
+# in-process transport — 8 connections with 8 pipelined request streams
+# each for 10s against 4 shards, plus a 1-shard baseline at the same
+# load (the acceptance bar: 4 shards must beat 1, and batch draining
+# must actually coalesce: avg_batch > 1.5). Writes BENCH_server.json
+# (throughput, p50/p95/p99, per-shard batching).
 serve-bench:
-	go run ./cmd/rioload -net memory -shards 4 -clients 8 -duration 10s \
-		-compare 1 -out BENCH_server.json
+	go run ./cmd/rioload -net memory -shards 4 -clients 8 -pipeline 8 \
+		-duration 10s -compare 1 -out BENCH_server.json
 
 crash-recovery-golden:
 	mkdir -p testdata

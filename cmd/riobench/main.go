@@ -1,0 +1,403 @@
+// Command riobench is the core-op microbenchmark harness: it measures
+// the simulator's per-operation hot-path cost (host wall-clock and host
+// allocations — the simulator's own speed, not the simulated 1996 disk)
+// for create, deep-path lookup, read, write, and unlink, at a
+// configurable directory depth and fanout.
+//
+// Usage:
+//
+//	riobench [-depth 6] [-fanout 64] [-iters 4000] [-size 8192]
+//	         [-filesize 262144] [-policy rio] [-seed 1]
+//	         [-out BENCH_core.json] [-baseline old.json]
+//	         [-cpuprofile cpu.out]
+//	riobench -diff OLD.json NEW.json
+//
+// Each op reports ns/op, allocs/op, B/op (host), and simulated µs/op.
+// -baseline embeds a previous run's results in the report and computes
+// speedups (old-ns / new-ns) and allocation ratios, so BENCH_core.json
+// carries its own before/after story. -diff compares two report files
+// and prints the deltas (scripts/benchdiff.sh wraps it).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"rio"
+)
+
+type benchConfig struct {
+	Depth    int    `json:"depth"`
+	Fanout   int    `json:"fanout"`
+	Iters    int    `json:"iters"`
+	Size     int    `json:"chunk_bytes"`
+	FileSize int    `json:"file_bytes"`
+	Policy   string `json:"policy"`
+	Seed     uint64 `json:"seed"`
+}
+
+type opResult struct {
+	Name        string  `json:"name"`
+	Ops         int     `json:"ops"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	SimUsPerOp  float64 `json:"sim_us_per_op"`
+}
+
+type baselineBlock struct {
+	Results []opResult         `json:"results"`
+	Speedup map[string]float64 `json:"speedup_ns"`   // old ns/op over new ns/op
+	Allocs  map[string]float64 `json:"alloc_ratio"`  // new allocs/op over old allocs/op
+}
+
+type benchReport struct {
+	Bench    string         `json:"bench"`
+	Config   benchConfig    `json:"config"`
+	Results  []opResult     `json:"results"`
+	Baseline *baselineBlock `json:"baseline,omitempty"`
+}
+
+func main() {
+	var cfg benchConfig
+	flag.IntVar(&cfg.Depth, "depth", 6, "directory depth of the lookup path")
+	flag.IntVar(&cfg.Fanout, "fanout", 64, "files per leaf directory")
+	flag.IntVar(&cfg.Iters, "iters", 4000, "measured iterations per op")
+	flag.IntVar(&cfg.Size, "size", 8192, "bytes per read/write op")
+	flag.IntVar(&cfg.FileSize, "filesize", 262144, "read/write target file size")
+	flag.StringVar(&cfg.Policy, "policy", "rio", "file-system policy")
+	flag.Uint64Var(&cfg.Seed, "seed", 1, "machine seed")
+	out := flag.String("out", "BENCH_core.json", "JSON report path (empty = skip)")
+	baseline := flag.String("baseline", "", "previous BENCH_core.json to embed and compare against")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured loops")
+	diff := flag.Bool("diff", false, "compare two report files (riobench -diff OLD NEW) and exit")
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "riobench: -diff needs exactly two report files")
+			os.Exit(2)
+		}
+		if err := printDiff(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "riobench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "riobench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "riobench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	report := benchReport{Bench: "riobench-core", Config: cfg}
+	results, err := runAll(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "riobench:", err)
+		os.Exit(1)
+	}
+	report.Results = results
+
+	if *baseline != "" {
+		base, err := readReport(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "riobench: baseline:", err)
+			os.Exit(1)
+		}
+		report.Baseline = compare(base.Results, results)
+	}
+
+	printReport(&report)
+
+	if *out != "" {
+		data, err := json.MarshalIndent(&report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "riobench: write report:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+// bench measures fn over n iterations: wall ns/op, host allocs/op and
+// B/op (ReadMemStats deltas), and simulated µs/op. A GC runs first so
+// the allocation counters measure the loop, not the setup's garbage.
+func bench(name string, sys *rio.System, n int, fn func(i int) error) (opResult, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	simStart := sys.Elapsed()
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return opResult{}, fmt.Errorf("%s op %d: %w", name, i, err)
+		}
+	}
+	wall := time.Since(start)
+	simWall := sys.Elapsed() - simStart
+	runtime.ReadMemStats(&after)
+	return opResult{
+		Name:        name,
+		Ops:         n,
+		NsPerOp:     float64(wall.Nanoseconds()) / float64(n),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(n),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+		SimUsPerOp:  float64(simWall.Microseconds()) / float64(n),
+	}, nil
+}
+
+// runAll boots one machine and measures the five core ops against it.
+func runAll(cfg benchConfig) ([]opResult, error) {
+	sys, err := rio.New(rio.Config{Policy: rio.Policy(cfg.Policy), Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+
+	// Build the deep directory chain /b0/b1/.../b{depth-1} and the leaf
+	// file population the lookup benchmark will resolve through.
+	deep := ""
+	for d := 0; d < cfg.Depth; d++ {
+		deep = fmt.Sprintf("%s/b%d", deep, d)
+		if err := sys.Mkdir(deep); err != nil {
+			return nil, err
+		}
+	}
+	leafFiles := make([]string, cfg.Fanout)
+	for i := range leafFiles {
+		leafFiles[i] = fmt.Sprintf("%s/f%03d", deep, i)
+		if err := sys.WriteFile(leafFiles[i], []byte("x")); err != nil {
+			return nil, err
+		}
+	}
+
+	// Read/write target: one warm multi-block file.
+	rw, err := sys.Create("/rwbench")
+	if err != nil {
+		return nil, err
+	}
+	defer rw.Close()
+	payload := make([]byte, cfg.Size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for off := 0; off < cfg.FileSize; off += cfg.Size {
+		if _, err := rw.WriteAt(payload, int64(off)); err != nil {
+			return nil, err
+		}
+	}
+	chunks := cfg.FileSize / cfg.Size
+	rbuf := make([]byte, cfg.Size)
+
+	var results []opResult
+	add := func(r opResult, err error) error {
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+		return nil
+	}
+
+	// create/unlink run in rounds of `fanout` files so the inode table
+	// never fills; the per-op figures aggregate across rounds.
+	if err := sys.Mkdir("/churn"); err != nil {
+		return nil, err
+	}
+	rounds := (cfg.Iters + cfg.Fanout - 1) / cfg.Fanout
+	var createNs, unlinkNs time.Duration
+	var createAllocs, unlinkAllocs, createBytes, unlinkBytes uint64
+	var createSim, unlinkSim time.Duration
+	total := 0
+	for r := 0; r < rounds; r++ {
+		runtime.GC()
+		var m0, m1, m2 runtime.MemStats
+		names := make([]string, cfg.Fanout)
+		for i := range names {
+			names[i] = fmt.Sprintf("/churn/f%03d", i)
+		}
+		runtime.ReadMemStats(&m0)
+		sim0 := sys.Elapsed()
+		t0 := time.Now()
+		for _, p := range names {
+			f, err := sys.Create(p)
+			if err != nil {
+				return nil, err
+			}
+			if err := f.Close(); err != nil {
+				return nil, err
+			}
+		}
+		t1 := time.Now()
+		sim1 := sys.Elapsed()
+		runtime.ReadMemStats(&m1)
+		for _, p := range names {
+			if err := sys.Remove(p); err != nil {
+				return nil, err
+			}
+		}
+		t2 := time.Now()
+		sim2 := sys.Elapsed()
+		runtime.ReadMemStats(&m2)
+		createNs += t1.Sub(t0)
+		unlinkNs += t2.Sub(t1)
+		createSim += sim1 - sim0
+		unlinkSim += sim2 - sim1
+		createAllocs += m1.Mallocs - m0.Mallocs
+		unlinkAllocs += m2.Mallocs - m1.Mallocs
+		createBytes += m1.TotalAlloc - m0.TotalAlloc
+		unlinkBytes += m2.TotalAlloc - m1.TotalAlloc
+		total += cfg.Fanout
+	}
+	results = append(results,
+		opResult{Name: "create", Ops: total,
+			NsPerOp:     float64(createNs.Nanoseconds()) / float64(total),
+			AllocsPerOp: float64(createAllocs) / float64(total),
+			BytesPerOp:  float64(createBytes) / float64(total),
+			SimUsPerOp:  float64(createSim.Microseconds()) / float64(total)},
+		opResult{Name: "unlink", Ops: total,
+			NsPerOp:     float64(unlinkNs.Nanoseconds()) / float64(total),
+			AllocsPerOp: float64(unlinkAllocs) / float64(total),
+			BytesPerOp:  float64(unlinkBytes) / float64(total),
+			SimUsPerOp:  float64(unlinkSim.Microseconds()) / float64(total)})
+
+	// Deep-path lookup: every component re-resolves through the chain.
+	if err := add(bench("lookup-deep", sys, cfg.Iters, func(i int) error {
+		_, err := sys.Stat(leafFiles[i%len(leafFiles)])
+		return err
+	})); err != nil {
+		return nil, err
+	}
+
+	// Warm read path: every chunk is a cache hit.
+	if err := add(bench("read", sys, cfg.Iters, func(i int) error {
+		_, err := rw.ReadAt(rbuf, int64(i%chunks)*int64(cfg.Size))
+		return err
+	})); err != nil {
+		return nil, err
+	}
+
+	// Warm write path: overwrites of cached blocks.
+	if err := add(bench("write", sys, cfg.Iters, func(i int) error {
+		_, err := rw.WriteAt(payload, int64(i%chunks)*int64(cfg.Size))
+		return err
+	})); err != nil {
+		return nil, err
+	}
+
+	return results, nil
+}
+
+func compare(old, cur []opResult) *baselineBlock {
+	b := &baselineBlock{
+		Results: old,
+		Speedup: map[string]float64{},
+		Allocs:  map[string]float64{},
+	}
+	byName := map[string]opResult{}
+	for _, r := range old {
+		byName[r.Name] = r
+	}
+	for _, r := range cur {
+		o, ok := byName[r.Name]
+		if !ok || r.NsPerOp == 0 {
+			continue
+		}
+		b.Speedup[r.Name] = o.NsPerOp / r.NsPerOp
+		if o.AllocsPerOp > 0 {
+			b.Allocs[r.Name] = r.AllocsPerOp / o.AllocsPerOp
+		}
+	}
+	return b
+}
+
+func readReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func printReport(r *benchReport) {
+	fmt.Printf("%-12s %8s %12s %12s %12s %12s\n",
+		"op", "ops", "ns/op", "allocs/op", "B/op", "sim-µs/op")
+	for _, res := range r.Results {
+		fmt.Printf("%-12s %8d %12.0f %12.1f %12.0f %12.2f",
+			res.Name, res.Ops, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.SimUsPerOp)
+		if r.Baseline != nil {
+			if s, ok := r.Baseline.Speedup[res.Name]; ok {
+				fmt.Printf("   %.2fx vs baseline", s)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+// printDiff renders the delta between two report files.
+func printDiff(oldPath, newPath string) error {
+	old, err := readReport(oldPath)
+	if err != nil {
+		return err
+	}
+	cur, err := readReport(newPath)
+	if err != nil {
+		return err
+	}
+	byName := map[string]opResult{}
+	for _, r := range old.Results {
+		byName[r.Name] = r
+	}
+	fmt.Printf("%-12s %14s %14s %9s   %14s %14s %9s\n",
+		"op", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
+	for _, r := range cur.Results {
+		o, ok := byName[r.Name]
+		if !ok {
+			fmt.Printf("%-12s %14s %14.0f %9s\n", r.Name, "(new)", r.NsPerOp, "")
+			continue
+		}
+		fmt.Printf("%-12s %14.0f %14.0f %+8.1f%%   %14.1f %14.1f %+8.1f%%\n",
+			r.Name, o.NsPerOp, r.NsPerOp, pct(o.NsPerOp, r.NsPerOp),
+			o.AllocsPerOp, r.AllocsPerOp, pct(o.AllocsPerOp, r.AllocsPerOp))
+	}
+	for _, o := range old.Results {
+		found := false
+		for _, r := range cur.Results {
+			if r.Name == o.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("%-12s %14.0f %14s\n", o.Name, o.NsPerOp, "(removed)")
+		}
+	}
+	return nil
+}
+
+// pct returns the relative change from old to new in percent.
+func pct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return 100 * (new - old) / old
+}

@@ -10,6 +10,13 @@
 //
 //	riod [-addr :7979] [-shards 4] [-policy rio] [-seed 1]
 //	     [-queue 128] [-batch 32] [-mem MB] [-disk MB] [-net tcp|memory]
+//	     [-pprof host:port]
+//
+// -pprof serves net/http/pprof on the given address (loopback
+// recommended) for profiling the serving path under live load:
+//
+//	riod -pprof localhost:6060 &
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
 //
 // With -net tcp (the default) riod listens until SIGINT/SIGTERM, then
 // drains: queued requests are answered, new ones refused, and the
@@ -28,6 +35,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,7 +56,19 @@ func main() {
 	batch := flag.Int("batch", 32, "max requests per shard drain cycle")
 	memMB := flag.Int("mem", 16, "memory per shard, MB")
 	diskMB := flag.Int("disk", 32, "disk per shard, MB")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the pprof handlers via the blank
+			// import above.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "riod: pprof:", err)
+			}
+		}()
+		fmt.Printf("riod: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	srv, err := server.New(server.Config{
 		Shards:     *shards,

@@ -1,16 +1,22 @@
-// Command rioload is a closed-loop load generator for riod: N client
-// goroutines each issue one request at a time against the server —
-// over TCP or against an in-process server (-net memory) — with a
-// configurable read/write mix, key count, and key-space skew. Clients
-// follow the EAGAIN discipline: retryable statuses are re-submitted
-// with exponential backoff, so a shard crash plus warm reboot under
-// load shows up as a latency blip, not an error storm.
+// Command rioload is a load generator for riod: N client connections
+// each issue requests against the server — over TCP or against an
+// in-process server (-net memory) — with a configurable read/write
+// mix, key count, and key-space skew. Clients follow the EAGAIN
+// discipline: retryable statuses are re-submitted with exponential
+// backoff, so a shard crash plus warm reboot under load shows up as a
+// latency blip, not an error storm.
+//
+// By default each connection is closed-loop: one request at a time.
+// -pipeline P runs P concurrent request streams per connection —
+// pipelined over a shared MuxClient in TCP mode, matched to responses
+// by tag — so the shard queues see real depth and batch draining
+// amortises queue handoffs (watch avg_batch in the per-shard metrics).
 //
 // Usage:
 //
 //	rioload [-net memory|tcp] [-addr host:7979] [-clients 8]
-//	        [-duration 10s] [-writes 0.5] [-keys 900] [-size 8192]
-//	        [-skew 0] [-seed 1] [-out BENCH_server.json]
+//	        [-pipeline 1] [-duration 10s] [-writes 0.5] [-keys 900]
+//	        [-size 8192] [-skew 0] [-seed 1] [-out BENCH_server.json]
 //	        [-shards 4] [-mem 16] [-disk 32]        (memory mode sizing)
 //	        [-compare N]                            (memory mode: baseline at N shards)
 //	        [-crash-shard K -crash-at D -crash-down D]
@@ -50,6 +56,7 @@ type loadConfig struct {
 	Addr     string        `json:"addr,omitempty"`
 	Shards   int           `json:"shards"`
 	Clients  int           `json:"clients"`
+	Pipeline int           `json:"pipeline"`
 	Duration time.Duration `json:"-"`
 	Writes   float64       `json:"write_fraction"`
 	Keys     int           `json:"keys"`
@@ -109,7 +116,8 @@ func main() {
 	var cfg loadConfig
 	flag.StringVar(&cfg.Net, "net", "tcp", "transport: tcp or memory (in-process server)")
 	flag.StringVar(&cfg.Addr, "addr", "localhost:7979", "riod address (tcp mode)")
-	flag.IntVar(&cfg.Clients, "clients", 8, "concurrent closed-loop clients")
+	flag.IntVar(&cfg.Clients, "clients", 8, "concurrent client connections")
+	flag.IntVar(&cfg.Pipeline, "pipeline", 1, "request streams in flight per connection (1 = closed loop)")
 	flag.DurationVar(&cfg.Duration, "duration", 10*time.Second, "measured run length")
 	flag.Float64Var(&cfg.Writes, "writes", 0.5, "write fraction of the op mix [0,1]")
 	// 900 keys fit one machine's 1024-entry inode table, so a -compare 1
@@ -139,6 +147,10 @@ func main() {
 	}
 	if cfg.Net != "tcp" && cfg.Net != "memory" {
 		fmt.Fprintf(os.Stderr, "rioload: unknown -net %q (want tcp or memory)\n", cfg.Net)
+		os.Exit(2)
+	}
+	if cfg.Pipeline < 1 {
+		fmt.Fprintln(os.Stderr, "rioload: -pipeline must be >= 1")
 		os.Exit(2)
 	}
 
@@ -173,6 +185,8 @@ func main() {
 	if metrics != nil {
 		fmt.Println("\nper-shard server metrics:")
 		fmt.Print(metrics.Table())
+		fmt.Printf("aggregate avg_batch: %.2f requests per drain (pipeline depth %d)\n",
+			metrics.AvgBatch, cfg.Pipeline)
 	}
 	if report.Baseline != nil && report.Baseline.OpsPerSec > 0 {
 		report.Baseline.Speedup = res.OpsPerSec / report.Baseline.OpsPerSec
@@ -200,10 +214,15 @@ func printRun(name string, r *runResult) {
 		r.Latency.P50us, r.Latency.P95us, r.Latency.P99us)
 }
 
-// dial returns one client connection for the given transport.
+// dial returns one client connection for the given transport. With
+// -pipeline > 1 a TCP connection must multiplex concurrent callers, so
+// it gets a MuxClient; MemClient is already safe to share.
 func dial(cfg loadConfig, srv *server.Server) (server.Client, error) {
 	if srv != nil {
 		return server.MemClient{S: srv}, nil
+	}
+	if cfg.Pipeline > 1 {
+		return server.DialMux(cfg.Addr)
 	}
 	return server.DialTCP(cfg.Addr)
 }
@@ -240,17 +259,39 @@ func runLoad(cfg loadConfig) (*runResult, *server.Metrics, error) {
 		return nil, nil, err
 	}
 
-	// Measured phase.
-	results := make([]runResult, cfg.Clients)
-	errs := make([]error, cfg.Clients)
+	// Measured phase: cfg.Clients connections, each shared by
+	// cfg.Pipeline worker streams (so total concurrency is their
+	// product). Every worker keeps one request in flight; on a
+	// pipelined connection the workers' requests overlap on the wire.
+	workers := cfg.Clients * cfg.Pipeline
+	results := make([]runResult, workers)
+	errs := make([]error, workers)
 	start := time.Now()
 	deadline := start.Add(cfg.Duration)
 	var wg sync.WaitGroup
 	for c := 0; c < cfg.Clients; c++ {
+		cl, err := dial(cfg, srv)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dial connection %d: %w", c, err)
+		}
+		conn := cl
+		streams := make([]int, 0, cfg.Pipeline)
+		for p := 0; p < cfg.Pipeline; p++ {
+			streams = append(streams, c*cfg.Pipeline+p)
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			errs[c] = client(cfg, srv, c, keys, cdf, payload, deadline, &results[c])
+			defer conn.Close()
+			var cwg sync.WaitGroup
+			for _, w := range streams {
+				cwg.Add(1)
+				go func() {
+					defer cwg.Done()
+					errs[w] = worker(cfg, conn, w, keys, cdf, payload, deadline, &results[w])
+				}()
+			}
+			cwg.Wait()
 		}()
 	}
 	if cfg.CrashShard >= 0 {
@@ -266,7 +307,7 @@ func runLoad(cfg loadConfig) (*runResult, *server.Metrics, error) {
 	merged := &runResult{WallSeconds: wall.Seconds()}
 	for c := range results {
 		if errs[c] != nil {
-			return nil, nil, fmt.Errorf("client %d: %w", c, errs[c])
+			return nil, nil, fmt.Errorf("worker %d: %w", c, errs[c])
 		}
 		r := &results[c]
 		merged.Ops += r.Ops
@@ -332,14 +373,12 @@ func populate(cfg loadConfig, srv *server.Server, keys []string, payload []byte)
 	return nil
 }
 
-// client is one closed-loop load goroutine.
-func client(cfg loadConfig, srv *server.Server, idx int, keys []string,
+// worker is one load stream: a closed loop over a client connection it
+// may share with other workers. Each worker gets its own RetryClient
+// (RetryClient's stats are not synchronized) around the shared,
+// concurrency-safe transport.
+func worker(cfg loadConfig, cl server.Client, idx int, keys []string,
 	cdf []float64, payload []byte, deadline time.Time, out *runResult) error {
-	cl, err := dial(cfg, srv)
-	if err != nil {
-		return err
-	}
-	defer cl.Close()
 	rc := &server.RetryClient{C: cl, Pol: server.DefaultRetryPolicy()}
 	rng := sim.NewRand(sim.Mix(cfg.Seed, uint64(idx), 0x10ad))
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rioperf [-scale F] [-seed S] [-quiet]
+//	rioperf [-scale F] [-seed S] [-quiet] [-cpuprofile FILE]
 //
 // Times are simulated (a parameterised 1996-era cost model); the
 // reproduction target is the paper's shape — who wins and by what factor —
@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"rio"
 )
@@ -23,7 +24,22 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload size multiplier")
 	seed := flag.Uint64("seed", 1, "run seed (reproducible)")
 	quiet := flag.Bool("quiet", false, "suppress per-row progress")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rioperf:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rioperf:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	opts := rio.PerfOptions{Seed: *seed, Scale: *scale}
 	if !*quiet {

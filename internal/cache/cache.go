@@ -114,6 +114,7 @@ type Cache struct {
 	data    map[DataKey]*Buf
 	metaLRU *list.List // front = most recent
 	dataLRU *list.List
+	pageBuf []byte // reusable insert staging page (see insert)
 }
 
 // New returns an empty cache over k and reg.
@@ -215,10 +216,16 @@ func (c *Cache) insert(kind Kind, content []byte, size int) (*Buf, error) {
 	if frame < 0 {
 		return nil, fmt.Errorf("cache: out of physical frames")
 	}
-	// DMA-style initial fill: raw write, as a disk controller would.
-	page := make([]byte, BlockSize)
-	copy(page, content)
-	c.K.Mem.WriteAt(mem.FrameBase(frame), page)
+	// DMA-style initial fill: raw write, as a disk controller would. The
+	// staging page is reused across inserts; its tail must be re-zeroed
+	// because content may be shorter than a block (or nil for a fresh
+	// zero page).
+	if c.pageBuf == nil {
+		c.pageBuf = make([]byte, BlockSize)
+	}
+	n := copy(c.pageBuf, content)
+	clear(c.pageBuf[n:])
+	c.K.Mem.WriteAt(mem.FrameBase(frame), c.pageBuf)
 	c.K.Mem.Frame(frame).FileCache = true
 
 	var addr uint64
@@ -427,23 +434,45 @@ func (c *Cache) WriteShadow(b *Buf, data []byte) error {
 // Read copies n bytes at off out of the buffer through the sanctioned read
 // path and returns them.
 func (c *Cache) Read(b *Buf, off, n int) ([]byte, error) {
+	buf := make([]byte, n)
+	if err := c.ReadInto(b, off, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ReadInto is Read into a caller-supplied buffer (len(dst) bytes from
+// off), sparing the hot read path one allocation and one copy per block.
+func (c *Cache) ReadInto(b *Buf, off int, dst []byte) error {
+	n := len(dst)
 	if off < 0 || off+n > BlockSize {
 		panic(fmt.Sprintf("cache: bad read [%d,+%d)", off, n))
 	}
 	if err := c.K.SetBufHdrOp(b.Hdr, n, kernel.StagingBase, off); err != nil {
-		return nil, err
+		return err
 	}
 	if err := c.K.ReadBlock(b.Hdr); err != nil {
-		return nil, err
+		return err
 	}
 	c.touch(b)
-	return c.K.StageOut(n), nil
+	c.K.StageOutInto(dst)
+	return nil
 }
 
 // Contents returns the raw page contents (trusted oracle/flush path: reads
 // physical memory directly, like a DMA engine would on write-back).
 func (c *Cache) Contents(b *Buf) []byte {
 	return c.K.Mem.Page(b.Frame)
+}
+
+// ContentsAt copies len(dst) bytes at off out of the buffer's frame —
+// the same trusted direct read as Contents, without paying a full-page
+// copy when the caller wants a few fields (e.g. one inode).
+func (c *Cache) ContentsAt(b *Buf, off int, dst []byte) {
+	if off < 0 || off+len(dst) > BlockSize {
+		panic(fmt.Sprintf("cache: bad contents read [%d,+%d)", off, len(dst)))
+	}
+	c.K.Mem.ReadAt(mem.FrameBase(b.Frame)+uint64(off), dst)
 }
 
 // MarkClean records that the buffer matches its disk copy again.

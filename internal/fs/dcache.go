@@ -1,0 +1,95 @@
+package fs
+
+import "container/list"
+
+// The name-resolution cache (dcache) maps (directory inode, name) to the
+// child's inode number so resolve does not re-read directory blocks for
+// every path component — the same trade Digital Unix made with its namei
+// cache. It is *simulated* cache state: it lives on the mounted FS, so a
+// crash or warm reboot drops it wholesale (Mount builds a fresh one), and
+// the two dirent mutators (dirInsert, dirRemove) keep it coherent — there
+// is no other writer of directory entries on a mounted file system.
+//
+// Entries are keyed by the parent's inode number, not its path, so a
+// rename of an ancestor directory does not stale them. The cache is
+// bounded by an LRU list with deterministic eviction order; all map
+// accesses are by exact key (no iteration), keeping riolint's
+// determinism discipline trivially satisfied.
+
+// dcacheCap bounds the cache. 1024 entries covers the benchmark trees
+// and the crash-campaign workloads without letting a pathological
+// workload grow the map unboundedly.
+const dcacheCap = 1024
+
+type dcacheKey struct {
+	dir  uint32
+	name string
+}
+
+type dcacheEntry struct {
+	key dcacheKey
+	ino uint32
+}
+
+type dcache struct {
+	m   map[dcacheKey]*list.Element
+	lru *list.List // front = most recently used
+}
+
+func newDcache() *dcache {
+	return &dcache{m: make(map[dcacheKey]*list.Element), lru: list.New()}
+}
+
+// get returns the cached child inode for (dir, name), refreshing its LRU
+// position on a hit.
+func (dc *dcache) get(dir uint32, name string) (uint32, bool) {
+	if dc == nil {
+		return 0, false
+	}
+	el, ok := dc.m[dcacheKey{dir, name}]
+	if !ok {
+		return 0, false
+	}
+	dc.lru.MoveToFront(el)
+	return el.Value.(*dcacheEntry).ino, true
+}
+
+// put records (dir, name) → ino, evicting the least recently used entry
+// when the cache is full.
+func (dc *dcache) put(dir uint32, name string, ino uint32) {
+	if dc == nil {
+		return
+	}
+	key := dcacheKey{dir, name}
+	if el, ok := dc.m[key]; ok {
+		el.Value.(*dcacheEntry).ino = ino
+		dc.lru.MoveToFront(el)
+		return
+	}
+	if dc.lru.Len() >= dcacheCap {
+		back := dc.lru.Back()
+		delete(dc.m, back.Value.(*dcacheEntry).key)
+		dc.lru.Remove(back)
+	}
+	dc.m[key] = dc.lru.PushFront(&dcacheEntry{key: key, ino: ino})
+}
+
+// invalidate removes the entry for (dir, name), if cached.
+func (dc *dcache) invalidate(dir uint32, name string) {
+	if dc == nil {
+		return
+	}
+	key := dcacheKey{dir, name}
+	if el, ok := dc.m[key]; ok {
+		delete(dc.m, key)
+		dc.lru.Remove(el)
+	}
+}
+
+// Len reports the number of live entries (tests and stats).
+func (dc *dcache) Len() int {
+	if dc == nil {
+		return 0
+	}
+	return dc.lru.Len()
+}

@@ -1,0 +1,143 @@
+package fs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"rio/internal/fs"
+	"rio/internal/machine"
+)
+
+// statHits runs Stat twice and returns the dcache hit delta — the second
+// Stat of a warm path must be answered by the cache.
+func statHits(t *testing.T, m *machine.Machine, path string) uint64 {
+	t.Helper()
+	if _, err := m.FS.Stat(path); err != nil {
+		t.Fatalf("stat %s: %v", path, err)
+	}
+	before := m.FS.Stats.DcacheHits
+	if _, err := m.FS.Stat(path); err != nil {
+		t.Fatalf("stat %s: %v", path, err)
+	}
+	return m.FS.Stats.DcacheHits - before
+}
+
+func TestDcacheServesRepeatLookups(t *testing.T) {
+	m := boot(t, fs.PolicyRio)
+	if err := m.FS.Mkdir("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FS.Mkdir("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, m, "/a/b/leaf", []byte("x"))
+	// Three components — a warm Stat must resolve all of them from the
+	// cache without touching a directory block.
+	reads := m.FS.Stats.SyncReads
+	if got := statHits(t, m, "/a/b/leaf"); got != 3 {
+		t.Fatalf("warm deep Stat made %d dcache hits, want 3", got)
+	}
+	if m.FS.Stats.SyncReads != reads {
+		t.Fatal("warm lookup read the disk")
+	}
+}
+
+func TestDcacheInvalidateUnlink(t *testing.T) {
+	m := boot(t, fs.PolicyRio)
+	if err := m.FS.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, m, "/d/a", []byte("first"))
+	if statHits(t, m, "/d/a") == 0 {
+		t.Fatal("entry never cached")
+	}
+	if err := m.FS.Unlink("/d/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.FS.Stat("/d/a"); err != fs.ErrNotFound {
+		t.Fatalf("stat after unlink: %v, want ErrNotFound", err)
+	}
+	// Recreating the name must bind to the new file, not a stale inode.
+	writeFile(t, m, "/d/a", []byte("second"))
+	if got := readFile(t, m, "/d/a"); !bytes.Equal(got, []byte("second")) {
+		t.Fatalf("reborn file reads %q", got)
+	}
+}
+
+func TestDcacheInvalidateRename(t *testing.T) {
+	m := boot(t, fs.PolicyRio)
+	if err := m.FS.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, m, "/d/a", []byte("payload-a"))
+	writeFile(t, m, "/d/c", []byte("payload-c"))
+	statHits(t, m, "/d/a") // warm both names into the cache
+	statHits(t, m, "/d/c")
+	if err := m.FS.Rename("/d/a", "/d/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.FS.Stat("/d/a"); err != fs.ErrNotFound {
+		t.Fatalf("stat of renamed-away name: %v, want ErrNotFound", err)
+	}
+	if got := readFile(t, m, "/d/b"); !bytes.Equal(got, []byte("payload-a")) {
+		t.Fatalf("/d/b reads %q", got)
+	}
+	// Replacing rename: /d/c's cached entry must not survive pointing at
+	// the freed inode.
+	if err := m.FS.Rename("/d/b", "/d/c"); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, m, "/d/c"); !bytes.Equal(got, []byte("payload-a")) {
+		t.Fatalf("/d/c after replace reads %q", got)
+	}
+	if _, err := m.FS.Stat("/d/b"); err != fs.ErrNotFound {
+		t.Fatalf("stat of moved name: %v, want ErrNotFound", err)
+	}
+}
+
+// TestDcacheRenamedParentDirectory checks that entries keyed under a
+// directory's inode survive (correctly) when the directory itself is
+// renamed: the children are reachable under the new path and gone under
+// the old one.
+func TestDcacheRenamedParentDirectory(t *testing.T) {
+	m := boot(t, fs.PolicyRio)
+	if err := m.FS.Mkdir("/old"); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, m, "/old/child", []byte("kid"))
+	statHits(t, m, "/old/child")
+	if err := m.FS.Rename("/old", "/new"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.FS.Stat("/old/child"); err != fs.ErrNotFound {
+		t.Fatalf("stat under old dir name: %v, want ErrNotFound", err)
+	}
+	if got := readFile(t, m, "/new/child"); !bytes.Equal(got, []byte("kid")) {
+		t.Fatalf("/new/child reads %q", got)
+	}
+}
+
+func TestDcacheInvalidateRmdir(t *testing.T) {
+	m := boot(t, fs.PolicyRio)
+	if err := m.FS.Mkdir("/p"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FS.Mkdir("/p/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if statHits(t, m, "/p/sub") == 0 {
+		t.Fatal("directory entry never cached")
+	}
+	if err := m.FS.Rmdir("/p/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.FS.Stat("/p/sub"); err != fs.ErrNotFound {
+		t.Fatalf("stat after rmdir: %v, want ErrNotFound", err)
+	}
+	// The name must be reusable for a file with the same path.
+	writeFile(t, m, "/p/sub", []byte("now a file"))
+	st, err := m.FS.Stat("/p/sub")
+	if err != nil || st.IsDir {
+		t.Fatalf("reborn path: %v isDir=%v", err, st.IsDir)
+	}
+}

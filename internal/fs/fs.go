@@ -1,8 +1,10 @@
 package fs
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"rio/internal/cache"
 	"rio/internal/disk"
@@ -23,6 +25,8 @@ type Stats struct {
 	DaemonRuns    uint64
 	ReadFailures  uint64 // block reads that failed after retries (served as zeroes)
 	WriteFailures uint64 // block writes/commits lost after retries
+	DcacheHits    uint64 // name lookups answered by the dcache
+	DcacheMisses  uint64 // name lookups that scanned directory blocks
 }
 
 // asyncWrite is a queued disk write whose service time has been charged to
@@ -65,6 +69,47 @@ type FS struct {
 	inoHint     uint32
 	blkHint     int64
 	mounted     bool
+
+	// dc is the name-resolution cache (see dcache.go). It is rebuilt
+	// empty on every Mount, so crash and warm reboot drop it wholesale.
+	dc *dcache
+
+	// bmFree caches, per bitmap block, how many in-range data blocks are
+	// free, so balloc can skip exhausted bitmap blocks in O(1). Computed
+	// lazily (-1 = unknown) from the block image on first use and kept
+	// exact by balloc/bfree; like the dcache it is in-memory state that a
+	// remount rebuilds, so crashes cannot stale it.
+	bmFree []int
+
+	// readBuf is readBlockSync's reusable transfer buffer: every caller
+	// consumes the returned block (unmarshal or cache insert, both copy)
+	// before issuing another read, so one buffer serves them all.
+	readBuf []byte
+
+	// blockPool recycles the full-block copies the asynchronous write
+	// queue makes: drainPending returns committed buffers here instead of
+	// dropping them for the collector.
+	blockPool [][]byte
+}
+
+// blockPoolCap bounds blockPool; beyond this, drained buffers are
+// simply dropped (a flushAllAsync burst should not pin the whole cache's
+// worth of copies forever).
+const blockPoolCap = 64
+
+func (f *FS) getPooledBlock() []byte {
+	if n := len(f.blockPool); n > 0 {
+		b := f.blockPool[n-1]
+		f.blockPool = f.blockPool[:n-1]
+		return b
+	}
+	return make([]byte, BlockSize)
+}
+
+func (f *FS) putPooledBlock(b []byte) {
+	if cap(b) >= BlockSize && len(f.blockPool) < blockPoolCap {
+		f.blockPool = append(f.blockPool, b[:BlockSize])
+	}
 }
 
 // Errors surfaced by the syscall layer.
@@ -117,6 +162,13 @@ func Mount(k *kernel.Kernel, c *cache.Cache, d *disk.Disk, eng *sim.Engine, pol 
 	f.journalHead = f.SB.JournalStart
 	f.blkHint = f.SB.DataStart
 	f.inoHint = 2 // root is 1
+	f.dc = newDcache()
+	// One summary slot per bitmap block that covers the data region.
+	nbm := (f.SB.JournalStart-1)/int64(BlockSize*8) + 1
+	f.bmFree = make([]int, int(nbm))
+	for i := range f.bmFree {
+		f.bmFree[i] = -1 // unknown until the bitmap block is first scanned
+	}
 	c.WriteBack = f.writeBackBuf
 	if pol.UpdatePeriod > 0 {
 		f.scheduleDaemon()
@@ -208,10 +260,14 @@ func (f *FS) drainPending() {
 		})
 		if err != nil {
 			f.Stats.WriteFailures++
-			continue
-		}
-		if w.onCommit != nil {
+		} else if w.onCommit != nil {
 			w.onCommit()
+		}
+		// Commit copied the bytes into the disk image (and a failed
+		// commit abandoned them); either way the queue's copy can back a
+		// future asynchronous write.
+		if len(w.data) == BlockSize {
+			f.putPooledBlock(w.data)
 		}
 	}
 	f.pending = f.pending[:0]
@@ -219,10 +275,17 @@ func (f *FS) drainPending() {
 
 // readBlockSync reads a block, blocking the caller until the disk is free
 // and the transfer completes (including any retries of transient device
-// errors, whose backoff runs on the simulated clock).
+// errors, whose backoff runs on the simulated clock). The returned slice
+// is the mount's reusable transfer buffer: it is valid only until the
+// next readBlockSync call, which every caller satisfies by copying the
+// block (cache insert, unmarshal) before reading again.
 func (f *FS) readBlockSync(block int64) []byte {
 	f.drainPending()
-	buf := make([]byte, BlockSize)
+	if f.readBuf == nil {
+		f.readBuf = make([]byte, BlockSize)
+	}
+	buf := f.readBuf
+	clear(buf)
 	if err := f.checkBlock(block); err != nil {
 		// The kernel has panicked; return zeroes so the caller's error
 		// path (which checks Crashed) unwinds without touching the disk.
@@ -299,7 +362,12 @@ func (f *FS) writeBlockAsyncCB(block int64, data []byte, onCommit func()) {
 		return
 	}
 	seq := block == f.lastIO+1 || block == f.lastIO
-	cp := make([]byte, len(data))
+	var cp []byte
+	if len(data) == BlockSize {
+		cp = f.getPooledBlock()
+	} else {
+		cp = make([]byte, len(data))
+	}
 	copy(cp, data)
 	start := maxT(f.Clock.Now(), f.diskFree)
 	f.diskFree = start.Add(f.price(seq))
@@ -461,6 +529,20 @@ func (f *FS) metaUpdate(b *cache.Buf, img []byte, ordered bool) error {
 	return nil
 }
 
+// metaPatch applies a single-byte unordered metadata change. The caller
+// has already stored the new byte into the cached image (img aliases
+// f.C.Contents(b)); metaPatch pushes exactly that byte through the
+// sanctioned protected-write path, so a one-bit bitmap flip stops
+// paying metaUpdate's full-block copy (and, under Rio, its shadow-page
+// protocol). No shadow is needed for atomicity: a one-byte copy cannot
+// tear, and the registry's changing flag still brackets the window.
+// Bitmap state is unordered metadata (see metaUpdate), so there is no
+// synchronous write and no journal append.
+func (f *FS) metaPatch(b *cache.Buf, img []byte, off int64) error {
+	f.Stats.MetaUpdates++
+	return f.C.Write(b, int(off), img[off:off+1], BlockSize)
+}
+
 // DropCaches flushes every dirty buffer synchronously and empties both
 // caches — the benchmark cold-cache control (a freshly booted machine
 // whose tree sits on disk). Memory-only policies keep their caches: for
@@ -523,10 +605,11 @@ func (f *FS) getInode(ino uint32) (Inode, error) {
 	if err != nil {
 		return Inode{}, err
 	}
-	img := f.C.Contents(b)
-	off := (int(ino) % InodesPerBlock) * InodeSize
+	// Narrow read: one inode's bytes, not a copy of the whole block.
+	var raw [InodeSize]byte
+	f.C.ContentsAt(b, (int(ino)%InodesPerBlock)*InodeSize, raw[:])
 	var n Inode
-	n.unmarshal(img[off : off+InodeSize])
+	n.unmarshal(raw[:])
 	return n, nil
 }
 
@@ -569,29 +652,106 @@ func (f *FS) ialloc(mode uint32) (uint32, error) {
 
 // --- block allocator ---
 
+const bitsPerBmBlock = int64(BlockSize * 8)
+
 func (f *FS) bitmapBlockOf(block int64) (int64, int64) {
-	bitsPerBlock := int64(BlockSize * 8)
-	return f.SB.BitmapStart + block/bitsPerBlock, block % bitsPerBlock
+	return f.SB.BitmapStart + block/bitsPerBmBlock, block % bitsPerBmBlock
 }
 
-// balloc claims a free data block.
-func (f *FS) balloc() (int64, error) {
-	span := f.SB.JournalStart - f.SB.DataStart
-	for probe := int64(0); probe < span; probe++ {
-		block := f.SB.DataStart + (f.blkHint-f.SB.DataStart+probe)%span
-		bb, bit := f.bitmapBlockOf(block)
-		b, err := f.metaBuf(bb)
-		if err != nil {
-			return 0, err
+// firstZeroBit returns the index of the first clear bit in img within
+// [from, to), or -1. Bit b of the image is img[b/8]&(1<<(b%8)), so a
+// little-endian 64-bit load lines image bit (w*64+k) up with word bit k
+// and a whole word of allocated blocks is rejected in one compare.
+func firstZeroBit(img []byte, from, to int64) int64 {
+	for from < to {
+		w := from >> 6
+		inv := ^binary.LittleEndian.Uint64(img[w*8:])
+		inv &= ^uint64(0) << uint(from&63)
+		if end := (w + 1) << 6; end > to {
+			inv &= uint64(1)<<uint(to&63) - 1
 		}
-		img := f.C.Contents(b)
+		if inv != 0 {
+			return w<<6 + int64(bits.TrailingZeros64(inv))
+		}
+		from = (w + 1) << 6
+	}
+	return -1
+}
+
+// countBmFree counts the free data blocks covered by bitmap block index
+// bi. Only bits inside [DataStart, JournalStart) are counted — bits
+// outside never change on a mounted FS (bfree rejects non-data blocks),
+// so the count stays exact under balloc's decrements and bfree's
+// increments.
+func (f *FS) countBmFree(bi int, img []byte) int {
+	base := int64(bi) * bitsPerBmBlock
+	lo, hi := base, base+bitsPerBmBlock
+	if lo < f.SB.DataStart {
+		lo = f.SB.DataStart
+	}
+	if hi > f.SB.JournalStart {
+		hi = f.SB.JournalStart
+	}
+	free := 0
+	for blk := lo; blk < hi; blk++ {
+		bit := blk - base
 		if img[bit/8]&(1<<(bit%8)) == 0 {
-			img[bit/8] |= 1 << (bit % 8)
-			if err := f.metaUpdate(b, img, false); err != nil {
+			free++
+		}
+	}
+	return free
+}
+
+// balloc claims a free data block: cyclic first-fit from blkHint, the
+// same order as the bit-at-a-time scan it replaces (an equivalence test
+// pins the sequence), but exhausted bitmap blocks are skipped in O(1)
+// via the bmFree summary and live candidates are scanned a word at a
+// time.
+func (f *FS) balloc() (int64, error) {
+	start := f.blkHint
+	if start < f.SB.DataStart || start >= f.SB.JournalStart {
+		start = f.SB.DataStart
+	}
+	segs := [2][2]int64{{start, f.SB.JournalStart}, {f.SB.DataStart, start}}
+	for _, seg := range segs {
+		for blk := seg[0]; blk < seg[1]; {
+			bb, _ := f.bitmapBlockOf(blk)
+			bi := int(bb - f.SB.BitmapStart)
+			base := int64(bi) * bitsPerBmBlock
+			cover := base + bitsPerBmBlock // first block past this bitmap block
+			end := seg[1]
+			if cover < end {
+				end = cover
+			}
+			if bi < len(f.bmFree) && f.bmFree[bi] == 0 {
+				blk = cover
+				continue
+			}
+			b, err := f.metaBuf(bb)
+			if err != nil {
 				return 0, err
 			}
-			f.blkHint = block + 1
-			return block, nil
+			img := f.C.Contents(b)
+			if bi < len(f.bmFree) && f.bmFree[bi] < 0 {
+				f.bmFree[bi] = f.countBmFree(bi, img)
+				if f.bmFree[bi] == 0 {
+					blk = cover
+					continue
+				}
+			}
+			if bit := firstZeroBit(img, blk-base, end-base); bit >= 0 {
+				block := base + bit
+				img[bit/8] |= 1 << (bit % 8)
+				if err := f.metaPatch(b, img, bit/8); err != nil {
+					return 0, err
+				}
+				if bi < len(f.bmFree) && f.bmFree[bi] > 0 {
+					f.bmFree[bi]--
+				}
+				f.blkHint = block + 1
+				return block, nil
+			}
+			blk = end
 		}
 	}
 	return 0, ErrNoSpace
@@ -612,7 +772,10 @@ func (f *FS) bfree(block int64) error {
 		return fmt.Errorf("fs: double free of block %d", block)
 	}
 	img[bit/8] &^= 1 << (bit % 8)
-	return f.metaUpdate(b, img, false)
+	if bi := int(bb - f.SB.BitmapStart); bi < len(f.bmFree) && f.bmFree[bi] >= 0 {
+		f.bmFree[bi]++
+	}
+	return f.metaPatch(b, img, bit/8)
 }
 
 // --- file block mapping ---

@@ -77,8 +77,18 @@ func (f *FS) dirScan(dirIno uint32, dir *Inode, fn func(d Dirent, block int64, s
 	return nil
 }
 
-// lookup finds name in the directory dirIno.
+// lookup finds name in the directory dirIno. The dcache answers repeat
+// lookups without touching directory blocks; entries only exist for
+// names dirInsert wrote or a scan found, so a hit never bypasses the
+// not-a-directory check a fresh scan would have made — a cached parent
+// was a directory when the entry was added and dirRemove-before-free
+// keeps it one for as long as the entry lives.
 func (f *FS) lookup(dirIno uint32, name string) (uint32, error) {
+	if ino, ok := f.dc.get(dirIno, name); ok {
+		f.Stats.DcacheHits++
+		return ino, nil
+	}
+	f.Stats.DcacheMisses++
 	dir, err := f.getInode(dirIno)
 	if err != nil {
 		return 0, err
@@ -100,6 +110,7 @@ func (f *FS) lookup(dirIno uint32, name string) (uint32, error) {
 	if found == 0 {
 		return 0, ErrNotFound
 	}
+	f.dc.put(dirIno, name, found)
 	return found, nil
 }
 
@@ -188,7 +199,11 @@ func (f *FS) dirInsert(dirIno uint32, name string, ino uint32) error {
 		for s := 0; s < DirentsPerBlock; s++ {
 			if unmarshalDirent(img[s*DirentSize:(s+1)*DirentSize]).Ino == 0 {
 				marshalDirent(Dirent{Ino: ino, Name: name}, img[s*DirentSize:(s+1)*DirentSize])
-				return f.metaUpdate(b, img, true)
+				if err := f.metaUpdate(b, img, true); err != nil {
+					return err
+				}
+				f.dc.put(dirIno, name, ino)
+				return nil
 			}
 		}
 	}
@@ -207,11 +222,18 @@ func (f *FS) dirInsert(dirIno uint32, name string, ino uint32) error {
 		return err
 	}
 	dir.Size = (blocks + 1) * BlockSize
-	return f.putInode(dirIno, &dir, true)
+	if err := f.putInode(dirIno, &dir, true); err != nil {
+		return err
+	}
+	f.dc.put(dirIno, name, ino)
+	return nil
 }
 
-// dirRemove deletes name from the directory.
+// dirRemove deletes name from the directory. The dcache entry goes
+// first: once the dirent is gone (or if the removal errors partway) a
+// stale mapping must not answer later lookups.
 func (f *FS) dirRemove(dirIno uint32, name string) error {
+	f.dc.invalidate(dirIno, name)
 	dir, err := f.getInode(dirIno)
 	if err != nil {
 		return err
@@ -743,11 +765,9 @@ func (fl *File) ReadAt(buf []byte, off int64) (int, error) {
 				return read, err
 			}
 		}
-		got, err := f.C.Read(b, bo, chunk)
-		if err != nil {
+		if err := f.C.ReadInto(b, bo, buf[read:read+chunk]); err != nil {
 			return read, err
 		}
-		copy(buf[read:], got)
 		read += chunk
 	}
 	return read, nil

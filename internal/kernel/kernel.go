@@ -95,6 +95,41 @@ type Kernel struct {
 	nextLock   LockID
 	scratch    uint64 // background scratch block (ballast procedures)
 	tickSeq    uint64
+
+	// Reusable bulk-op scratch space. The kernel models a single CPU, so
+	// every bulk operation completes its copy before the next one starts
+	// and one buffer (two for Memcmp's second operand) serves them all —
+	// the steady-state read/write path stops allocating per block. The
+	// zero buffer backs BZero and must never be written.
+	bulkBuf  []byte
+	bulkBuf2 []byte
+	zeroBuf  []byte
+}
+
+// scratchBytes returns a reusable n-byte scratch slice (contents
+// undefined). Valid until the next bulk operation.
+func (k *Kernel) scratchBytes(n int) []byte {
+	if cap(k.bulkBuf) < n {
+		k.bulkBuf = make([]byte, n)
+	}
+	return k.bulkBuf[:n]
+}
+
+// scratchBytes2 is a second, independent scratch slice (Memcmp).
+func (k *Kernel) scratchBytes2(n int) []byte {
+	if cap(k.bulkBuf2) < n {
+		k.bulkBuf2 = make([]byte, n)
+	}
+	return k.bulkBuf2[:n]
+}
+
+// zeroBytes returns n zero bytes. Callers must treat the slice as
+// read-only; it is shared across all BZero calls.
+func (k *Kernel) zeroBytes(n int) []byte {
+	if cap(k.zeroBuf) < n {
+		k.zeroBuf = make([]byte, n)
+	}
+	return k.zeroBuf[:n]
 }
 
 // MinMemory is the smallest memory a kernel can boot in: the fixed layout
@@ -342,14 +377,20 @@ func (k *Kernel) StageIn(data []byte) uint64 {
 // StageOut copies n bytes out of the staging region (copyout), charged
 // like StageIn.
 func (k *Kernel) StageOut(n int) []byte {
-	if n > StagingSize {
+	buf := make([]byte, n)
+	k.StageOutInto(buf)
+	return buf
+}
+
+// StageOutInto is StageOut into a caller-supplied buffer, so a hot read
+// path can drain the staging area without allocating.
+func (k *Kernel) StageOutInto(buf []byte) {
+	if len(buf) > StagingSize {
 		panic("kernel: staging overflow")
 	}
-	k.SyntheticSteps += stepsForCopy(n)
-	k.chargePatchChecks(n)
-	buf := make([]byte, n)
+	k.SyntheticSteps += stepsForCopy(len(buf))
+	k.chargePatchChecks(len(buf))
 	k.Mem.ReadAt(StagingPhysBase, buf)
-	return buf
 }
 
 // --- bulk operations ---
@@ -362,7 +403,7 @@ func (k *Kernel) BCopy(dst, src uint64, n int) error {
 	if k.FastPath {
 		k.SyntheticSteps += stepsForCopy(n)
 		k.chargePatchChecks(n)
-		buf := make([]byte, n)
+		buf := k.scratchBytes(n)
 		if trap := k.MMU.ReadBytes(src, buf); trap != nil {
 			return k.crashFromException(&kvm.Exception{Kind: kvm.ExcTrap, Trap: trap})
 		}
@@ -382,7 +423,7 @@ func (k *Kernel) BZero(dst uint64, n int) error {
 	if k.FastPath {
 		k.SyntheticSteps += stepsForCopy(n)
 		k.chargePatchChecks(n)
-		if trap := k.MMU.WriteBytes(dst, make([]byte, n)); trap != nil {
+		if trap := k.MMU.WriteBytes(dst, k.zeroBytes(n)); trap != nil {
 			return k.crashFromException(&kvm.Exception{Kind: kvm.ExcTrap, Trap: trap})
 		}
 		return nil
@@ -398,7 +439,7 @@ func (k *Kernel) Cksum(addr uint64, n int) (uint64, error) {
 	}
 	if k.FastPath {
 		k.SyntheticSteps += 14 + 9*uint64(n)
-		buf := make([]byte, n)
+		buf := k.scratchBytes(n)
 		if trap := k.MMU.ReadBytes(addr, buf); trap != nil {
 			return 0, k.crashFromException(&kvm.Exception{Kind: kvm.ExcTrap, Trap: trap})
 		}
@@ -420,7 +461,7 @@ func (k *Kernel) CksumTrusted(addr uint64, n int) (uint64, error) {
 		return 0, ErrCrashed
 	}
 	k.SyntheticSteps += 14 + 9*uint64(n)
-	buf := make([]byte, n)
+	buf := k.scratchBytes(n)
 	if trap := k.MMU.ReadBytes(addr, buf); trap != nil {
 		return 0, k.crashFromException(&kvm.Exception{Kind: kvm.ExcTrap, Trap: trap})
 	}
@@ -475,8 +516,8 @@ func (k *Kernel) Memcmp(a, b uint64, n int) (bool, error) {
 	}
 	if k.FastPath {
 		k.SyntheticSteps += 14 + 10*uint64(n)
-		ba := make([]byte, n)
-		bb := make([]byte, n)
+		ba := k.scratchBytes(n)
+		bb := k.scratchBytes2(n)
 		if trap := k.MMU.ReadBytes(a, ba); trap != nil {
 			return false, k.crashFromException(&kvm.Exception{Kind: kvm.ExcTrap, Trap: trap})
 		}

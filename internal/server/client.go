@@ -1,7 +1,9 @@
 package server
 
 import (
+	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"rio/internal/wire"
@@ -60,6 +62,132 @@ func (c *TCPClient) Do(req *wire.Request) (*wire.Response, error) {
 
 // Close implements Client.
 func (c *TCPClient) Close() error { return c.conn.Close() }
+
+// MuxClient is a pipelined wire-protocol client: many goroutines share
+// one TCP connection, each with its own request in flight. Do rewrites
+// the request ID to a connection-unique tag before sending and matches
+// the response by that tag (the server echoes IDs verbatim but answers
+// in completion order), then restores the caller's ID on both request
+// and response — callers never see the tags. Safe for concurrent use.
+type MuxClient struct {
+	conn net.Conn
+
+	wmu  sync.Mutex // serializes frame writes
+	wbuf []byte
+
+	mu      sync.Mutex
+	nextTag uint64
+	pending map[uint64]chan *wire.Response
+	err     error // sticky transport error; set once, fails all later Dos
+}
+
+// DialMux connects to a riod server for pipelined use.
+func DialMux(addr string) (*MuxClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewMuxClient(conn), nil
+}
+
+// NewMuxClient wraps an established connection and starts the response
+// reader. The client owns conn from here on.
+func NewMuxClient(conn net.Conn) *MuxClient {
+	m := &MuxClient{
+		conn:    conn,
+		wbuf:    make([]byte, 0, 4096),
+		pending: make(map[uint64]chan *wire.Response),
+	}
+	go m.readLoop()
+	return m
+}
+
+// readLoop delivers responses to waiting Dos by tag until the stream
+// fails, then fails every outstanding and future call with the error.
+func (m *MuxClient) readLoop() {
+	for {
+		payload, err := wire.ReadFrame(m.conn, wire.MaxFrame)
+		if err != nil {
+			m.fail(err)
+			return
+		}
+		resp, err := wire.DecodeResponse(payload)
+		if err != nil {
+			m.fail(err)
+			return
+		}
+		m.mu.Lock()
+		ch, ok := m.pending[resp.ID]
+		if ok {
+			delete(m.pending, resp.ID)
+		}
+		m.mu.Unlock()
+		if !ok {
+			// A tag nobody is waiting for means the stream is out of
+			// step with our bookkeeping; nothing later can be trusted.
+			m.fail(fmt.Errorf("server: response for unknown tag %d", resp.ID))
+			return
+		}
+		ch <- resp
+	}
+}
+
+// fail marks the client broken and wakes every outstanding Do.
+func (m *MuxClient) fail(err error) {
+	m.conn.Close()
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = err
+	}
+	for tag, ch := range m.pending {
+		delete(m.pending, tag)
+		close(ch)
+	}
+	m.mu.Unlock()
+}
+
+// Do implements Client. It may be called from many goroutines at once;
+// each call blocks only for its own response.
+func (m *MuxClient) Do(req *wire.Request) (*wire.Response, error) {
+	ch := make(chan *wire.Response, 1)
+	m.mu.Lock()
+	if m.err != nil {
+		err := m.err
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.nextTag++
+	tag := m.nextTag
+	m.pending[tag] = ch
+	m.mu.Unlock()
+
+	orig := req.ID
+	req.ID = tag
+	m.wmu.Lock()
+	m.wbuf = wire.AppendRequest(m.wbuf[:0], req)
+	err := wire.WriteFrame(m.conn, m.wbuf)
+	m.wmu.Unlock()
+	req.ID = orig
+	if err != nil {
+		m.mu.Lock()
+		delete(m.pending, tag)
+		m.mu.Unlock()
+		return nil, err
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		m.mu.Lock()
+		err := m.err
+		m.mu.Unlock()
+		return nil, err
+	}
+	resp.ID = orig
+	return resp, nil
+}
+
+// Close implements Client. Outstanding Dos fail with net.ErrClosed.
+func (m *MuxClient) Close() error { return m.conn.Close() }
 
 // RetryPolicy bounds a client's EAGAIN loop. It is ioretry.Policy's
 // shape on the client side of the wire — bounded attempts, exponential

@@ -109,12 +109,13 @@ type ShardMetrics struct {
 // Metrics is a whole-server snapshot: per-shard rows plus aggregate
 // totals and merged-latency quantiles.
 type Metrics struct {
-	Shards []ShardMetrics `json:"shards"`
-	Ops    uint64         `json:"ops"`
-	Bytes  uint64         `json:"bytes"`
-	P50us  float64        `json:"p50_us"`
-	P95us  float64        `json:"p95_us"`
-	P99us  float64        `json:"p99_us"`
+	Shards   []ShardMetrics `json:"shards"`
+	Ops      uint64         `json:"ops"`
+	Bytes    uint64         `json:"bytes"`
+	AvgBatch float64        `json:"avg_batch"` // mean requests per drain, all shards
+	P50us    float64        `json:"p50_us"`
+	P95us    float64        `json:"p95_us"`
+	P99us    float64        `json:"p99_us"`
 }
 
 // Table renders the snapshot as an aligned text table.
@@ -131,7 +132,7 @@ func (m Metrics) Table() string {
 			s.Shard, s.Ops, s.Errors, s.Retried, s.Rejected, s.Bytes,
 			s.Batches, s.AvgBatch, s.P50us, s.P95us, s.P99us, down)
 	}
-	fmt.Fprintf(&b, "%-6s %10d %8s %8s %8s %12d %9s %6s %9.0f %9.0f %9.0f\n",
-		"total", m.Ops, "", "", "", m.Bytes, "", "", m.P50us, m.P95us, m.P99us)
+	fmt.Fprintf(&b, "%-6s %10d %8s %8s %8s %12d %9s %6.1f %9.0f %9.0f %9.0f\n",
+		"total", m.Ops, "", "", "", m.Bytes, "", m.AvgBatch, m.P50us, m.P95us, m.P99us)
 	return b.String()
 }

@@ -3,16 +3,26 @@ package server
 import (
 	"errors"
 	"net"
+	"sync"
 
 	"rio/internal/wire"
 )
 
+// connInflight bounds how many decoded requests one connection may have
+// outstanding inside the server at once. Pipelined clients past this
+// depth see backpressure on the TCP stream itself (the reader stops
+// pulling frames), not an error — the bound exists so one connection
+// cannot hold unbounded decoded frames in memory.
+const connInflight = 64
+
 // Serve accepts connections on ln and serves each on its own
 // goroutine until ln is closed (Accept then returns an error) — the
-// caller owns the listener's lifecycle. Each connection is served
-// synchronously: one frame in, one frame out, in order. Concurrency
-// comes from connections, matching riod's closed-loop clients; the
-// shard queues below multiplex them.
+// caller owns the listener's lifecycle. Connections are pipelined: the
+// reader keeps pulling frames while earlier requests are still in the
+// shard queues, so one connection can keep many shards busy at once.
+// Responses are written as they complete, matched to requests by the
+// echoed ID — a synchronous client (one request in flight) observes
+// exactly the old one-in, one-out behaviour.
 func (s *Server) Serve(ln net.Listener) error {
 	for {
 		conn, err := ln.Accept()
@@ -30,28 +40,62 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// serveConn runs one connection's request loop. Any transport or
-// decode error ends the connection: the framing carries no resync
-// marker, so after a bad frame the stream cannot be trusted.
+// serveConn runs one connection. Three roles share the socket: this
+// goroutine reads and decodes frames, a bounded pool of dispatch
+// goroutines (at most connInflight) runs each request through the shard
+// queues, and a single writer goroutine serializes response frames back
+// onto the stream. Responses leave in completion order, not arrival
+// order; the echoed request ID is the tag a pipelined client matches
+// on. Any transport or decode error ends the connection: the framing
+// carries no resync marker, so after a bad frame the stream cannot be
+// trusted.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
-	buf := make([]byte, 0, 4096)
+
+	// The writer owns the socket's write side. A write failure closes
+	// the connection (unblocking the reader) but keeps draining the
+	// channel so dispatchers never block on a dead peer.
+	out := make(chan *wire.Response, connInflight)
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		buf := make([]byte, 0, 4096)
+		broken := false
+		for resp := range out {
+			if broken {
+				continue
+			}
+			if err := wire.WriteFrame(conn, wire.AppendResponse(buf[:0], resp)); err != nil {
+				broken = true
+				conn.Close()
+			}
+		}
+	}()
+
+	inflight := make(chan struct{}, connInflight)
+	var dispatchWG sync.WaitGroup
 	for {
 		payload, err := wire.ReadFrame(conn, wire.MaxFrame)
 		if err != nil {
-			return
+			break
 		}
 		req, err := wire.DecodeRequest(payload)
 		if err != nil {
 			// The ID is unknowable from a frame that did not decode;
 			// answer ID 0 so the peer sees why, then drop the stream.
-			bad := &wire.Response{Status: wire.StatusInvalid, Msg: "bad request frame: " + err.Error()}
-			wire.WriteFrame(conn, wire.AppendResponse(buf[:0], bad))
-			return
+			out <- &wire.Response{Status: wire.StatusInvalid, Msg: "bad request frame: " + err.Error()}
+			break
 		}
-		resp := s.Do(req)
-		if err := wire.WriteFrame(conn, wire.AppendResponse(buf[:0], resp)); err != nil {
-			return
-		}
+		inflight <- struct{}{}
+		dispatchWG.Add(1)
+		go func() {
+			defer dispatchWG.Done()
+			out <- s.Do(req)
+			<-inflight
+		}()
 	}
+	dispatchWG.Wait()
+	close(out)
+	writerWG.Wait()
 }

@@ -1,0 +1,46 @@
+#!/bin/sh
+# benchdiff.sh — compare two riobench core-op reports.
+#
+#   scripts/benchdiff.sh OLD.json NEW.json   diff two existing reports
+#   scripts/benchdiff.sh OLD.json            fresh run vs OLD.json
+#   scripts/benchdiff.sh                     fresh run vs BENCH_core.json
+#                                            at git HEAD
+#
+# Wraps `riobench -diff`, which prints per-op ns/op, allocs/op, and
+# sim-µs/op deltas. Exit status is riobench's (0 unless a report is
+# unreadable); judging whether a regression matters is the reader's job.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+case $# in
+2)
+	old=$1
+	new=$2
+	;;
+1)
+	old=$1
+	new=$tmpdir/new.json
+	echo "benchdiff: running riobench for the NEW side..." >&2
+	go run ./cmd/riobench -out "$new" >/dev/null
+	;;
+0)
+	old=$tmpdir/old.json
+	git show HEAD:BENCH_core.json >"$old" 2>/dev/null || {
+		echo "benchdiff: no BENCH_core.json at git HEAD; pass OLD.json explicitly" >&2
+		exit 2
+	}
+	new=$tmpdir/new.json
+	echo "benchdiff: running riobench for the NEW side..." >&2
+	go run ./cmd/riobench -out "$new" >/dev/null
+	;;
+*)
+	echo "usage: scripts/benchdiff.sh [OLD.json [NEW.json]]" >&2
+	exit 2
+	;;
+esac
+
+go run ./cmd/riobench -diff "$old" "$new"

@@ -29,3 +29,7 @@ go test -race -timeout 10m ./internal/server/... ./internal/wire/...
 # with a 1-shard baseline — fails if the run errors; the report lands in
 # BENCH_server.json (uploaded as a CI artifact).
 make serve-bench
+# Core-op microbenchmarks: riobench against one simulated machine,
+# compared to the previous BENCH_core.json snapshot when one exists —
+# fails if the run errors; the report is uploaded as a CI artifact.
+make bench-core
