@@ -2,7 +2,7 @@
 # vet, tests, and the race detector over the concurrent campaign
 # scheduler (scripts/check.sh is the single source of truth).
 
-.PHONY: check build lint test race bench bench-core crash-recovery serve-bench
+.PHONY: check build lint test race bench bench-core crash-recovery crash-txn serve-bench
 
 check:
 	sh scripts/check.sh
@@ -58,6 +58,12 @@ crash-recovery:
 serve-bench:
 	go run ./cmd/rioload -net memory -shards 4 -clients 8 -pipeline 8 \
 		-duration 10s -compare 1 -out BENCH_server.json
+
+# Transactional campaign: the torn-commit hunt. Every multi-file commit
+# must be all-or-nothing after crash + recovery; exits nonzero if any
+# transaction tears or any recovery aborts.
+crash-txn:
+	go run ./cmd/riocrash -txn -runs 10 -seed 1996 -disk-faults
 
 crash-recovery-golden:
 	mkdir -p testdata

@@ -52,8 +52,8 @@ type opResult struct {
 
 type baselineBlock struct {
 	Results []opResult         `json:"results"`
-	Speedup map[string]float64 `json:"speedup_ns"`   // old ns/op over new ns/op
-	Allocs  map[string]float64 `json:"alloc_ratio"`  // new allocs/op over old allocs/op
+	Speedup map[string]float64 `json:"speedup_ns"`  // old ns/op over new ns/op
+	Allocs  map[string]float64 `json:"alloc_ratio"` // new allocs/op over old allocs/op
 }
 
 type benchReport struct {

@@ -18,6 +18,13 @@
 // disk injecting transient, latent, and misdirected storage faults, and
 // a second crash interrupts each warm reboot at a seed-derived step. The
 // recovery columns report how the restart protocol coped.
+//
+// -txn switches to the transactional campaign: runs hammer multi-file
+// commits through the WAL-free transaction layer instead of memTest,
+// and the report's headline column counts torn transactions — commits
+// only partially visible after recovery — which must be zero on both
+// Rio systems under every fault type. -runs then sets attempts per
+// cell (there is no crash quota).
 package main
 
 import (
@@ -27,16 +34,60 @@ import (
 	"time"
 
 	"rio"
+	"rio/internal/crashtest"
 )
+
+// txnCampaign runs the transactional variant and prints its report.
+func txnCampaign(runs int, seed uint64, workers int, diskFaults, quiet bool) {
+	cfg := crashtest.DefaultTxnCampaignConfig(seed)
+	cfg.AttemptsPerCell = runs
+	cfg.Workers = workers
+	cfg.Run.DiskFaults = diskFaults
+	if !quiet {
+		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	fmt.Fprintf(os.Stderr, "running %d txn runs per cell x %d faults x %d systems...\n",
+		runs, 13, len(crashtest.TxnSystems))
+	rep, err := crashtest.RunTxnCampaign(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "riocrash:", err)
+		os.Exit(1)
+	}
+	fmt.Println("Transactional crash campaign (torn/corrupted/crashes per cell)")
+	fmt.Println()
+	fmt.Print(rep.Table())
+	fmt.Println()
+	if errs := rep.Errors(); len(errs) != 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "riocrash: harness error:", e)
+		}
+		os.Exit(1)
+	}
+	if n := rep.TotalTorn(); n != 0 {
+		fmt.Printf("FAIL: %d torn transactions\n", n)
+		os.Exit(1)
+	}
+	if n := rep.TotalAborted(); n != 0 {
+		fmt.Printf("FAIL: %d aborted recoveries\n", n)
+		os.Exit(1)
+	}
+	fmt.Println("zero torn transactions: every commit was all-or-nothing across recovery")
+}
 
 func main() {
 	runs := flag.Int("runs", 50, "crashing runs per (fault, system) cell")
 	seed := flag.Uint64("seed", 1, "campaign seed (reproducible)")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = all cores)")
 	diskFaults := flag.Bool("disk-faults", false, "inject storage faults and a second crash during recovery")
+	txnMode := flag.Bool("txn", false, "run the transactional campaign (torn-commit hunt) instead of memTest")
 	jsonPath := flag.String("json", "", "write the full report as JSON to this path")
 	quiet := flag.Bool("quiet", false, "suppress per-cell progress")
 	flag.Parse()
+
+	if *txnMode {
+		txnCampaign(*runs, *seed, *workers, *diskFaults, *quiet)
+		return
+	}
 
 	opts := rio.CampaignOptions{RunsPerCell: *runs, Seed: *seed, Workers: *workers, DiskFaults: *diskFaults}
 	if !*quiet {

@@ -1,7 +1,7 @@
-// Command riolint runs the repo's static-analysis suite: four analyzers
-// enforcing the determinism and protection-discipline invariants the
-// compiler cannot see (see internal/lint and DESIGN.md "Enforced
-// invariants").
+// Command riolint runs the repo's static-analysis suite: five analyzers
+// enforcing the determinism, protection-discipline, and commit-ordering
+// invariants the compiler cannot see (see internal/lint and DESIGN.md
+// "Enforced invariants").
 //
 // Usage:
 //
@@ -17,7 +17,7 @@
 //
 //	-json        emit diagnostics as a JSON array
 //	-tests       include in-package _test.go files
-//	-maporder, -walltime, -protpair, -seedflow
+//	-maporder, -walltime, -protpair, -seedflow, -commitorder
 //	             enable/disable individual analyzers (all default true)
 //
 // Exit status: 0 clean, 1 diagnostics reported, 2 load/usage error.

@@ -1,0 +1,495 @@
+package crashtest
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"rio/internal/disk"
+	"rio/internal/fault"
+	"rio/internal/kernel"
+	"rio/internal/sim"
+	"rio/internal/txn"
+	"rio/internal/warmreboot"
+	"rio/internal/workload"
+)
+
+// The transactional campaign answers one question the memTest campaign
+// cannot: does the WAL-free transaction layer ever expose a torn
+// commit? Each run hammers multi-file commits through the publish ->
+// apply -> erase cycle until an injected kernel fault crashes the
+// machine, warm-reboots, rolls the txn log forward, and then checks
+// that every account file carries the same commit id. Mixed ids after
+// a recovery that certified the storage clean is a torn transaction —
+// the acceptance criterion is that the Torn column stays zero across
+// every fault type, with and without the double-fault dimension.
+
+// Salts for the txn campaign's derived randomness (same discipline as
+// the memTest campaign: every stream is a pure function of the run
+// seed, so reports are byte-identical at any worker count).
+const (
+	txnCampaignSalt = 0x7874C0DE
+	txnRecoverySalt = 0x7872EC04
+	// txnRecoveryWindow bounds the injected second-crash step inside
+	// txn recovery. Recovery of one small record takes only a handful
+	// of steps, so a small window samples both interrupted and clean
+	// roll-forwards.
+	txnRecoveryWindow = 8
+)
+
+// txnAccounts is the number of files each transaction rewrites.
+const txnAccounts = 3
+
+// TxnRunResult is the outcome of one transactional crash run.
+type TxnRunResult struct {
+	System System
+	Fault  fault.Type
+	Seed   uint64
+
+	Crashed           bool
+	CrashKind         kernel.CrashKind
+	CrashReason       string
+	OpsToCrash        int // commits issued up to and including the crash
+	ProtectionInvoked bool
+
+	// Torn: accounts decoded to mixed commit ids after a recovery that
+	// reported the storage clean — a torn transaction, the defect this
+	// layer exists to rule out.
+	Torn bool
+	// TornMasked: mixed ids, but recovery reported damage (checksum
+	// hits, quarantined or salvaged pages). Scored as detected
+	// corruption, not as a torn commit.
+	TornMasked bool
+	// LostAcked: a consistent state older than the last acked commit
+	// with recovery clean — a silent durability violation.
+	LostAcked bool
+	// Corrupted: any defect at all (torn, lost ack, undecodable
+	// accounts, static-file damage).
+	Corrupted       bool
+	Corruptions     []workload.Corruption
+	StaticCorrupted bool
+
+	ChecksumDetected bool
+	// RecoveryInterrupted / TxnRecoveryInterrupted: the double-fault
+	// second crash hit the warm reboot / the txn roll-forward, which
+	// then restarted and completed.
+	RecoveryInterrupted    bool
+	TxnRecoveryInterrupted bool
+	RecoveryAborted        bool
+	Quarantined            int
+	Salvaged               int
+	VolumeLost             bool
+}
+
+// RunTxnOne executes a single transactional crash run: boot, warm up
+// with commits, inject faults, commit until the machine crashes, warm
+// reboot, roll the txn log forward, verify the accounts.
+func RunTxnOne(sys System, ft fault.Type, cfg RunConfig) (res TxnRunResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("crashtest: simulator panic (txn sys=%v fault=%v seed=%d): %v",
+				sys, ft, cfg.Seed, r)
+		}
+	}()
+	res = TxnRunResult{System: sys, Fault: ft, Seed: cfg.Seed}
+	if sys == DiskWT {
+		return res, fmt.Errorf("crashtest: transactions commit into the protected cache; %v has no warm reboot", sys)
+	}
+	root := sim.NewRand(cfg.Seed)
+	faultRng := root.Fork()
+	ttSeed := root.Uint64()
+
+	m, err := buildMachine(sys, cfg)
+	if err != nil {
+		return res, err
+	}
+	if err := setupStatic(m); err != nil {
+		return res, fmt.Errorf("crashtest: static setup: %w", err)
+	}
+
+	tt := workload.NewTxnTest(ttSeed, txnAccounts)
+	if err := tt.Setup(m.FS); err != nil {
+		return res, fmt.Errorf("crashtest: txn setup: %w", err)
+	}
+
+	// A commit is ~an order of magnitude more fs work than one memTest
+	// step; scale the warmup down accordingly.
+	for i := 0; i < cfg.WarmupOps/3+1; i++ {
+		if err := tt.Commit(m.FS); err != nil {
+			return res, fmt.Errorf("crashtest: warmup commit %d: %w", i, err)
+		}
+	}
+
+	if err := fault.Inject(m, ft, cfg.FaultCount, faultRng); err != nil {
+		return res, err
+	}
+
+	for i := 0; i < cfg.MaxOps; i++ {
+		err := tt.Commit(m.FS)
+		if c := m.Crashed(); c != nil {
+			res.Crashed = true
+			res.CrashKind = c.Kind
+			res.CrashReason = c.Reason
+			res.OpsToCrash = i + 1
+			res.ProtectionInvoked = c.Kind == kernel.CrashProtection
+			break
+		}
+		if err != nil {
+			// Commit failed but the kernel limps on; the workload marked
+			// its log dirty and the next commit rolls it forward.
+			continue
+		}
+	}
+	if !res.Crashed {
+		return res, nil // discarded by the campaign
+	}
+
+	m.CrashFinish()
+
+	if cfg.DiskFaults {
+		plan := disk.DefaultFaultPlan(sim.Mix(cfg.Seed, diskFaultSalt))
+		m.Disk.SetFaultPlan(&plan)
+	}
+
+	dump := m.Mem.Dump()
+	opts := warmreboot.DefaultOptions()
+	if cfg.DiskFaults {
+		opts.CrashAtStep = int(sim.Mix(cfg.Seed, recoveryCrashSalt) % recoveryCrashWindow)
+	}
+	rep, rerr := warmreboot.FromDumpOpts(m, dump, opts)
+	if rerr == warmreboot.ErrInterrupted {
+		res.RecoveryInterrupted = true
+		rep, rerr = warmreboot.FromDump(m, dump)
+	}
+	if rerr != nil {
+		m.Disk.SetFaultPlan(nil)
+		res.RecoveryAborted = true
+		res.Corrupted = true
+		res.Corruptions = []workload.Corruption{{Path: "/", Detail: "warm reboot failed: " + rerr.Error()}}
+		return res, nil
+	}
+	res.ChecksumDetected = rep.ChecksumMismatches > 0
+	res.Quarantined = rep.MetaFailed + rep.DataFailed
+	res.Salvaged = rep.Salvaged
+	if rep.VolumeLost {
+		m.Disk.SetFaultPlan(nil)
+		res.VolumeLost = true
+		res.Corrupted = true
+		res.Corruptions = []workload.Corruption{{Path: "/", Detail: "volume lost: " + rep.Fsck.String()}}
+		return res, nil
+	}
+
+	// Roll the transaction log forward: committed records complete,
+	// torn tails are dropped. In double-fault mode a second crash also
+	// interrupts this phase at a seed-derived step; recovery restarts
+	// and must converge (Apply is idempotent).
+	topts := txn.Options{}
+	if cfg.DiskFaults {
+		topts.CrashAtStep = int(sim.Mix(cfg.Seed, txnRecoverySalt) % txnRecoveryWindow)
+	}
+	l := txn.NewLog(m.FS)
+	if _, terr := l.RecoverOpts(topts); terr == txn.ErrInterrupted {
+		res.TxnRecoveryInterrupted = true
+		_, terr = l.Recover()
+		if terr != nil {
+			m.Disk.SetFaultPlan(nil)
+			res.RecoveryAborted = true
+			res.Corrupted = true
+			res.Corruptions = []workload.Corruption{{Path: "/", Detail: "txn roll-forward failed: " + terr.Error()}}
+			return res, nil
+		}
+	} else if terr != nil {
+		m.Disk.SetFaultPlan(nil)
+		res.RecoveryAborted = true
+		res.Corrupted = true
+		res.Corruptions = []workload.Corruption{{Path: "/", Detail: "txn roll-forward failed: " + terr.Error()}}
+		return res, nil
+	}
+	m.Disk.SetFaultPlan(nil)
+
+	// Only a recovery that certified the storage clean can convict the
+	// transaction layer: when recovery itself reported damage (checksum
+	// hits, quarantined or salvaged pages), mixed ids are detected
+	// storage corruption, not a torn commit.
+	recoveryClean := !res.ChecksumDetected && res.Quarantined == 0 && res.Salvaged == 0
+
+	v := tt.Verify(m.FS)
+	res.Corruptions = append(res.Corruptions, v.Failures...)
+	res.Torn = v.Mixed && recoveryClean
+	res.TornMasked = v.Mixed && !recoveryClean
+	res.LostAcked = v.LostAcked && recoveryClean
+	res.StaticCorrupted = checkStatic(m)
+	res.Corrupted = len(res.Corruptions) > 0 || res.StaticCorrupted
+	return res, nil
+}
+
+// TxnSystems lists the systems the transactional campaign exercises:
+// both Rio variants (transactions commit into the cache, so the
+// write-through disk column does not apply).
+var TxnSystems = []System{RioNoProt, RioProt}
+
+// TxnCampaignConfig parameterises the transactional campaign. Unlike
+// the memTest campaign there is no crash quota: every cell runs a
+// fixed number of attempts, which makes the fold trivially
+// deterministic at any worker count.
+type TxnCampaignConfig struct {
+	Seed            uint64
+	AttemptsPerCell int
+	Workers         int // 0 = GOMAXPROCS
+	Run             RunConfig
+	// Systems and Faults default to TxnSystems and fault.AllTypes.
+	Systems []System
+	Faults  []fault.Type
+	// Progress, when set, receives one line per folded cell.
+	Progress func(string)
+}
+
+// DefaultTxnCampaignConfig returns the standard parameters.
+func DefaultTxnCampaignConfig(seed uint64) TxnCampaignConfig {
+	run := DefaultRunConfig(0)
+	run.MaxOps = 120 // commits, each ~10 fs ops
+	return TxnCampaignConfig{
+		Seed:            seed,
+		AttemptsPerCell: 10,
+		Run:             run,
+	}
+}
+
+// TxnCell aggregates one (system, fault) cell of the campaign.
+type TxnCell struct {
+	Attempts    int `json:"attempts"`
+	Crashes     int `json:"crashes"`
+	Discarded   int `json:"discarded"`
+	Errors      int `json:"errors"`
+	Torn        int `json:"torn"`
+	TornMasked  int `json:"torn_masked"`
+	LostAcked   int `json:"lost_acked"`
+	Corrupted   int `json:"corrupted"`
+	Protection  int `json:"protection"`
+	Interrupted int `json:"interrupted"`
+	TxnInterr   int `json:"txn_interrupted"`
+	Aborted     int `json:"aborted"`
+	Quarantined int `json:"quarantined"`
+	Salvaged    int `json:"salvaged"`
+	VolumeLost  int `json:"volume_lost"`
+
+	LastError string `json:"last_error,omitempty"`
+}
+
+func (c *TxnCell) fold(res TxnRunResult, err error) {
+	c.Attempts++
+	if err != nil {
+		c.Errors++
+		c.LastError = err.Error()
+		return
+	}
+	if !res.Crashed {
+		c.Discarded++
+		return
+	}
+	c.Crashes++
+	if res.ProtectionInvoked {
+		c.Protection++
+	}
+	if res.Torn {
+		c.Torn++
+	}
+	if res.TornMasked {
+		c.TornMasked++
+	}
+	if res.LostAcked {
+		c.LostAcked++
+	}
+	if res.Corrupted {
+		c.Corrupted++
+	}
+	if res.RecoveryInterrupted {
+		c.Interrupted++
+	}
+	if res.TxnRecoveryInterrupted {
+		c.TxnInterr++
+	}
+	if res.RecoveryAborted {
+		c.Aborted++
+	}
+	c.Quarantined += res.Quarantined
+	c.Salvaged += res.Salvaged
+	if res.VolumeLost {
+		c.VolumeLost++
+	}
+}
+
+// TxnReport is the campaign's aggregated outcome.
+type TxnReport struct {
+	Seed            uint64                             `json:"seed"`
+	AttemptsPerCell int                                `json:"attempts_per_cell"`
+	DiskFaults      bool                               `json:"disk_faults"`
+	Systems         []System                           `json:"-"`
+	Faults          []fault.Type                       `json:"-"`
+	Cells           map[System]map[fault.Type]*TxnCell `json:"-"`
+}
+
+// TotalTorn sums the Torn column — the number that must be zero.
+func (r *TxnReport) TotalTorn() int {
+	n := 0
+	for _, sys := range r.Systems {
+		for _, ft := range r.Faults {
+			n += r.Cells[sys][ft].Torn
+		}
+	}
+	return n
+}
+
+// TotalAborted sums recovery aborts across the campaign.
+func (r *TxnReport) TotalAborted() int {
+	n := 0
+	for _, sys := range r.Systems {
+		for _, ft := range r.Faults {
+			n += r.Cells[sys][ft].Aborted
+		}
+	}
+	return n
+}
+
+// Errors returns every cell's harness errors, deterministically
+// ordered.
+func (r *TxnReport) Errors() []string {
+	var out []string
+	for _, sys := range r.Systems {
+		for _, ft := range r.Faults {
+			c := r.Cells[sys][ft]
+			if c.Errors > 0 {
+				out = append(out, fmt.Sprintf("%v/%v: %d errors, last: %s", sys, ft, c.Errors, c.LastError))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Table renders the campaign as a fault-type × system table of
+// torn/corrupted/crashes, plus totals. Built purely from folded cells,
+// so the bytes are identical at any worker count.
+func (r *TxnReport) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s", "Fault Type")
+	for _, sys := range r.Systems {
+		fmt.Fprintf(&b, "%18s", sys.String())
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-22s", "")
+	for range r.Systems {
+		fmt.Fprintf(&b, "%18s", "torn/corr/crash")
+	}
+	b.WriteString("\n")
+	for _, ft := range r.Faults {
+		fmt.Fprintf(&b, "%-22s", ft.String())
+		for _, sys := range r.Systems {
+			c := r.Cells[sys][ft]
+			fmt.Fprintf(&b, "%18s", fmt.Sprintf("%d/%d/%d", c.Torn, c.Corrupted, c.Crashes))
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-22s", "Total")
+	for _, sys := range r.Systems {
+		var torn, corr, crash int
+		for _, ft := range r.Faults {
+			c := r.Cells[sys][ft]
+			torn += c.Torn
+			corr += c.Corrupted
+			crash += c.Crashes
+		}
+		fmt.Fprintf(&b, "%18s", fmt.Sprintf("%d/%d/%d", torn, corr, crash))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// RunTxnCampaign runs AttemptsPerCell transactional crash runs for
+// every (system, fault) cell. Each run's seed is a pure function of
+// (campaign seed, system, fault, attempt), and results fold in attempt
+// order, so the report is byte-identical at any worker count.
+func RunTxnCampaign(cfg TxnCampaignConfig) (*TxnReport, error) {
+	if cfg.AttemptsPerCell <= 0 {
+		return nil, fmt.Errorf("crashtest: AttemptsPerCell must be positive")
+	}
+	systems := cfg.Systems
+	if len(systems) == 0 {
+		systems = TxnSystems
+	}
+	faults := cfg.Faults
+	if len(faults) == 0 {
+		faults = fault.AllTypes
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	effSeed := sim.Mix(cfg.Seed, txnCampaignSalt)
+
+	type slot struct {
+		res TxnRunResult
+		err error
+	}
+	// results[si][fi][attempt]: workers write disjoint slots, the fold
+	// reads them in deterministic order after the barrier.
+	results := make([][][]slot, len(systems))
+	type job struct{ si, fi, attempt int }
+	var jobs []job
+	for si := range systems {
+		results[si] = make([][]slot, len(faults))
+		for fi := range faults {
+			results[si][fi] = make([]slot, cfg.AttemptsPerCell)
+			for a := 0; a < cfg.AttemptsPerCell; a++ {
+				jobs = append(jobs, job{si, fi, a})
+			}
+		}
+	}
+
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				run := cfg.Run
+				run.Seed = RunSeed(effSeed, systems[j.si], faults[j.fi], j.attempt)
+				res, err := RunTxnOne(systems[j.si], faults[j.fi], run)
+				results[j.si][j.fi][j.attempt] = slot{res, err}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+
+	rep := &TxnReport{
+		Seed:            cfg.Seed,
+		AttemptsPerCell: cfg.AttemptsPerCell,
+		DiskFaults:      cfg.Run.DiskFaults,
+		Systems:         systems,
+		Faults:          faults,
+		Cells:           make(map[System]map[fault.Type]*TxnCell),
+	}
+	for si, sys := range systems {
+		rep.Cells[sys] = make(map[fault.Type]*TxnCell)
+		for fi, ft := range faults {
+			cell := &TxnCell{}
+			for a := 0; a < cfg.AttemptsPerCell; a++ {
+				s := results[si][fi][a]
+				cell.fold(s.res, s.err)
+			}
+			rep.Cells[sys][ft] = cell
+			if cfg.Progress != nil {
+				cfg.Progress(fmt.Sprintf("txn %v/%v: crashes=%d torn=%d corrupted=%d",
+					sys, ft, cell.Crashes, cell.Torn, cell.Corrupted))
+			}
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,125 @@
+package crashtest
+
+import (
+	"strings"
+	"testing"
+
+	"rio/internal/fault"
+)
+
+func TestRunTxnOneRejectsDiskWT(t *testing.T) {
+	if _, err := RunTxnOne(DiskWT, fault.TextFlip, DefaultRunConfig(1)); err == nil {
+		t.Fatal("DiskWT accepted; transactions need the protected cache")
+	}
+}
+
+func TestRunTxnOneCleanWithoutCrash(t *testing.T) {
+	cfg := DefaultRunConfig(12345)
+	cfg.MaxOps = 8
+	res, err := RunTxnOne(RioProt, fault.Alloc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed && (res.Corrupted || res.Torn || len(res.Corruptions) > 0) {
+		t.Fatalf("non-crashing run claims damage: %+v", res)
+	}
+}
+
+func TestRunTxnOneDeterministic(t *testing.T) {
+	cfg := DefaultRunConfig(777)
+	cfg.MaxOps = 80
+	cfg.DiskFaults = true
+	a, err := RunTxnOne(RioNoProt, fault.TextFlip, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTxnOne(RioNoProt, fault.TextFlip, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Crashed != b.Crashed || a.Corrupted != b.Corrupted || a.Torn != b.Torn ||
+		a.OpsToCrash != b.OpsToCrash || a.CrashKind != b.CrashKind ||
+		a.RecoveryInterrupted != b.RecoveryInterrupted ||
+		a.TxnRecoveryInterrupted != b.TxnRecoveryInterrupted ||
+		a.Quarantined != b.Quarantined || a.Salvaged != b.Salvaged {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// The headline acceptance: the torn column must be zero — a commit is
+// either fully visible after recovery or not at all — and recovery
+// must never abort, across every fault type on both Rio systems with
+// storage faults and second crashes injected during recovery.
+func TestTxnCampaignZeroTorn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign is slow")
+	}
+	cfg := DefaultTxnCampaignConfig(2026)
+	cfg.AttemptsPerCell = 2
+	cfg.Run.MaxOps = 80
+	cfg.Run.DiskFaults = true
+	rep, err := RunTxnCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := rep.Errors(); len(errs) != 0 {
+		t.Fatalf("harness errors: %v", errs)
+	}
+	if n := rep.TotalTorn(); n != 0 {
+		t.Fatalf("%d torn transactions:\n%s", n, rep.Table())
+	}
+	if n := rep.TotalAborted(); n != 0 {
+		t.Fatalf("%d aborted recoveries:\n%s", n, rep.Table())
+	}
+	crashes := 0
+	for _, sys := range rep.Systems {
+		for _, ft := range rep.Faults {
+			crashes += rep.Cells[sys][ft].Crashes
+		}
+	}
+	if crashes == 0 {
+		t.Fatal("no run crashed; campaign is vacuous")
+	}
+	tbl := rep.Table()
+	if !strings.Contains(tbl, "Total") || !strings.Contains(tbl, "copy overrun") {
+		t.Fatalf("table malformed:\n%s", tbl)
+	}
+}
+
+// The report must be byte-identical at any worker count: run seeds are
+// pure functions of (campaign seed, system, fault, attempt) and the
+// fold walks fixed slots in fixed order.
+func TestTxnCampaignWorkerCountInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign is slow")
+	}
+	base := DefaultTxnCampaignConfig(99)
+	base.AttemptsPerCell = 2
+	base.Run.MaxOps = 60
+	base.Run.DiskFaults = true
+	base.Faults = []fault.Type{fault.TextFlip, fault.CopyOverrun, fault.Pointer}
+
+	one := base
+	one.Workers = 1
+	a, err := RunTxnCampaign(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight := base
+	eight.Workers = 8
+	b, err := RunTxnCampaign(eight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table() != b.Table() {
+		t.Fatalf("worker count changed the table:\n--- workers=1\n%s--- workers=8\n%s", a.Table(), b.Table())
+	}
+	for _, sys := range a.Systems {
+		for _, ft := range a.Faults {
+			ca, cb := *a.Cells[sys][ft], *b.Cells[sys][ft]
+			if ca != cb {
+				t.Fatalf("%v/%v diverged: %+v vs %+v", sys, ft, ca, cb)
+			}
+		}
+	}
+}

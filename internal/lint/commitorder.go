@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Commitorder enforces the transaction layer's crash-safety protocol
+// (DESIGN.md §7c): within any one function that touches commit
+// records, the first Publish must precede the first Apply, the first
+// Apply must precede the first Erase, and a commit may be acked
+// (ackCommit) only after both Publish and Apply. The ordering is the
+// whole atomicity argument — an ack before the record is durable, or
+// an erase before the record is fully applied, opens exactly the
+// torn-commit window the WAL-free design exists to close — and it is
+// invisible to the compiler, so riolint pins it.
+//
+// Recognition is structural, in the SquirrelFS typestate spirit: the
+// protocol verbs are the methods Publish/Apply/Erase on any named type
+// called Log (internal/txn's commit log, or a fixture double), and the
+// ack is any call named ackCommit. A function that legitimately runs a
+// verb early carries //riolint:commitorder <reason>.
+var Commitorder = &Analyzer{
+	Name:      "commitorder",
+	Directive: "commitorder",
+	Doc:       "commit records must follow publish -> apply -> erase, acked only after publish+apply",
+	Run:       runCommitorder,
+}
+
+func runCommitorder(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkCommitContext(p, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkCommitContext(p, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// commitEvents are the first occurrence of each protocol verb in one
+// function body (token.NoPos when absent).
+type commitEvents struct {
+	publish token.Pos
+	apply   token.Pos
+	erase   token.Pos
+	ack     token.Pos
+}
+
+func checkCommitContext(p *Pass, body *ast.BlockStmt) {
+	var ev commitEvents
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != nil {
+			return false // nested literals are their own contexts
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch name := calleeName(call); name {
+		case "Publish", "Apply", "Erase":
+			if !isLogMethod(p, call) {
+				return true
+			}
+			slot := map[string]*token.Pos{
+				"Publish": &ev.publish, "Apply": &ev.apply, "Erase": &ev.erase,
+			}[name]
+			if *slot == token.NoPos {
+				*slot = call.Pos()
+			}
+		case "ackCommit":
+			if ev.ack == token.NoPos {
+				ev.ack = call.Pos()
+			}
+		}
+		return true
+	})
+
+	before := func(a, b token.Pos) bool { return a != token.NoPos && b != token.NoPos && a < b }
+
+	// One diagnostic per misplaced verb: the publish-relative message
+	// subsumes the apply-relative one when both would fire.
+	switch {
+	case before(ev.ack, ev.publish):
+		p.Reportf(ev.ack,
+			"commit acked before its record was published (publish at line %d); a crash between them tears the transaction — order Publish, Apply, Erase, then ackCommit",
+			p.Fset.Position(ev.publish).Line)
+	case before(ev.ack, ev.apply):
+		p.Reportf(ev.ack,
+			"commit acked before its record was applied (apply at line %d); the ack promises a state that does not exist yet",
+			p.Fset.Position(ev.apply).Line)
+	}
+	switch {
+	case before(ev.erase, ev.publish):
+		p.Reportf(ev.erase,
+			"log erased before the batch was published (publish at line %d); Publish replaces the log itself — an explicit erase first can only drop someone else's record",
+			p.Fset.Position(ev.publish).Line)
+	case before(ev.erase, ev.apply):
+		p.Reportf(ev.erase,
+			"log erased before its record was applied (apply at line %d); a crash between them loses the committed transaction",
+			p.Fset.Position(ev.apply).Line)
+	}
+	if before(ev.apply, ev.publish) {
+		p.Reportf(ev.apply,
+			"record applied before it was published (publish at line %d); a crash between them leaves a partial application no recovery can complete",
+			p.Fset.Position(ev.publish).Line)
+	}
+}
+
+// calleeName extracts the called function or method's name.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return ""
+}
+
+// isLogMethod reports whether call is a method call on a value whose
+// type is a named type called Log (possibly through a pointer).
+func isLogMethod(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t := p.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Log"
+}

@@ -1,11 +1,12 @@
 // Package lint is riolint's engine: a stdlib-only static-analysis
 // framework (go/ast + go/types; no x/tools, honoring the repo's
-// stdlib-only rule) plus the four analyzers that encode invariants this
-// codebase has been burned by. The compiler cannot see either half of
-// Rio's safety argument — that every file-cache store happens inside a
-// brief write-permission window (the paper's §3 protection discipline),
-// and that every simulated outcome is a pure function of seeds — so
-// riolint enforces both as a tier-1 gate instead of leaving them to
+// stdlib-only rule) plus the five analyzers that encode invariants this
+// codebase has been burned by. The compiler cannot see Rio's safety
+// arguments — that every file-cache store happens inside a brief
+// write-permission window (the paper's §3 protection discipline), that
+// every simulated outcome is a pure function of seeds, and that a
+// transaction commit is published and applied before it is acked — so
+// riolint enforces them as a tier-1 gate instead of leaving them to
 // reviewer vigilance.
 //
 // Analyzers (see their files for the precise rules):
@@ -21,6 +22,9 @@
 //     write window).
 //   - seedflow: seeds derived by arithmetic on a shared counter
 //     (seed++, seed+i) instead of sim.Mix (the PR-1 bug class).
+//   - commitorder: the transaction layer's publish -> apply -> erase ->
+//     ack protocol; acking a commit before its record is published and
+//     applied is a torn-commit window.
 //
 // A finding is silenced with a suppression comment naming the
 // analyzer's directive and a mandatory reason:
@@ -29,6 +33,7 @@
 //	//riolint:walltime <why this site may read the host clock>
 //	//riolint:protpair <why the frame legitimately stays writable>
 //	//riolint:seedflow <why this arithmetic is not seed derivation>
+//	//riolint:commitorder <why this protocol verb legitimately runs early>
 //
 // The comment attaches to the line it sits on, or, as a standalone
 // comment, to the line directly below it. A reason is required: a bare
@@ -68,7 +73,7 @@ type Analyzer struct {
 
 // All returns the full riolint suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Maporder, Walltime, Protpair, Seedflow}
+	return []*Analyzer{Maporder, Walltime, Protpair, Seedflow, Commitorder}
 }
 
 // A Pass hands one analyzer one package plus a reporting callback.
@@ -213,7 +218,7 @@ func lintDirectives(supp *suppressions, ran []*Analyzer, diags *[]Diagnostic) {
 		switch {
 		case a == nil:
 			*diags = append(*diags, Diagnostic{Pos: sup.pos, Analyzer: "riolint",
-				Message: fmt.Sprintf("unknown suppression directive %q (known: ordered, walltime, protpair, seedflow)", sup.directive)})
+				Message: fmt.Sprintf("unknown suppression directive %q (known: ordered, walltime, protpair, seedflow, commitorder)", sup.directive)})
 		case sup.reason == "":
 			*diags = append(*diags, Diagnostic{Pos: sup.pos, Analyzer: "riolint",
 				Message: fmt.Sprintf("suppression %q needs a reason: //riolint:%s <why this is safe>", sup.directive, sup.directive)})

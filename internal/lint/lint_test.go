@@ -92,6 +92,11 @@ func TestSeedflowFixtures(t *testing.T) {
 	checkFixture(t, Seedflow, "seedflow_clean")
 }
 
+func TestCommitorderFixtures(t *testing.T) {
+	checkFixture(t, Commitorder, "commitorder_bad")
+	checkFixture(t, Commitorder, "commitorder_clean")
+}
+
 // TestTreeClean is the gate the CLI enforces in scripts/check.sh: the
 // full suite reports nothing on the real tree. Any true positive must be
 // fixed (or annotated with a reasoned //riolint: comment) in the same

@@ -1,0 +1,64 @@
+// Package commitclean holds commit-protocol shapes the commitorder
+// analyzer must accept: the canonical ordering, functions that touch
+// only one verb, an unrelated type that happens to share method names,
+// and a reasoned suppression.
+package commitclean
+
+type Record struct{ ID uint64 }
+
+type Log struct{}
+
+func (l *Log) Publish(recs []Record) error { return nil }
+func (l *Log) Apply(rec *Record) error     { return nil }
+func (l *Log) Erase() error                { return nil }
+
+type task struct{}
+type response struct{}
+
+type shard struct{ log Log }
+
+func (sh *shard) ackCommit(t task, r *response) {}
+
+// serve is the canonical group-commit shape: publish the batch, apply
+// every record, erase, and only then ack.
+func (sh *shard) serve(t task, recs []Record) {
+	sh.log.Publish(recs)
+	for i := range recs {
+		sh.log.Apply(&recs[i])
+	}
+	sh.log.Erase()
+	sh.ackCommit(t, &response{})
+}
+
+// applyOnly touches a single verb; there is no ordering to violate.
+func (sh *shard) applyOnly(rec *Record) {
+	sh.log.Apply(rec)
+}
+
+// ackOnly is the delivery seam itself: no record handling in sight.
+func (sh *shard) ackOnly(t task) {
+	sh.ackCommit(t, &response{})
+}
+
+// journal is not the commit log; its same-named methods are free to
+// run in any order.
+type journal struct{}
+
+func (j *journal) Publish(recs []Record) error { return nil }
+func (j *journal) Erase() error                { return nil }
+
+func rotate(j *journal, recs []Record) {
+	j.Erase()
+	j.Publish(recs)
+}
+
+// resetForTest wipes a scratch log before seeding it; the reversed
+// order is deliberate and carries a reason.
+func resetForTest(l *Log, recs []Record) {
+	//riolint:commitorder test scaffolding wipes a scratch log nothing committed to
+	l.Erase()
+	l.Publish(recs)
+	for i := range recs {
+		l.Apply(&recs[i])
+	}
+}

@@ -77,6 +77,7 @@ type MuxClient struct {
 
 	mu      sync.Mutex
 	nextTag uint64
+	tagMask uint64 // bounds the tag space; 0 means full 64-bit. Test seam.
 	pending map[uint64]chan *wire.Response
 	err     error // sticky transport error; set once, fails all later Dos
 }
@@ -156,8 +157,27 @@ func (m *MuxClient) Do(req *wire.Request) (*wire.Response, error) {
 		m.mu.Unlock()
 		return nil, err
 	}
-	m.nextTag++
-	tag := m.nextTag
+	// Mint a tag no in-flight request holds. On a long-lived connection
+	// the counter wraps (the mask shrinks the space so tests can force
+	// it in bounded time), and handing out a still-pending tag would
+	// cross-deliver one request's response to another — so probe until
+	// a free tag turns up, and fail cleanly if the space is saturated.
+	mask := m.tagMask
+	if mask == 0 {
+		mask = ^uint64(0)
+	}
+	var tag uint64
+	for tries := uint64(0); ; tries++ {
+		if tries > mask {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("server: tag space exhausted (%d requests in flight)", len(m.pending))
+		}
+		m.nextTag++
+		tag = m.nextTag & mask
+		if _, busy := m.pending[tag]; !busy {
+			break
+		}
+	}
 	m.pending[tag] = ch
 	m.mu.Unlock()
 

@@ -47,9 +47,18 @@ func (h *Histogram) Merge(o *Histogram) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.total }
 
+// Overflow returns the number of observations that landed in the
+// overflow bucket (at or above 2^24µs ≈ 17s). Quantiles that resolve
+// there are lower bounds, so a non-zero overflow count is the signal
+// that the tail outran the histogram's range.
+func (h *Histogram) Overflow() uint64 { return h.counts[histBuckets-1] }
+
 // Quantile returns the q-th quantile in microseconds (q in [0,1]),
 // interpolating linearly within the winning bucket. Returns 0 for an
-// empty histogram.
+// empty histogram. The overflow bucket is unbounded above, so a
+// quantile landing there returns the bucket's lower bound — a stated
+// underestimate — rather than interpolating toward a 2^25µs ceiling no
+// observation is actually known to respect.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.total == 0 {
 		return 0
@@ -69,13 +78,16 @@ func (h *Histogram) Quantile(q float64) float64 {
 		next := cum + float64(c)
 		if rank <= next {
 			lo, hi := bucketBounds(b)
+			if b == histBuckets-1 {
+				return lo
+			}
 			frac := (rank - cum) / float64(c)
 			return lo + frac*(hi-lo)
 		}
 		cum = next
 	}
-	_, hi := bucketBounds(histBuckets - 1)
-	return hi
+	lo, _ := bucketBounds(histBuckets - 1)
+	return lo
 }
 
 // bucketBounds returns bucket b's [lo, hi) range in microseconds.
@@ -89,21 +101,26 @@ func bucketBounds(b int) (lo, hi float64) {
 // ShardMetrics is one shard's activity snapshot.
 type ShardMetrics struct {
 	Shard     int     `json:"shard"`
-	Ops       uint64  `json:"ops"`        // requests answered (any status)
-	Errors    uint64  `json:"errors"`     // non-OK, non-retryable answers
-	Retried   uint64  `json:"retried"`    // StatusAgain answers (shard down)
-	Rejected  uint64  `json:"rejected"`   // StatusAgain at enqueue (queue full)
-	Bytes     uint64  `json:"bytes"`      // payload in + out
-	Batches   uint64  `json:"batches"`    // drain cycles
-	AvgBatch  float64 `json:"avg_batch"`  // mean requests per drain
-	MaxBatch  int     `json:"max_batch"`  // largest drain observed
-	QueueLen  int     `json:"queue_len"`  // queued requests at snapshot time
-	Down      bool    `json:"down"`       // crashed, awaiting warmboot
-	Crashes   uint64  `json:"crashes"`    // admin crash ops honoured
-	Warmboots uint64  `json:"warmboots"`  // warm reboots completed
-	P50us     float64 `json:"p50_us"`     // request latency, enqueue to reply
-	P95us     float64 `json:"p95_us"`
-	P99us     float64 `json:"p99_us"`
+	Ops       uint64  `json:"ops"`       // requests answered (any status)
+	Errors    uint64  `json:"errors"`    // non-OK, non-retryable answers
+	Retried   uint64  `json:"retried"`   // StatusAgain answers (shard down)
+	Rejected  uint64  `json:"rejected"`  // StatusAgain at enqueue (queue full)
+	Bytes     uint64  `json:"bytes"`     // payload in + out
+	Batches   uint64  `json:"batches"`   // drain cycles
+	AvgBatch  float64 `json:"avg_batch"` // mean requests per drain
+	MaxBatch  int     `json:"max_batch"` // largest drain observed
+	QueueLen  int     `json:"queue_len"` // queued requests at snapshot time
+	Down      bool    `json:"down"`      // crashed, awaiting warmboot
+	Crashes   uint64  `json:"crashes"`   // admin crash ops honoured
+	Warmboots uint64  `json:"warmboots"` // warm reboots completed
+
+	TxnCommits uint64 `json:"txn_commits"` // transactions committed (acked OK)
+	TxnAborts  uint64 `json:"txn_aborts"`  // transactions aborted by clients
+
+	P50us       float64 `json:"p50_us"` // request latency, enqueue to reply
+	P95us       float64 `json:"p95_us"`
+	P99us       float64 `json:"p99_us"`
+	LatOverflow uint64  `json:"lat_overflow"` // observations past the histogram range (quantiles are lower bounds)
 }
 
 // Metrics is a whole-server snapshot: per-shard rows plus aggregate

@@ -71,4 +71,31 @@ func TestHistogramOverflowBucket(t *testing.T) {
 	if v := h.Quantile(1); v <= 0 {
 		t.Fatalf("overflow quantile = %v", v)
 	}
+	if n := h.Overflow(); n != 1 {
+		t.Fatalf("overflow count = %d, want 1", n)
+	}
+}
+
+// A quantile that resolves in the overflow bucket must return the
+// bucket's lower bound, not interpolate toward a 2^25µs ceiling no
+// observation is known to respect — that interpolation understated p99
+// whenever the tail outran the histogram.
+func TestHistogramOverflowQuantileIsLowerBound(t *testing.T) {
+	lo, _ := bucketBounds(histBuckets - 1)
+	var h Histogram
+	for i := 0; i < 9; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	h.Observe(100 * time.Second) // one overflow observation
+	for _, q := range []float64{0.95, 0.99, 1} {
+		if v := h.Quantile(q); v != lo {
+			t.Fatalf("Quantile(%v) = %v, want overflow lower bound %v", q, v, lo)
+		}
+	}
+	if v := h.Quantile(0.5); v >= lo {
+		t.Fatalf("p50 = %v leaked into the overflow bucket", v)
+	}
+	if n := h.Overflow(); n != 1 {
+		t.Fatalf("overflow count = %d, want 1", n)
+	}
 }

@@ -21,12 +21,15 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
 	"rio"
+	"rio/internal/txn"
 	"rio/internal/wire"
 )
 
@@ -79,27 +82,59 @@ type task struct {
 	enq  time.Time
 }
 
-// shard owns one rio.System. Only the shard goroutine touches sys and
-// down; mu guards the metrics fields read by Metrics().
+// shard owns one rio.System. Only the shard goroutine touches sys,
+// down, and the transaction state; mu guards the metrics fields read by
+// Metrics().
 type shard struct {
 	id  int
 	sys *rio.System
 	ch  chan task
 
-	mu        sync.Mutex
-	down      bool
-	ops       uint64
-	errors    uint64
-	retried   uint64
-	rejected  uint64
-	bytes     uint64
-	batches   uint64
-	batchSum  uint64
-	maxBatch  int
-	crashes   uint64
-	warmboots uint64
-	lat       Histogram
+	// txns holds the shard's open (staged, uncommitted) transactions,
+	// keyed by the handle's low 32 bits; txnSeq mints handles. Staging
+	// is volatile server state — a crash discards it, and only a
+	// published commit record survives into recovery.
+	txns   map[uint32]*openTxn
+	txnSeq uint32
+
+	// logDirty is true while the txn log holds a published record that
+	// has not been fully applied and erased. Publishing over such a log
+	// would discard the record and strand its partial application, so
+	// serve rolls it forward first. Shard goroutine only.
+	logDirty bool
+
+	mu         sync.Mutex
+	down       bool
+	ops        uint64
+	errors     uint64
+	retried    uint64
+	rejected   uint64
+	bytes      uint64
+	batches    uint64
+	batchSum   uint64
+	maxBatch   int
+	crashes    uint64
+	warmboots  uint64
+	txnCommits uint64
+	txnAborts  uint64
+	lat        Histogram
 }
+
+// openTxn is one in-flight transaction's staged ops. Shard goroutine
+// only.
+type openTxn struct {
+	ops   []txn.Op
+	bytes int
+}
+
+// Transaction staging limits. A transaction over these answers
+// wire.StatusTxnLimit; maxTxnOps stays well under txn.MaxOps so a
+// sealed record always encodes.
+const (
+	maxOpenTxns = 64
+	maxTxnOps   = 256
+	maxTxnBytes = 4 << 20
+)
 
 // Server routes requests to shards. Safe for concurrent use.
 type Server struct {
@@ -193,8 +228,11 @@ func (s *Server) Do(req *wire.Request) *wire.Response {
 
 // route validates the request and picks its shard.
 func (s *Server) route(req *wire.Request) (*shard, *wire.Response) {
+	failWith := func(st wire.Status, msg string) (*shard, *wire.Response) {
+		return nil, &wire.Response{ID: req.ID, Status: st, Msg: msg}
+	}
 	fail := func(msg string) (*shard, *wire.Response) {
-		return nil, &wire.Response{ID: req.ID, Status: wire.StatusInvalid, Msg: msg}
+		return failWith(wire.StatusInvalid, msg)
 	}
 	if !req.Op.Valid() {
 		return fail(fmt.Sprintf("unknown op %d", uint8(req.Op)))
@@ -207,6 +245,9 @@ func (s *Server) route(req *wire.Request) (*shard, *wire.Response) {
 		}
 		return s.shards[req.Shard], nil
 	case wire.OpSync:
+		if req.Txn != 0 {
+			return fail("sync is not transactional")
+		}
 		// Sync with a path routes like a data op. With an empty path it
 		// targets Request.Shard (clients wanting every shard issue one
 		// per shard), defaulting to shard 0.
@@ -216,12 +257,28 @@ func (s *Server) route(req *wire.Request) (*shard, *wire.Response) {
 			}
 			return s.shards[0], nil
 		}
+	case wire.OpTxnBegin:
+		if req.Txn != 0 {
+			return fail("txn-begin inside a transaction")
+		}
+		if req.Path == "" {
+			return fail("txn-begin needs a path (it pins the transaction's shard)")
+		}
+	case wire.OpTxnCommit, wire.OpTxnAbort:
+		if req.Txn == 0 {
+			return fail(fmt.Sprintf("%v needs a transaction handle", req.Op))
+		}
 	case wire.OpMv:
 		if req.Path == "" || req.Path2 == "" {
 			return fail("mv needs two paths")
 		}
 		if s.ShardOf(req.Path) != s.ShardOf(req.Path2) {
-			return fail(fmt.Sprintf("mv across shards (%d -> %d) is not supported",
+			// Typed so clients and tests can tell "unsupported cross-shard
+			// op" from a real failure — the seam a future two-phase
+			// distributed mv plugs into, and the same status transactions
+			// use for a staged op whose path lives off the txn's shard.
+			return failWith(wire.StatusCrossShard, fmt.Sprintf(
+				"mv across shards (%d -> %d) is not supported",
 				s.ShardOf(req.Path), s.ShardOf(req.Path2)))
 		}
 	default:
@@ -229,13 +286,48 @@ func (s *Server) route(req *wire.Request) (*shard, *wire.Response) {
 			return fail(fmt.Sprintf("%v needs a path", req.Op))
 		}
 	}
+	if reservedPath(req.Path) || reservedPath(req.Path2) {
+		return fail(txn.Dir + " is reserved for the transaction log")
+	}
 	if len(req.Path) > wire.MaxPath || len(req.Path2) > wire.MaxPath {
 		return fail("path too long")
 	}
 	if len(req.Data) > wire.MaxData {
 		return fail("data too large")
 	}
+	if req.Txn != 0 {
+		// A transaction lives on one shard: the handle's high 32 bits
+		// name it, and every staged path must hash there too — the
+		// commit record is published to that shard's log and must be
+		// appliable entirely within it.
+		owner := int(req.Txn >> 32)
+		if owner >= len(s.shards) {
+			return fail(fmt.Sprintf("txn handle names shard %d, out of range [0,%d)",
+				owner, len(s.shards)))
+		}
+		switch req.Op {
+		case wire.OpTxnCommit, wire.OpTxnAbort:
+			return s.shards[owner], nil
+		case wire.OpWrite, wire.OpMkdir, wire.OpRm, wire.OpMv:
+			if s.ShardOf(req.Path) != owner {
+				return failWith(wire.StatusCrossShard, fmt.Sprintf(
+					"path routes to shard %d but the transaction lives on shard %d",
+					s.ShardOf(req.Path), owner))
+			}
+			return s.shards[owner], nil
+		default:
+			return fail(fmt.Sprintf("%v cannot run inside a transaction", req.Op))
+		}
+	}
 	return s.shards[s.ShardOf(req.Path)], nil
+}
+
+// reservedPath reports whether p is under the transaction log's
+// reserved prefix. Client ops are refused there, which is what lets the
+// group publish reorder freely against the rest of its batch: no client
+// request can observe or disturb the log file.
+func reservedPath(p string) bool {
+	return p == txn.Dir || strings.HasPrefix(p, txn.Dir+"/")
 }
 
 // Close drains and stops the server: new requests are refused with
@@ -268,8 +360,9 @@ func (s *Server) Metrics() Metrics {
 			Rejected: sh.rejected, Bytes: sh.bytes, Batches: sh.batches,
 			MaxBatch: sh.maxBatch, QueueLen: len(sh.ch), Down: sh.down,
 			Crashes: sh.crashes, Warmboots: sh.warmboots,
+			TxnCommits: sh.txnCommits, TxnAborts: sh.txnAborts,
 			P50us: sh.lat.Quantile(0.50), P95us: sh.lat.Quantile(0.95),
-			P99us: sh.lat.Quantile(0.99),
+			P99us: sh.lat.Quantile(0.99), LatOverflow: sh.lat.Overflow(),
 		}
 		if sh.batches > 0 {
 			row.AvgBatch = float64(sh.batchSum) / float64(sh.batches)
@@ -332,16 +425,96 @@ func (sh *shard) run(cfg Config) {
 	}
 }
 
-// serve answers one drained batch sequentially on the shard's System.
+// serve answers one drained batch sequentially on the shard's System,
+// with transactional group commit wrapped around it: every commit
+// sealed in this batch is published to the shard's txn log in one
+// write (Publish), each record is then applied in its task-order slot
+// (Apply), the log is erased once every published record has fully
+// applied (Erase), and only then are responses delivered (ackCommit).
+// That order is the whole crash-safety argument — a commit acked
+// before its record was durable would be a torn-commit window — and
+// the commitorder analyzer (internal/lint) checks it statically.
 func (sh *shard) serve(batch []task) {
 	type done struct {
-		t    task
-		resp *wire.Response
+		t      task
+		resp   *wire.Response
+		commit int // index into sealed, or -1
 	}
 	results := make([]done, 0, len(batch))
+	var sealed []txn.Record
+
+	// Stage: transaction control ops mutate only shard-local staging
+	// state; a commit seals its record for the group publish.
 	for _, t := range batch {
-		results = append(results, done{t, sh.handle(t.req)})
+		d := done{t: t, commit: -1}
+		if isTxnOp(t.req) {
+			var rec *txn.Record
+			d.resp, rec = sh.stage(t.req)
+			if rec != nil {
+				d.commit = len(sealed)
+				sealed = append(sealed, *rec)
+			}
+		}
+		results = append(results, d)
 	}
+
+	// Publish: one group write makes every commit in the batch durable
+	// — under Rio, the instant it lands in protected cache memory.
+	// Publish replaces the log wholesale, so a record left behind by an
+	// earlier batch whose apply failed short of a crash must be rolled
+	// forward first; dropping it unapplied would strand a partial state.
+	var pubErr error
+	published := false
+	if len(sealed) > 0 && sh.logDirty && !sh.isDown() {
+		if _, err := sh.txnLog().Recover(); err != nil {
+			pubErr = err
+			if crashed, _ := sh.sys.Crashed(); crashed {
+				sh.setDown(true)
+				sh.txns = nil
+			}
+		} else {
+			sh.logDirty = false
+		}
+	}
+	if len(sealed) > 0 && pubErr == nil {
+		if pubErr = sh.txnLog().Publish(sealed); pubErr == nil {
+			published = true
+			sh.logDirty = true
+		} else if crashed, _ := sh.sys.Crashed(); crashed {
+			sh.setDown(true)
+			sh.txns = nil
+		}
+	}
+
+	// Apply: walk the batch in task order; commits roll their records
+	// forward, everything else takes the ordinary handle path.
+	applied := 0
+	for i := range results {
+		d := &results[i]
+		switch {
+		case d.resp != nil: // answered at stage time
+		case d.commit >= 0:
+			d.resp = sh.applyCommit(d.t.req, &sealed[d.commit], published, pubErr)
+			if d.resp.Status == wire.StatusOK {
+				applied++
+			}
+		default:
+			d.resp = sh.handle(d.t.req)
+		}
+	}
+
+	// Erase: drop the log only when every published record has fully
+	// applied; anything short of that leaves it in protected memory for
+	// warm reboot to roll forward.
+	if published && applied == len(sealed) && !sh.isDown() {
+		if err := sh.txnLog().Erase(); err == nil {
+			sh.logDirty = false
+		} else if crashed, _ := sh.sys.Crashed(); crashed {
+			sh.setDown(true)
+			sh.txns = nil
+		}
+	}
+
 	now := time.Now()
 	sh.mu.Lock()
 	sh.batches++
@@ -354,6 +527,12 @@ func (sh *shard) serve(batch []task) {
 		sh.bytes += uint64(len(d.t.req.Data) + len(d.resp.Data))
 		switch {
 		case d.resp.Status == wire.StatusOK:
+			switch d.t.req.Op {
+			case wire.OpTxnCommit:
+				sh.txnCommits++
+			case wire.OpTxnAbort:
+				sh.txnAborts++
+			}
 		case d.resp.Status.Retryable():
 			sh.retried++
 		default:
@@ -362,9 +541,177 @@ func (sh *shard) serve(batch []task) {
 		sh.lat.Observe(now.Sub(d.t.enq))
 	}
 	sh.mu.Unlock()
-	for _, d := range results {
-		d.t.resp <- d.resp
+	for i := range results {
+		d := &results[i]
+		if d.commit >= 0 {
+			sh.ackCommit(d.t, d.resp)
+		} else {
+			d.t.resp <- d.resp
+		}
 	}
+}
+
+// ackCommit delivers a commit's response to its waiting client. It
+// exists as a named seam for the commitorder analyzer: in any function
+// that touches commit records, the first ackCommit must come after the
+// first Publish and the first Apply — never ack-before-publish.
+func (sh *shard) ackCommit(t task, resp *wire.Response) {
+	t.resp <- resp
+}
+
+// isTxnOp reports whether req is handled by the staging path rather
+// than handle(): the three transaction control ops, plus any data op
+// carrying a transaction handle.
+func isTxnOp(req *wire.Request) bool {
+	switch req.Op {
+	case wire.OpTxnBegin, wire.OpTxnCommit, wire.OpTxnAbort:
+		return true
+	}
+	return req.Txn != 0
+}
+
+// txnLog returns the shard's commit log. Fetched per use rather than
+// cached: a reboot can rebuild the machine's FS, and a cached handle
+// would go stale.
+func (sh *shard) txnLog() *txn.Log { return txn.NewLog(sh.sys.Machine().FS) }
+
+// stage executes one transaction op's staging phase on the shard
+// goroutine. It answers begin/abort/staged-op immediately (they touch
+// only volatile server state) and returns a sealed record — with a nil
+// response — for a non-empty commit, which serve() publishes and
+// applies in its group-commit phases.
+func (sh *shard) stage(req *wire.Request) (*wire.Response, *txn.Record) {
+	ok := func() *wire.Response { return &wire.Response{ID: req.ID, Status: wire.StatusOK} }
+	fail := func(st wire.Status, msg string) (*wire.Response, *txn.Record) {
+		return &wire.Response{ID: req.ID, Status: st, Msg: msg}, nil
+	}
+	if sh.isDown() {
+		return fail(wire.StatusAgain, fmt.Sprintf("shard %d down (crashed; awaiting warmboot)", sh.id))
+	}
+	switch req.Op {
+	case wire.OpTxnBegin:
+		if len(sh.txns) >= maxOpenTxns {
+			return fail(wire.StatusTxnLimit,
+				fmt.Sprintf("shard %d has %d transactions open", sh.id, len(sh.txns)))
+		}
+		if sh.txns == nil {
+			sh.txns = make(map[uint32]*openTxn)
+		}
+		// Mint a handle, skipping zero (the "no transaction" value on
+		// shard 0) and any sequence still open after wraparound.
+		for {
+			sh.txnSeq++
+			if sh.txnSeq == 0 {
+				sh.txnSeq = 1
+			}
+			if sh.txns[sh.txnSeq] == nil {
+				break
+			}
+		}
+		sh.txns[sh.txnSeq] = &openTxn{}
+		r := ok()
+		r.Size = int64(uint64(sh.id)<<32 | uint64(sh.txnSeq))
+		return r, nil
+
+	case wire.OpTxnAbort:
+		if _, live := sh.txns[uint32(req.Txn)]; !live {
+			return fail(wire.StatusNoTxn,
+				fmt.Sprintf("no open transaction %d on shard %d", req.Txn, sh.id))
+		}
+		delete(sh.txns, uint32(req.Txn))
+		return ok(), nil
+
+	case wire.OpTxnCommit:
+		tx, live := sh.txns[uint32(req.Txn)]
+		if !live {
+			return fail(wire.StatusNoTxn,
+				fmt.Sprintf("no open transaction %d on shard %d", req.Txn, sh.id))
+		}
+		delete(sh.txns, uint32(req.Txn))
+		if len(tx.ops) == 0 {
+			return ok(), nil // nothing staged: commit is a no-op
+		}
+		return nil, &txn.Record{ID: req.Txn, Ops: tx.ops}
+	}
+
+	// A staged data op.
+	tx, live := sh.txns[uint32(req.Txn)]
+	if !live {
+		return fail(wire.StatusNoTxn,
+			fmt.Sprintf("no open transaction %d on shard %d", req.Txn, sh.id))
+	}
+	op, errMsg := stagedOp(req)
+	if errMsg != "" {
+		return fail(wire.StatusInvalid, errMsg)
+	}
+	if len(tx.ops) >= maxTxnOps || tx.bytes+len(op.Data) > maxTxnBytes {
+		return fail(wire.StatusTxnLimit, fmt.Sprintf(
+			"transaction %d over limits (%d ops, %d bytes staged)", req.Txn, len(tx.ops), tx.bytes))
+	}
+	tx.ops = append(tx.ops, op)
+	tx.bytes += len(op.Data)
+	return ok(), nil
+}
+
+// stagedOp converts a wire request into the txn.Op it stages.
+func stagedOp(req *wire.Request) (txn.Op, string) {
+	switch req.Op {
+	case wire.OpWrite:
+		if req.Offset < 0 {
+			return txn.Op{}, "append writes are not transactional (the final offset is unknowable at stage time)"
+		}
+		return txn.Op{Kind: txn.OpWrite, Path: req.Path, Off: req.Offset, Data: req.Data}, ""
+	case wire.OpMkdir:
+		return txn.Op{Kind: txn.OpMkdir, Path: req.Path}, ""
+	case wire.OpRm:
+		return txn.Op{Kind: txn.OpRemove, Path: req.Path}, ""
+	case wire.OpMv:
+		return txn.Op{Kind: txn.OpRename, Path: req.Path, Path2: req.Path2}, ""
+	}
+	return txn.Op{}, fmt.Sprintf("%v cannot run inside a transaction", req.Op)
+}
+
+// applyCommit rolls one published commit record forward on the shard's
+// System. A record that was published but could not be fully applied —
+// the shard went down earlier in the batch, or an op failed — stays in
+// the log (serve skips the erase), so warm reboot completes it: the
+// client may see a retryable ambiguity, never a torn state.
+func (sh *shard) applyCommit(req *wire.Request, rec *txn.Record, published bool, pubErr error) *wire.Response {
+	fail := func(st wire.Status, msg string) *wire.Response {
+		return &wire.Response{ID: req.ID, Status: st, Msg: msg}
+	}
+	if !published {
+		if pubErr == nil {
+			return fail(wire.StatusAgain, fmt.Sprintf("shard %d down; commit not published", sh.id))
+		}
+		return fail(wire.StatusIO, "txn publish failed: "+pubErr.Error())
+	}
+	if sh.isDown() {
+		// A crash landed between the publish and this record's slot (an
+		// admin crash earlier in the batch). The record is durable in
+		// protected memory: warm reboot rolls it forward.
+		return fail(wire.StatusAgain, fmt.Sprintf(
+			"shard %d down; commit %d rolls forward at warmboot", sh.id, rec.ID))
+	}
+	if err := sh.txnLog().Apply(rec); err != nil {
+		if crashed, why := sh.sys.Crashed(); crashed {
+			sh.setDown(true)
+			sh.txns = nil
+			return fail(wire.StatusAgain, fmt.Sprintf(
+				"shard %d crashed applying commit: %s", sh.id, why))
+		}
+		st, msg := statusOf(err)
+		return fail(st, msg)
+	}
+	if crashed, why := sh.sys.Crashed(); crashed {
+		sh.setDown(true)
+		sh.txns = nil
+		return fail(wire.StatusAgain, fmt.Sprintf(
+			"shard %d crashed applying commit: %s", sh.id, why))
+	}
+	resp := &wire.Response{ID: req.ID, Status: wire.StatusOK}
+	resp.Size = int64(len(rec.Ops))
+	return resp
 }
 
 // setDown flips the shard's outage flag (shard goroutine only).
@@ -395,6 +742,7 @@ func (sh *shard) handle(req *wire.Request) *wire.Response {
 		}
 		sh.sys.Crash("riod: administrative crash op")
 		sh.setDown(true)
+		sh.txns = nil // staged transactions are volatile: they die with the shard
 		sh.mu.Lock()
 		sh.crashes++
 		sh.mu.Unlock()
@@ -410,6 +758,14 @@ func (sh *shard) handle(req *wire.Request) *wire.Response {
 			sh.setDown(true)
 			return fail(wire.StatusIO, "warm reboot failed: "+err.Error())
 		}
+		// Roll published-but-unerased transactions forward before taking
+		// traffic: committed records complete, torn tails are discarded,
+		// so no partially applied transaction is ever visible.
+		if _, err := sh.txnLog().Recover(); err != nil {
+			sh.setDown(true)
+			return fail(wire.StatusIO, "txn roll-forward failed: "+err.Error())
+		}
+		sh.logDirty = false
 		sh.setDown(false)
 		sh.mu.Lock()
 		sh.warmboots++
@@ -429,6 +785,7 @@ func (sh *shard) handle(req *wire.Request) *wire.Response {
 	// later requests get the retryable status instead of nonsense.
 	if crashed, why := sh.sys.Crashed(); crashed {
 		sh.setDown(true)
+		sh.txns = nil
 		return fail(wire.StatusAgain, fmt.Sprintf("shard %d crashed serving request: %s", sh.id, why))
 	}
 	return resp
@@ -606,24 +963,26 @@ func parentDir(path string) string {
 	return "/"
 }
 
-// statusOf maps the public rio error codes onto wire statuses.
+// statusOf maps the public rio error codes onto wire statuses. It
+// unwraps, because txn apply errors arrive wrapped with their record
+// and op context.
 func statusOf(err error) (wire.Status, string) {
-	switch err {
-	case nil:
+	switch {
+	case err == nil:
 		return wire.StatusOK, ""
-	case rio.ErrNotFound:
+	case errors.Is(err, rio.ErrNotFound):
 		return wire.StatusNotFound, err.Error()
-	case rio.ErrExists:
+	case errors.Is(err, rio.ErrExists):
 		return wire.StatusExists, err.Error()
-	case rio.ErrIsDir:
+	case errors.Is(err, rio.ErrIsDir):
 		return wire.StatusIsDir, err.Error()
-	case rio.ErrNotDir:
+	case errors.Is(err, rio.ErrNotDir):
 		return wire.StatusNotDir, err.Error()
-	case rio.ErrNotEmpty:
+	case errors.Is(err, rio.ErrNotEmpty):
 		return wire.StatusNotEmpty, err.Error()
-	case rio.ErrNoSpace, rio.ErrNoInodes:
+	case errors.Is(err, rio.ErrNoSpace), errors.Is(err, rio.ErrNoInodes):
 		return wire.StatusNoSpace, err.Error()
-	case rio.ErrReadOnly:
+	case errors.Is(err, rio.ErrReadOnly):
 		return wire.StatusReadOnly, err.Error()
 	default:
 		return wire.StatusIO, err.Error()

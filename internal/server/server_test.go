@@ -121,8 +121,8 @@ func TestMvSameShardAndAcrossShards(t *testing.T) {
 	if r := do(t, s, &wire.Request{ID: 3, Op: wire.OpRead, Shard: -1, Path: b}); string(r.Data) != "x" {
 		t.Fatalf("read moved: %+v", r)
 	}
-	if r := do(t, s, &wire.Request{ID: 4, Op: wire.OpMv, Shard: -1, Path: b, Path2: other}); r.Status != wire.StatusInvalid {
-		t.Fatalf("cross-shard mv must be refused: %+v", r)
+	if r := do(t, s, &wire.Request{ID: 4, Op: wire.OpMv, Shard: -1, Path: b, Path2: other}); r.Status != wire.StatusCrossShard {
+		t.Fatalf("cross-shard mv must answer the typed status: %+v", r)
 	}
 }
 

@@ -1,0 +1,297 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"rio/internal/wire"
+)
+
+// begin opens a transaction pinned to path's shard and returns its
+// handle.
+func begin(t *testing.T, s *Server, path string) uint64 {
+	t.Helper()
+	r := do(t, s, &wire.Request{ID: 1, Op: wire.OpTxnBegin, Shard: -1, Path: path})
+	if r.Status != wire.StatusOK || r.Size == 0 {
+		t.Fatalf("txn-begin: %+v", r)
+	}
+	return uint64(r.Size)
+}
+
+func TestTxnCommitIsAtomicAndVisible(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1, Seed: 7})
+	tx := begin(t, s, "/t/a")
+
+	// Nothing staged is visible before commit.
+	for _, req := range []*wire.Request{
+		{ID: 2, Op: wire.OpWrite, Shard: -1, Txn: tx, Path: "/t/a", Data: []byte("alpha")},
+		{ID: 3, Op: wire.OpMkdir, Shard: -1, Txn: tx, Path: "/t/dir"},
+		{ID: 4, Op: wire.OpWrite, Shard: -1, Txn: tx, Path: "/t/dir/b", Offset: 100, Data: []byte("beta")},
+	} {
+		if r := do(t, s, req); r.Status != wire.StatusOK {
+			t.Fatalf("stage %d: %+v", req.ID, r)
+		}
+	}
+	if r := do(t, s, &wire.Request{ID: 5, Op: wire.OpRead, Shard: -1, Path: "/t/a"}); r.Status != wire.StatusNotFound {
+		t.Fatalf("staged write visible before commit: %+v", r)
+	}
+
+	if r := do(t, s, &wire.Request{ID: 6, Op: wire.OpTxnCommit, Shard: -1, Txn: tx}); r.Status != wire.StatusOK || r.Size != 3 {
+		t.Fatalf("commit: %+v", r)
+	}
+	if r := do(t, s, &wire.Request{ID: 7, Op: wire.OpRead, Shard: -1, Path: "/t/a"}); string(r.Data) != "alpha" {
+		t.Fatalf("committed write: %+v", r)
+	}
+	if r := do(t, s, &wire.Request{ID: 8, Op: wire.OpRead, Shard: -1, Path: "/t/dir/b", Offset: 100}); string(r.Data) != "beta" {
+		t.Fatalf("committed offset write: %+v", r)
+	}
+	// The handle is spent: a second commit answers no-txn.
+	if r := do(t, s, &wire.Request{ID: 9, Op: wire.OpTxnCommit, Shard: -1, Txn: tx}); r.Status != wire.StatusNoTxn {
+		t.Fatalf("double commit: %+v", r)
+	}
+	m := s.Metrics()
+	if m.Shards[0].TxnCommits != 1 {
+		t.Fatalf("txn_commits = %d, want 1", m.Shards[0].TxnCommits)
+	}
+}
+
+func TestTxnAbortDiscardsStagedOps(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1, Seed: 7})
+	tx := begin(t, s, "/t/x")
+	if r := do(t, s, &wire.Request{ID: 2, Op: wire.OpWrite, Shard: -1, Txn: tx, Path: "/t/x", Data: []byte("never")}); r.Status != wire.StatusOK {
+		t.Fatalf("stage: %+v", r)
+	}
+	if r := do(t, s, &wire.Request{ID: 3, Op: wire.OpTxnAbort, Shard: -1, Txn: tx}); r.Status != wire.StatusOK {
+		t.Fatalf("abort: %+v", r)
+	}
+	if r := do(t, s, &wire.Request{ID: 4, Op: wire.OpStat, Shard: -1, Path: "/t/x"}); r.Status != wire.StatusNotFound {
+		t.Fatalf("aborted write visible: %+v", r)
+	}
+	if r := do(t, s, &wire.Request{ID: 5, Op: wire.OpTxnCommit, Shard: -1, Txn: tx}); r.Status != wire.StatusNoTxn {
+		t.Fatalf("commit after abort: %+v", r)
+	}
+	if m := s.Metrics(); m.Shards[0].TxnAborts != 1 {
+		t.Fatalf("txn_aborts = %d, want 1", m.Shards[0].TxnAborts)
+	}
+}
+
+func TestTxnRenameAndRemoveCommit(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1, Seed: 7})
+	// Seed non-transactional state to move and remove.
+	if r := do(t, s, &wire.Request{ID: 1, Op: wire.OpWrite, Shard: -1, Path: "/t/old", Data: []byte("payload")}); r.Status != wire.StatusOK {
+		t.Fatalf("seed: %+v", r)
+	}
+	if r := do(t, s, &wire.Request{ID: 2, Op: wire.OpWrite, Shard: -1, Path: "/t/victim", Data: []byte("doomed")}); r.Status != wire.StatusOK {
+		t.Fatalf("seed: %+v", r)
+	}
+	tx := begin(t, s, "/t/old")
+	if r := do(t, s, &wire.Request{ID: 3, Op: wire.OpMv, Shard: -1, Txn: tx, Path: "/t/old", Path2: "/t/new"}); r.Status != wire.StatusOK {
+		t.Fatalf("stage mv: %+v", r)
+	}
+	if r := do(t, s, &wire.Request{ID: 4, Op: wire.OpRm, Shard: -1, Txn: tx, Path: "/t/victim"}); r.Status != wire.StatusOK {
+		t.Fatalf("stage rm: %+v", r)
+	}
+	// Neither has happened yet.
+	if r := do(t, s, &wire.Request{ID: 5, Op: wire.OpRead, Shard: -1, Path: "/t/victim"}); string(r.Data) != "doomed" {
+		t.Fatalf("staged rm leaked: %+v", r)
+	}
+	if r := do(t, s, &wire.Request{ID: 6, Op: wire.OpTxnCommit, Shard: -1, Txn: tx}); r.Status != wire.StatusOK {
+		t.Fatalf("commit: %+v", r)
+	}
+	if r := do(t, s, &wire.Request{ID: 7, Op: wire.OpRead, Shard: -1, Path: "/t/new"}); string(r.Data) != "payload" {
+		t.Fatalf("renamed file: %+v", r)
+	}
+	if r := do(t, s, &wire.Request{ID: 8, Op: wire.OpStat, Shard: -1, Path: "/t/old"}); r.Status != wire.StatusNotFound {
+		t.Fatalf("rename source lingers: %+v", r)
+	}
+	if r := do(t, s, &wire.Request{ID: 9, Op: wire.OpStat, Shard: -1, Path: "/t/victim"}); r.Status != wire.StatusNotFound {
+		t.Fatalf("removed file lingers: %+v", r)
+	}
+}
+
+func TestTxnTypedStatuses(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2, Seed: 7})
+
+	// Unknown handle: no-txn (shard 0's handle space, never minted).
+	if r := do(t, s, &wire.Request{ID: 1, Op: wire.OpTxnCommit, Shard: -1, Txn: 99}); r.Status != wire.StatusNoTxn {
+		t.Fatalf("unknown commit: %+v", r)
+	}
+	if r := do(t, s, &wire.Request{ID: 2, Op: wire.OpTxnAbort, Shard: -1, Txn: 99}); r.Status != wire.StatusNoTxn {
+		t.Fatalf("unknown abort: %+v", r)
+	}
+
+	// A staged path hashing off the transaction's shard: cross-shard.
+	home := pathOnShard(t, s, 0, "txn-home")
+	away := pathOnShard(t, s, 1, "txn-away")
+	tx := begin(t, s, home)
+	if r := do(t, s, &wire.Request{ID: 3, Op: wire.OpWrite, Shard: -1, Txn: tx, Path: away, Data: []byte("x")}); r.Status != wire.StatusCrossShard {
+		t.Fatalf("cross-shard stage: %+v", r)
+	}
+
+	// Handle naming a shard out of range: invalid before any shard sees it.
+	if r := do(t, s, &wire.Request{ID: 4, Op: wire.OpTxnCommit, Shard: -1, Txn: 7 << 32}); r.Status != wire.StatusInvalid {
+		t.Fatalf("out-of-range handle: %+v", r)
+	}
+
+	// Append writes are refused inside a transaction.
+	if r := do(t, s, &wire.Request{ID: 5, Op: wire.OpWrite, Shard: -1, Txn: tx, Path: home, Offset: -1, Data: []byte("x")}); r.Status != wire.StatusInvalid {
+		t.Fatalf("append in txn: %+v", r)
+	}
+
+	// Reads are not transactional.
+	if r := do(t, s, &wire.Request{ID: 6, Op: wire.OpRead, Shard: -1, Txn: tx, Path: home}); r.Status != wire.StatusInvalid {
+		t.Fatalf("read in txn: %+v", r)
+	}
+
+	// The transaction log's namespace is reserved.
+	if r := do(t, s, &wire.Request{ID: 7, Op: wire.OpWrite, Shard: -1, Path: "/.txn/log", Data: []byte("x")}); r.Status != wire.StatusInvalid {
+		t.Fatalf("reserved path write: %+v", r)
+	}
+	if r := do(t, s, &wire.Request{ID: 8, Op: wire.OpRead, Shard: -1, Path: "/.txn/log"}); r.Status != wire.StatusInvalid {
+		t.Fatalf("reserved path read: %+v", r)
+	}
+
+}
+
+func TestTxnOpLimit(t *testing.T) {
+	// One shard so every staged path lands on the transaction's shard.
+	s := newTestServer(t, Config{Shards: 1, Seed: 7})
+	tx := begin(t, s, "/t/limit")
+	var r *wire.Response
+	for i := 0; i <= maxTxnOps; i++ {
+		r = do(t, s, &wire.Request{ID: 9, Op: wire.OpMkdir, Shard: -1, Txn: tx,
+			Path: fmt.Sprintf("/t/limit-d%04d", i)})
+		if r.Status != wire.StatusOK {
+			break
+		}
+	}
+	if r.Status != wire.StatusTxnLimit {
+		t.Fatalf("op-limit overflow: %+v", r)
+	}
+}
+
+// Committed transactions survive a crash + warm reboot in full;
+// transactions still open at crash time vanish in full. Rio's guarantee
+// lifted to multi-op atomicity.
+func TestTxnCommitSurvivesCrashOpenTxnDies(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2, Seed: 7})
+	home := pathOnShard(t, s, 0, "txn-crash")
+	sibling := pathOnShard(t, s, 0, "txn-crash-sib")
+
+	tx := begin(t, s, home)
+	for id, req := range []*wire.Request{
+		{Op: wire.OpWrite, Shard: -1, Txn: tx, Path: home, Data: []byte("committed-1")},
+		{Op: wire.OpWrite, Shard: -1, Txn: tx, Path: sibling, Data: []byte("committed-2")},
+	} {
+		req.ID = uint64(id + 2)
+		if r := do(t, s, req); r.Status != wire.StatusOK {
+			t.Fatalf("stage: %+v", r)
+		}
+	}
+	if r := do(t, s, &wire.Request{ID: 4, Op: wire.OpTxnCommit, Shard: -1, Txn: tx}); r.Status != wire.StatusOK {
+		t.Fatalf("commit: %+v", r)
+	}
+
+	// A second transaction stages but never commits.
+	open := begin(t, s, home)
+	if r := do(t, s, &wire.Request{ID: 5, Op: wire.OpWrite, Shard: -1, Txn: open, Path: home, Data: []byte("uncommitted")}); r.Status != wire.StatusOK {
+		t.Fatalf("stage open txn: %+v", r)
+	}
+
+	if r := do(t, s, &wire.Request{ID: 6, Op: wire.OpCrash, Shard: 0}); r.Status != wire.StatusOK {
+		t.Fatalf("crash: %+v", r)
+	}
+	if r := do(t, s, &wire.Request{ID: 7, Op: wire.OpWarmboot, Shard: 0}); r.Status != wire.StatusOK {
+		t.Fatalf("warmboot: %+v", r)
+	}
+
+	// The committed transaction's effects are all there.
+	if r := do(t, s, &wire.Request{ID: 8, Op: wire.OpRead, Shard: -1, Path: home}); string(r.Data) != "committed-1" {
+		t.Fatalf("committed write after reboot: %+v", r)
+	}
+	if r := do(t, s, &wire.Request{ID: 9, Op: wire.OpRead, Shard: -1, Path: sibling}); string(r.Data) != "committed-2" {
+		t.Fatalf("committed write after reboot: %+v", r)
+	}
+	// The open transaction died with the crash: its handle is gone, and
+	// committing it now cannot resurrect the staged write.
+	if r := do(t, s, &wire.Request{ID: 10, Op: wire.OpTxnCommit, Shard: -1, Txn: open}); r.Status != wire.StatusNoTxn {
+		t.Fatalf("open txn survived crash: %+v", r)
+	}
+	if r := do(t, s, &wire.Request{ID: 11, Op: wire.OpRead, Shard: -1, Path: home}); string(r.Data) != "committed-1" {
+		t.Fatalf("uncommitted data leaked: %+v", r)
+	}
+}
+
+// Wraparound regression: with the tag space shrunk to a handful of
+// values, a long-lived pipelined connection wraps its counter many
+// times over. Every response must still land on its own caller — a
+// pending-map collision would cross-deliver or wedge a request forever.
+func TestMuxClientTagWraparound(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2, Seed: 7})
+	addr := listenAndServe(t, s)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := NewMuxClient(conn)
+	defer cl.Close()
+	cl.tagMask = 3 // four tags: wrap every fourth request
+
+	const workers = 3 // stay under the 4-tag space so allocation succeeds
+	const rounds = 32
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				path := fmt.Sprintf("/wrap-w%d-r%02d", w, r)
+				payload := []byte(fmt.Sprintf("payload-%d-%d", w, r))
+				resp, err := cl.Do(&wire.Request{ID: 42, Op: wire.OpWrite, Shard: -1, Path: path, Data: payload})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if resp.Status != wire.StatusOK || resp.ID != 42 {
+					errs[w] = fmt.Errorf("write %s: %+v", path, resp)
+					return
+				}
+				resp, err = cl.Do(&wire.Request{ID: 42, Op: wire.OpRead, Shard: -1, Path: path})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if string(resp.Data) != string(payload) {
+					errs[w] = fmt.Errorf("read %s: got %q want %q — cross-delivered response", path, resp.Data, payload)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+}
+
+// A saturated tag space must fail the next Do cleanly instead of
+// silently reusing a pending tag.
+func TestMuxClientTagExhaustion(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	cl := NewMuxClient(c1)
+	defer cl.Close()
+	cl.tagMask = 1 // two tags
+	cl.mu.Lock()
+	cl.pending[0] = make(chan *wire.Response, 1)
+	cl.pending[1] = make(chan *wire.Response, 1)
+	cl.mu.Unlock()
+	if _, err := cl.Do(&wire.Request{ID: 1, Op: wire.OpOpen, Shard: -1, Path: "/x"}); err == nil {
+		t.Fatal("Do on a saturated tag space must error")
+	}
+}

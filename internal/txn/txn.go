@@ -1,0 +1,591 @@
+// Package txn is the WAL-free transaction layer over the protected file
+// cache (ROADMAP item 3): multi-op atomicity built on the paper's claim
+// that memory with no reliability-induced writes *is* stable storage.
+//
+// A transaction commits by publishing a commit record into the file
+// system — which, under Rio, means into protected cache memory: the
+// record is durable the instant the write returns, with no disk barrier
+// and no ordering constraint against the data it describes. The
+// protocol is
+//
+//	publish → apply → erase → ack
+//
+// Publish writes the sealed record (all staged ops, checksummed) to the
+// log file. Apply executes the ops; every op is idempotent, so a replay
+// after a crash converges to the same state. Erase unlinks the log —
+// and because unlinking drops the file's dirty pages from the registry
+// without write-back, an erased record can never resurface at warm
+// reboot. Ack (the caller answering its client) comes strictly last.
+//
+// The crash-safety argument follows from that order alone:
+//
+//   - Crash mid-publish: the record's checksum fails, Recover discards
+//     it. The commit was never acked, so nothing promised is lost, and
+//     none of its ops ran, so nothing partial is visible.
+//   - Crash mid-apply: the record is intact in protected memory.
+//     Recover rolls it forward to completion — the transaction becomes
+//     visible atomically even though its commit was never acked.
+//   - Crash after erase: there is nothing to replay, and the fully
+//     applied state is durable (Rio's ordinary write guarantee).
+//
+// The log therefore never holds an acked transaction: ack happens only
+// after erase. Discarding any unparseable tail is always safe, and
+// replaying any parseable record is always safe (idempotence). Compare
+// the write-ahead log this design rejects: a WAL must be written — and
+// synced — *before* the data, which is exactly the reliability-induced
+// I/O Rio exists to eliminate; see DESIGN.md §7c.
+//
+// The package operates on *fs.FS so the riod serving layer, the crash
+// harness, and examples can share it without import cycles. It is
+// deterministic: no host clock, no map iteration, no randomness.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"rio/internal/fs"
+)
+
+// OpKind identifies one transactional operation.
+type OpKind uint8
+
+// The transactional op kinds. Reads are not transactional (clients read
+// committed state directly); appends are excluded because an append's
+// final offset is unknowable at stage time, and replaying it would
+// double-apply.
+const (
+	OpWrite  OpKind = 1 + iota // write Data to Path at Off (absolute)
+	OpMkdir                    // create directory Path (mkdir -p)
+	OpRemove                   // unlink file / remove empty dir Path
+	OpRename                   // rename Path to Path2
+)
+
+// Op is one staged operation.
+type Op struct {
+	Kind  OpKind
+	Path  string
+	Path2 string // rename destination
+	Off   int64  // write offset (absolute; never negative)
+	Data  []byte // write payload
+}
+
+// Record is one sealed transaction: the unit of atomicity.
+type Record struct {
+	ID  uint64
+	Ops []Op
+}
+
+// Log paths and limits. The /.txn prefix is reserved: the serving layer
+// refuses client operations under it, so the log can never collide with
+// user data and Publish may reorder freely against other requests.
+const (
+	Dir     = "/.txn"
+	LogPath = "/.txn/log"
+
+	// MaxOps bounds ops per record; MaxPathLen and MaxDataLen bound the
+	// variable fields. Recover validates every declared length against
+	// these and the bytes present before allocating, so a corrupt frame
+	// cannot balloon recovery's memory.
+	MaxOps     = 1024
+	MaxPathLen = 4096
+	MaxDataLen = 1 << 20
+)
+
+// frameMagic opens every record frame ("RioTxn1\n" big-endian). A frame
+// whose first 8 bytes differ is a torn tail and parsing stops.
+const frameMagic = 0x52696f54786e310a
+
+// ErrInterrupted is returned by RecoverOpts when Options.CrashAtStep
+// interrupts the roll-forward, mirroring warmreboot's restart protocol.
+var ErrInterrupted = errors.New("txn: recovery interrupted (simulated crash)")
+
+// fnv1a64 is FNV-1a over b (the registry's checksum, reimplemented here
+// so the frame format is self-contained).
+func fnv1a64(b []byte) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+func appendU16(dst []byte, v uint16) []byte { return append(dst, byte(v>>8), byte(v)) }
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// AppendRecord appends rec's frame to dst: magic, checksum, then the
+// checksummed body (id, op count, ops). The checksum covers everything
+// after itself, so a frame torn at any byte fails verification.
+func AppendRecord(dst []byte, rec *Record) []byte {
+	dst = appendU64(dst, frameMagic)
+	cksumAt := len(dst)
+	dst = appendU64(dst, 0) // checksum placeholder
+	bodyAt := len(dst)
+	dst = appendU64(dst, rec.ID)
+	dst = appendU32(dst, uint32(len(rec.Ops)))
+	for i := range rec.Ops {
+		op := &rec.Ops[i]
+		dst = append(dst, byte(op.Kind))
+		dst = appendU64(dst, uint64(op.Off))
+		dst = appendU16(dst, uint16(len(op.Path)))
+		dst = append(dst, op.Path...)
+		dst = appendU16(dst, uint16(len(op.Path2)))
+		dst = append(dst, op.Path2...)
+		dst = appendU32(dst, uint32(len(op.Data)))
+		dst = append(dst, op.Data...)
+	}
+	ck := fnv1a64(dst[bodyAt:])
+	for i := 0; i < 8; i++ {
+		dst[cksumAt+i] = byte(ck >> (56 - 8*i))
+	}
+	return dst
+}
+
+// recCursor is a bounds-checked reader over one frame body. The first
+// failure sticks, as in the wire codec.
+type recCursor struct {
+	buf []byte
+	off int
+	bad bool
+}
+
+func (c *recCursor) take(n int) []byte {
+	if c.bad || n < 0 || c.off+n > len(c.buf) || c.off+n < c.off {
+		c.bad = true
+		return nil
+	}
+	b := c.buf[c.off : c.off+n]
+	c.off += n
+	return b
+}
+
+func (c *recCursor) u16() uint16 {
+	b := c.take(2)
+	if b == nil {
+		return 0
+	}
+	return uint16(b[0])<<8 | uint16(b[1])
+}
+
+func (c *recCursor) u32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
+	}
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func (c *recCursor) u64() uint64 {
+	b := c.take(8)
+	if b == nil {
+		return 0
+	}
+	var v uint64
+	for _, x := range b {
+		v = v<<8 | uint64(x)
+	}
+	return v
+}
+
+// parseRecord decodes one frame from the front of buf, returning the
+// record and the bytes consumed. ok is false for anything malformed —
+// wrong magic, truncation, over-limit length, checksum mismatch — which
+// Recover treats as the torn tail: discard it and everything after.
+func parseRecord(buf []byte) (rec Record, n int, ok bool) {
+	c := &recCursor{buf: buf}
+	if c.u64() != frameMagic {
+		return rec, 0, false
+	}
+	declared := c.u64()
+	bodyAt := c.off
+	rec.ID = c.u64()
+	nops := c.u32()
+	if c.bad || nops > MaxOps {
+		return rec, 0, false
+	}
+	rec.Ops = make([]Op, 0, nops)
+	for i := uint32(0); i < nops; i++ {
+		var op Op
+		kb := c.take(1)
+		if kb == nil {
+			return rec, 0, false
+		}
+		op.Kind = OpKind(kb[0])
+		if op.Kind < OpWrite || op.Kind > OpRename {
+			return rec, 0, false
+		}
+		op.Off = int64(c.u64())
+		pl := int(c.u16())
+		if pl > MaxPathLen {
+			return rec, 0, false
+		}
+		p := c.take(pl)
+		if p == nil {
+			return rec, 0, false
+		}
+		op.Path = string(p)
+		p2l := int(c.u16())
+		if p2l > MaxPathLen {
+			return rec, 0, false
+		}
+		p2 := c.take(p2l)
+		if p2 == nil {
+			return rec, 0, false
+		}
+		op.Path2 = string(p2)
+		dl := int(c.u32())
+		if dl > MaxDataLen {
+			return rec, 0, false
+		}
+		d := c.take(dl)
+		if d == nil {
+			return rec, 0, false
+		}
+		if dl > 0 {
+			op.Data = append([]byte(nil), d...)
+		}
+		rec.Ops = append(rec.Ops, op)
+	}
+	if c.bad {
+		return rec, 0, false
+	}
+	if fnv1a64(buf[bodyAt:c.off]) != declared {
+		return rec, 0, false
+	}
+	return rec, c.off, true
+}
+
+// ParseAll decodes the contiguous valid record prefix of data. The first
+// malformed frame ends the parse: everything from there on is a torn
+// tail, and — because ack strictly follows erase — provably unacked.
+func ParseAll(data []byte) []Record {
+	var out []Record
+	for len(data) > 0 {
+		rec, n, ok := parseRecord(data)
+		if !ok {
+			break
+		}
+		out = append(out, rec)
+		data = data[n:]
+	}
+	return out
+}
+
+// Log is the commit log on one shard's file system. Not safe for
+// concurrent use: like the FS it wraps, it belongs to one goroutine.
+type Log struct {
+	fs *fs.FS
+}
+
+// NewLog returns the commit log for fsys.
+func NewLog(fsys *fs.FS) *Log { return &Log{fs: fsys} }
+
+// Publish atomically-enough writes the group's sealed records to the
+// log: one fresh file per publish (the previous log, if any, was erased
+// or is superseded), written front to back so a crash leaves a valid
+// record prefix plus a checksummed-detectable torn tail. This is the
+// group-commit write — one log publish covers every record in recs.
+func (l *Log) Publish(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var buf []byte
+	for i := range recs {
+		buf = AppendRecord(buf, &recs[i])
+	}
+	if _, err := l.fs.Stat(Dir); err != nil {
+		if err := l.fs.Mkdir(Dir); err != nil && err != fs.ErrExists {
+			return fmt.Errorf("txn: publish: %w", err)
+		}
+	}
+	// A fresh file per publish: the FS has no truncate, and a stale tail
+	// from a longer previous log would replay dropped transactions.
+	if err := l.fs.Unlink(LogPath); err != nil && err != fs.ErrNotFound {
+		return fmt.Errorf("txn: publish: %w", err)
+	}
+	f, err := l.fs.Create(LogPath)
+	if err != nil {
+		return fmt.Errorf("txn: publish: %w", err)
+	}
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("txn: publish: %w", err)
+	}
+	// The durability point. Under Rio this returns immediately — the
+	// record already is stable storage; under write-through policies it
+	// is the synchronous log write a WAL would have cost.
+	if err := l.fs.Fsync(f); err != nil {
+		f.Close()
+		return fmt.Errorf("txn: publish: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("txn: publish: %w", err)
+	}
+	return nil
+}
+
+// Apply executes rec's ops in order. Every op is idempotent — applying
+// a record any number of times, including resuming after a partial
+// application, converges to the same state:
+//
+//   - write: absolute offset, so a re-write lands identically
+//   - mkdir: exists is success
+//   - remove: not-found is success
+//   - rename: a missing source with no destination either way means the
+//     rename (or its remove) already happened — success
+func (l *Log) Apply(rec *Record) error {
+	for i := range rec.Ops {
+		op := &rec.Ops[i]
+		var err error
+		switch op.Kind {
+		case OpWrite:
+			err = l.applyWrite(op)
+		case OpMkdir:
+			err = l.mkdirAll(op.Path)
+		case OpRemove:
+			err = l.applyRemove(op.Path)
+		case OpRename:
+			err = l.applyRename(op)
+		default:
+			err = fmt.Errorf("unknown op kind %d", op.Kind)
+		}
+		if err != nil {
+			return fmt.Errorf("txn: apply record %d op %d (%q): %w", rec.ID, i, op.Path, err)
+		}
+	}
+	return nil
+}
+
+func (l *Log) applyWrite(op *Op) error {
+	if op.Off < 0 {
+		return fmt.Errorf("negative offset %d", op.Off)
+	}
+	f, err := l.fs.Open(op.Path)
+	if err == fs.ErrNotFound {
+		if err := l.mkdirAll(parentDir(op.Path)); err != nil {
+			return err
+		}
+		f, err = l.fs.Create(op.Path)
+	}
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(op.Data, op.Off); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (l *Log) applyRemove(path string) error {
+	st, err := l.fs.Stat(path)
+	if err == fs.ErrNotFound {
+		return nil // already removed
+	}
+	if err != nil {
+		return err
+	}
+	if st.IsDir {
+		err = l.fs.Rmdir(path)
+	} else {
+		err = l.fs.Unlink(path)
+	}
+	if err == fs.ErrNotFound {
+		return nil
+	}
+	return err
+}
+
+func (l *Log) applyRename(op *Op) error {
+	if _, err := l.fs.Stat(op.Path); err == fs.ErrNotFound {
+		// Source gone: on replay this means the rename already ran.
+		return nil
+	} else if err != nil {
+		return err
+	}
+	if err := l.mkdirAll(parentDir(op.Path2)); err != nil {
+		return err
+	}
+	return l.fs.Rename(op.Path, op.Path2)
+}
+
+func (l *Log) mkdirAll(path string) error {
+	if path == "" || path == "/" {
+		return nil
+	}
+	if st, err := l.fs.Stat(path); err == nil {
+		if st.IsDir {
+			return nil
+		}
+		return fs.ErrNotDir
+	}
+	if err := l.mkdirAll(parentDir(path)); err != nil {
+		return err
+	}
+	if err := l.fs.Mkdir(path); err != nil && err != fs.ErrExists {
+		return err
+	}
+	return nil
+}
+
+func parentDir(path string) string {
+	for i := len(path) - 1; i > 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "/"
+}
+
+// Erase unlinks the log. Unlink drops the file's dirty pages from the
+// registry without write-back, so erased records are gone from every
+// recovery path — warm reboot cannot restore them and salvage cannot
+// resurrect them. That is what makes erase-then-ack sufficient: a
+// record still visible to recovery is by construction unacked.
+func (l *Log) Erase() error {
+	if err := l.fs.Unlink(LogPath); err != nil && err != fs.ErrNotFound {
+		return fmt.Errorf("txn: erase: %w", err)
+	}
+	return nil
+}
+
+// Options parameterises Recover for crash testing, mirroring
+// warmreboot.Options: CrashAtStep > 0 interrupts the roll-forward with
+// ErrInterrupted before that step executes. Recovery restarts from
+// scratch; every step is idempotent, so the restart converges.
+type Options struct {
+	CrashAtStep int
+}
+
+// RecoverStats reports what a recovery found and did.
+type RecoverStats struct {
+	Records     int // valid records found (log + salvage)
+	Applied     int // records rolled forward
+	SalvageLogs int // /lost+found files recognised as txn-log salvage
+}
+
+// Recover rolls the published log forward after a crash: parse the
+// valid record prefix, apply every record, erase. It also sweeps
+// /lost+found for salvaged log pages — if the crash cost the log file
+// its metadata, warm reboot reassembles the orphaned pages at their
+// original offsets under /lost+found, where the frame magic identifies
+// them — and rolls those forward too. Anything in either place is
+// unacked-or-mid-apply, so replaying is always safe and dropping a
+// torn tail never loses a promised commit.
+func (l *Log) Recover() (RecoverStats, error) {
+	return l.RecoverOpts(Options{})
+}
+
+// RecoverOpts is Recover with crash-injection options.
+func (l *Log) RecoverOpts(opts Options) (RecoverStats, error) {
+	var st RecoverStats
+	step := 0
+	tick := func() bool {
+		step++
+		return opts.CrashAtStep > 0 && step >= opts.CrashAtStep
+	}
+
+	recs := ParseAll(l.readFile(LogPath))
+	salvage := l.salvageLogs()
+	st.SalvageLogs = len(salvage)
+	for _, sv := range salvage {
+		recs = append(recs, sv.recs...)
+	}
+	st.Records = len(recs)
+
+	for i := range recs {
+		if tick() {
+			return st, ErrInterrupted
+		}
+		if err := l.Apply(&recs[i]); err != nil {
+			return st, err
+		}
+		st.Applied++
+	}
+	for _, sv := range salvage {
+		if tick() {
+			return st, ErrInterrupted
+		}
+		if err := l.fs.Unlink(sv.path); err != nil && err != fs.ErrNotFound {
+			return st, fmt.Errorf("txn: recover: %w", err)
+		}
+	}
+	if tick() {
+		return st, ErrInterrupted
+	}
+	if err := l.Erase(); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// readFile returns path's contents, or nil if it is missing or
+// unreadable — recovery treats an unreadable log as an empty one (its
+// records were unacked; see the package comment).
+func (l *Log) readFile(path string) []byte {
+	st, err := l.fs.Stat(path)
+	if err != nil || st.IsDir || st.Size < 0 || st.Size > (MaxDataLen+64)*64 {
+		return nil
+	}
+	f, err := l.fs.Open(path)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	buf := make([]byte, st.Size)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return nil
+	}
+	return buf
+}
+
+type salvagedLog struct {
+	path string
+	recs []Record
+}
+
+// salvageLogs scans /lost+found for files whose content opens with the
+// frame magic — warm reboot's salvage of an orphaned txn log — and
+// parses their record prefixes. Files are visited in sorted name order
+// so recovery is deterministic.
+func (l *Log) salvageLogs() []salvagedLog {
+	ents, err := l.fs.ReadDir("/lost+found")
+	if err != nil {
+		return nil
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir && !e.IsSymlink {
+			names = append(names, e.Name)
+		}
+	}
+	sort.Strings(names)
+	var out []salvagedLog
+	for _, name := range names {
+		path := "/lost+found/" + name
+		data := l.readFile(path)
+		if len(data) < 8 {
+			continue
+		}
+		var magic uint64
+		for _, b := range data[:8] {
+			magic = magic<<8 | uint64(b)
+		}
+		if magic != frameMagic {
+			continue
+		}
+		if recs := ParseAll(data); len(recs) > 0 {
+			out = append(out, salvagedLog{path: path, recs: recs})
+		}
+	}
+	return out
+}

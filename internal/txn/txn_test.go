@@ -1,0 +1,321 @@
+package txn
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"rio/internal/fs"
+	"rio/internal/machine"
+)
+
+func rioMachine(t *testing.T) *machine.Machine {
+	t.Helper()
+	pol := fs.DefaultPolicy(fs.PolicyRio)
+	pol.Protect = true
+	opt := machine.DefaultOptions(pol)
+	opt.FastPath = true
+	m, err := machine.New(opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func sampleRecords() []Record {
+	return []Record{
+		{ID: 1, Ops: []Op{
+			{Kind: OpMkdir, Path: "/t"},
+			{Kind: OpWrite, Path: "/t/a", Off: 0, Data: []byte("alpha-content")},
+		}},
+		{ID: 2, Ops: []Op{
+			{Kind: OpWrite, Path: "/t/b", Off: 4096, Data: bytes.Repeat([]byte{0x5a}, 1000)},
+			{Kind: OpRename, Path: "/t/a", Path2: "/t/a2"},
+		}},
+		{ID: 3, Ops: []Op{
+			{Kind: OpRemove, Path: "/t/b"},
+		}},
+	}
+}
+
+func encodeAll(recs []Record) []byte {
+	var buf []byte
+	for i := range recs {
+		buf = AppendRecord(buf, &recs[i])
+	}
+	return buf
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	want := sampleRecords()
+	got := ParseAll(encodeAll(want))
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		// nil vs empty Data both encode to length 0.
+		for j := range want[i].Ops {
+			if want[i].Ops[j].Data == nil {
+				want[i].Ops[j].Data = got[i].Ops[j].Data
+			}
+		}
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("record %d:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// A log truncated at any byte offset must parse to an exact prefix of
+// the original records — a torn trailing frame is discarded, never
+// mis-parsed into a record no one sealed.
+func TestParseTornTailAtEveryOffset(t *testing.T) {
+	want := sampleRecords()
+	full := encodeAll(want)
+	// Frame boundaries, for deciding how many complete records a
+	// truncation retains.
+	bounds := make([]int, 0, len(want)+1)
+	n := 0
+	bounds = append(bounds, 0)
+	for i := range want {
+		n = len(AppendRecord(make([]byte, 0, n), &want[i])) + bounds[i]
+		bounds = append(bounds, n)
+	}
+	for cut := 0; cut <= len(full); cut++ {
+		got := ParseAll(full[:cut])
+		complete := 0
+		for _, b := range bounds[1:] {
+			if cut >= b {
+				complete++
+			}
+		}
+		if len(got) != complete {
+			t.Fatalf("cut at %d: parsed %d records, want %d complete frames",
+				cut, len(got), complete)
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID || len(got[i].Ops) != len(want[i].Ops) {
+				t.Fatalf("cut at %d: record %d mangled: %+v", cut, i, got[i])
+			}
+		}
+	}
+}
+
+// A single flipped bit anywhere in a frame must fail that frame's
+// checksum: the parse never surfaces altered content as a valid record.
+func TestParseDetectsCorruption(t *testing.T) {
+	want := sampleRecords()
+	full := encodeAll(want)
+	for off := 0; off < len(full); off++ {
+		mut := append([]byte(nil), full...)
+		mut[off] ^= 0x01
+		for i, rec := range ParseAll(mut) {
+			// Any record the parse does return must be byte-identical to
+			// an original: the flip either killed its frame or landed in
+			// a later one.
+			if i >= len(want) || !reflect.DeepEqual(rec.Ops, ParseAll(full)[i].Ops) || rec.ID != want[i].ID {
+				t.Fatalf("flip at %d: surfaced altered record %d: %+v", off, i, rec)
+			}
+		}
+	}
+}
+
+func readBack(t *testing.T, fsys *fs.FS, path string) []byte {
+	t.Helper()
+	st, err := fsys.Stat(path)
+	if err != nil {
+		t.Fatalf("stat %s: %v", path, err)
+	}
+	f, err := fsys.Open(path)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	defer f.Close()
+	buf := make([]byte, st.Size)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return buf
+}
+
+// checkFinal asserts the state sampleRecords converges to: /t/a renamed
+// to /t/a2 with its content, /t/b removed.
+func checkFinal(t *testing.T, fsys *fs.FS) {
+	t.Helper()
+	if got := readBack(t, fsys, "/t/a2"); !bytes.Equal(got, []byte("alpha-content")) {
+		t.Fatalf("/t/a2 content %q", got)
+	}
+	if _, err := fsys.Stat("/t/a"); err != fs.ErrNotFound {
+		t.Fatalf("/t/a should be renamed away: %v", err)
+	}
+	if _, err := fsys.Stat("/t/b"); err != fs.ErrNotFound {
+		t.Fatalf("/t/b should be removed: %v", err)
+	}
+}
+
+func TestApplyIdempotent(t *testing.T) {
+	m := rioMachine(t)
+	l := NewLog(m.FS)
+	recs := sampleRecords()
+	for round := 0; round < 3; round++ {
+		for i := range recs {
+			if err := l.Apply(&recs[i]); err != nil {
+				t.Fatalf("round %d record %d: %v", round, i, err)
+			}
+		}
+		checkFinal(t, m.FS)
+	}
+	// Partial re-application converges too: replay just the first
+	// record, then the rest.
+	if err := l.Apply(&recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := l.Apply(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkFinal(t, m.FS)
+}
+
+func TestPublishRecoverErase(t *testing.T) {
+	m := rioMachine(t)
+	l := NewLog(m.FS)
+	if err := l.Publish(sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := l.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 3 || st.Applied != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+	checkFinal(t, m.FS)
+	if _, err := m.FS.Stat(LogPath); err != fs.ErrNotFound {
+		t.Fatalf("log not erased: %v", err)
+	}
+	// Recovery after erase is a no-op.
+	st, err = l.Recover()
+	if err != nil || st.Records != 0 {
+		t.Fatalf("second recover: %+v, %v", st, err)
+	}
+}
+
+// A log torn at any byte offset (crash mid-publish) must recover to a
+// consistent prefix of the group, and recovery must never error.
+func TestRecoverTornLogAtEveryOffset(t *testing.T) {
+	recs := sampleRecords()
+	full := encodeAll(recs)
+	for cut := 0; cut <= len(full); cut++ {
+		m := rioMachine(t)
+		l := NewLog(m.FS)
+		if err := m.FS.Mkdir(Dir); err != nil {
+			t.Fatal(err)
+		}
+		f, err := m.FS.Create(LogPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cut > 0 {
+			if _, err := f.WriteAt(full[:cut], 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f.Close()
+		st, err := l.Recover()
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if st.Applied != st.Records {
+			t.Fatalf("cut at %d: applied %d of %d", cut, st.Applied, st.Records)
+		}
+		if cut == len(full) {
+			checkFinal(t, m.FS)
+		}
+		if _, err := m.FS.Stat(LogPath); err != fs.ErrNotFound {
+			t.Fatalf("cut at %d: log not erased", cut)
+		}
+	}
+}
+
+// Recovery interrupted before every step and then restarted from
+// scratch must converge to the same final state — the crash-at-every-
+// step idempotency test, mirroring warmreboot's restart protocol.
+func TestRecoverCrashAtEveryStep(t *testing.T) {
+	for step := 1; step <= 8; step++ {
+		m := rioMachine(t)
+		l := NewLog(m.FS)
+		if err := l.Publish(sampleRecords()); err != nil {
+			t.Fatal(err)
+		}
+		_, err := l.RecoverOpts(Options{CrashAtStep: step})
+		if err != nil && err != ErrInterrupted {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		interrupted := err == ErrInterrupted
+		// Restart: the full recovery must complete and converge.
+		if _, err := l.Recover(); err != nil {
+			t.Fatalf("step %d: restarted recovery: %v", step, err)
+		}
+		checkFinal(t, m.FS)
+		if _, err := m.FS.Stat(LogPath); err != fs.ErrNotFound {
+			t.Fatalf("step %d: log not erased", step)
+		}
+		if step > 8 && interrupted {
+			t.Fatalf("step %d still interrupts; widen the loop", step)
+		}
+	}
+}
+
+// If a crash costs the log file its metadata, warm reboot salvages the
+// orphaned pages into /lost+found; recovery must find the frames there,
+// roll them forward, and consume the salvage file.
+func TestRecoverFromSalvage(t *testing.T) {
+	m := rioMachine(t)
+	l := NewLog(m.FS)
+	if err := m.FS.Mkdir("/lost+found"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.FS.Create("/lost+found/ino-42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(encodeAll(sampleRecords()), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// A non-log salvage file must be left alone.
+	g, err := m.FS.Create("/lost+found/ino-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.WriteAt([]byte("ordinary orphaned user data"), 0)
+	g.Close()
+
+	st, err := l.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SalvageLogs != 1 || st.Applied != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+	checkFinal(t, m.FS)
+	if _, err := m.FS.Stat("/lost+found/ino-42"); err != fs.ErrNotFound {
+		t.Fatal("consumed salvage log not removed")
+	}
+	if got := readBack(t, m.FS, "/lost+found/ino-7"); string(got) != "ordinary orphaned user data" {
+		t.Fatal("non-log salvage file disturbed")
+	}
+}
+
+// Oversize declared lengths must be rejected before allocation.
+func TestParseRejectsOversize(t *testing.T) {
+	rec := Record{ID: 9, Ops: []Op{{Kind: OpWrite, Path: "/x", Data: []byte("d")}}}
+	buf := AppendRecord(nil, &rec)
+	// nops sits after magic(8)+cksum(8)+id(8) = offset 24.
+	mut := append([]byte(nil), buf...)
+	mut[24], mut[25], mut[26], mut[27] = 0xff, 0xff, 0xff, 0xff
+	if got := ParseAll(mut); len(got) != 0 {
+		t.Fatalf("oversize nops parsed: %+v", got)
+	}
+}

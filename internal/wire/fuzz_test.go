@@ -18,6 +18,10 @@ func FuzzDecodeRequest(f *testing.F) {
 		{ID: 3, Op: OpWrite, Shard: -1, Offset: -1, Path: "/f", Data: []byte("data")},
 		{ID: 4, Op: OpMv, Shard: -1, Path: "/a", Path2: "/b"},
 		{ID: 5, Op: OpCrash, Shard: 3},
+		{ID: 6, Op: OpTxnBegin, Shard: -1, Path: "/t"},
+		{ID: 7, Op: OpWrite, Shard: -1, Txn: 1<<32 | 9, Path: "/t", Data: []byte("staged")},
+		{ID: 8, Op: OpTxnCommit, Shard: -1, Txn: 1<<32 | 9},
+		{ID: 9, Op: OpTxnAbort, Shard: -1, Txn: 2<<32 | 4},
 	} {
 		f.Add(AppendRequest(nil, r))
 	}

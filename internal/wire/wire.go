@@ -29,17 +29,20 @@ type Op uint8
 // The wire operations. Data ops route to a shard by path hash; the two
 // admin ops (OpCrash, OpWarmboot) target Request.Shard explicitly.
 const (
-	OpInvalid Op = iota
-	OpOpen       // ensure Path exists (create an empty file if absent)
-	OpRead       // read Len bytes of Path at Offset (Len 0 = whole file)
-	OpWrite      // write Data to Path at Offset (-1 = append), creating it
-	OpMkdir      // create directory Path
-	OpRm         // unlink file / remove empty directory Path
-	OpMv         // rename Path to Path2
-	OpStat       // stat Path
-	OpSync       // schedule the shard's dirty buffers for write-back
-	OpCrash      // admin: crash shard Request.Shard (kernel panic, no sync)
-	OpWarmboot   // admin: warm-reboot shard Request.Shard
+	OpInvalid   Op = iota
+	OpOpen         // ensure Path exists (create an empty file if absent)
+	OpRead         // read Len bytes of Path at Offset (Len 0 = whole file)
+	OpWrite        // write Data to Path at Offset (-1 = append), creating it
+	OpMkdir        // create directory Path
+	OpRm           // unlink file / remove empty directory Path
+	OpMv           // rename Path to Path2
+	OpStat         // stat Path
+	OpSync         // schedule the shard's dirty buffers for write-back
+	OpCrash        // admin: crash shard Request.Shard (kernel panic, no sync)
+	OpWarmboot     // admin: warm-reboot shard Request.Shard
+	OpTxnBegin     // open a transaction on the target shard; Response.Size returns the handle
+	OpTxnCommit    // atomically apply every op staged under Request.Txn
+	OpTxnAbort     // discard every op staged under Request.Txn
 	opMax
 )
 
@@ -47,6 +50,7 @@ var opNames = [...]string{
 	OpInvalid: "invalid", OpOpen: "open", OpRead: "read", OpWrite: "write",
 	OpMkdir: "mkdir", OpRm: "rm", OpMv: "mv", OpStat: "stat",
 	OpSync: "sync", OpCrash: "crash", OpWarmboot: "warmboot",
+	OpTxnBegin: "txn-begin", OpTxnCommit: "txn-commit", OpTxnAbort: "txn-abort",
 }
 
 func (o Op) String() string {
@@ -78,6 +82,14 @@ const (
 	StatusInvalid         // malformed or inapplicable request
 	StatusClosed          // server is draining or stopped; not retryable
 	StatusIO              // other shard-side failure (see Msg)
+	// StatusCrossShard: the operation names paths (or a transaction) on
+	// two different shards; single-shard atomicity cannot cover it. The
+	// dedicated code is the seam a future two-phase cross-shard protocol
+	// plugs into — clients can distinguish "unsupported topology" from a
+	// real failure.
+	StatusCrossShard
+	StatusNoTxn    // Request.Txn names no open transaction on its shard
+	StatusTxnLimit // transaction table or staged-op budget exhausted
 	statusMax
 )
 
@@ -87,6 +99,8 @@ var statusNames = [...]string{
 	StatusNotEmpty: "not-empty", StatusNoSpace: "no-space",
 	StatusReadOnly: "read-only", StatusInvalid: "invalid",
 	StatusClosed: "closed", StatusIO: "io-error",
+	StatusCrossShard: "cross-shard", StatusNoTxn: "no-txn",
+	StatusTxnLimit: "txn-limit",
 }
 
 func (s Status) String() string {
@@ -123,9 +137,14 @@ type Request struct {
 	Shard  int32  // admin-op target; -1 (route by path) for data ops
 	Offset int64  // read/write offset; -1 on write = append
 	Len    uint32 // read length; 0 = whole file (capped at MaxData)
-	Path   string
-	Path2  string // mv destination
-	Data   []byte // write payload
+	// Txn is a transaction handle from OpTxnBegin. Zero means no
+	// transaction. On a write/mkdir/rm/mv it stages the op instead of
+	// executing it; OpTxnCommit/OpTxnAbort name the transaction to
+	// resolve. The high 32 bits carry the owning shard.
+	Txn   uint64
+	Path  string
+	Path2 string // mv destination
+	Data  []byte // write payload
 }
 
 // Response is the outcome of one request.
@@ -153,6 +172,7 @@ func AppendRequest(dst []byte, r *Request) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Shard))
 	dst = binary.BigEndian.AppendUint64(dst, uint64(r.Offset))
 	dst = binary.BigEndian.AppendUint32(dst, r.Len)
+	dst = binary.BigEndian.AppendUint64(dst, r.Txn)
 	dst = appendString16(dst, r.Path)
 	dst = appendString16(dst, r.Path2)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Data)))
@@ -169,6 +189,7 @@ func DecodeRequest(buf []byte) (*Request, error) {
 	r.Shard = int32(c.u32())
 	r.Offset = int64(c.u64())
 	r.Len = c.u32()
+	r.Txn = c.u64()
 	r.Path = c.str16(MaxPath)
 	r.Path2 = c.str16(MaxPath)
 	r.Data = c.bytes32(MaxData)

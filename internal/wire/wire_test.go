@@ -19,6 +19,10 @@ func sampleRequests() []*Request {
 		{ID: 8, Op: OpSync, Shard: -1},
 		{ID: 9, Op: OpCrash, Shard: 2},
 		{ID: 10, Op: OpWarmboot, Shard: 2},
+		{ID: 11, Op: OpTxnBegin, Shard: -1, Path: "/a"},
+		{ID: 12, Op: OpWrite, Shard: -1, Txn: 3<<32 | 1, Path: "/a", Data: []byte("staged")},
+		{ID: 13, Op: OpTxnCommit, Shard: -1, Txn: 3<<32 | 1},
+		{ID: 14, Op: OpTxnAbort, Shard: -1, Txn: 3<<32 | 2},
 		{ID: ^uint64(0), Op: OpWrite, Shard: -1, Offset: 1<<62 - 1, Path: "/x", Data: make([]byte, 3000)},
 	}
 }
@@ -81,8 +85,8 @@ func TestDecodeRequestTruncations(t *testing.T) {
 func TestDecodeRequestOversizeLengths(t *testing.T) {
 	// A path length prefix of 0xffff exceeds MaxPath.
 	buf := AppendRequest(nil, &Request{ID: 1, Op: OpOpen, Path: "/x"})
-	// Path prefix starts after ID(8)+Op(1)+Shard(4)+Offset(8)+Len(4) = 25.
-	buf[25], buf[26] = 0xff, 0xff
+	// Path prefix starts after ID(8)+Op(1)+Shard(4)+Offset(8)+Len(4)+Txn(8) = 33.
+	buf[33], buf[34] = 0xff, 0xff
 	if _, err := DecodeRequest(buf); err == nil {
 		t.Fatal("oversize path length decoded without error")
 	}
@@ -127,9 +131,25 @@ func TestStatusRetryable(t *testing.T) {
 	if !StatusAgain.Retryable() {
 		t.Fatal("StatusAgain must be retryable")
 	}
-	for _, s := range []Status{StatusOK, StatusNotFound, StatusClosed, StatusIO, StatusInvalid} {
+	for _, s := range []Status{StatusOK, StatusNotFound, StatusClosed, StatusIO, StatusInvalid,
+		StatusCrossShard, StatusNoTxn, StatusTxnLimit} {
 		if s.Retryable() {
 			t.Fatalf("%v must not be retryable", s)
+		}
+	}
+}
+
+// Every defined op and status must have a name: a missing table entry
+// would render as the numeric fallback and break log greppability.
+func TestNamesComplete(t *testing.T) {
+	for o := OpInvalid; o < opMax; o++ {
+		if int(o) >= len(opNames) || opNames[o] == "" {
+			t.Fatalf("op %d has no name", uint8(o))
+		}
+	}
+	for s := StatusOK; s < statusMax; s++ {
+		if int(s) >= len(statusNames) || statusNames[s] == "" {
+			t.Fatalf("status %d has no name", uint8(s))
 		}
 	}
 }

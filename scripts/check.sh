@@ -24,7 +24,15 @@ go test -race -timeout 60m ./internal/crashtest/...
 go test -race -timeout 10m ./internal/warmreboot/... ./internal/disk/... ./internal/ioretry/...
 # The serving layer is the one place real goroutines share state (shard
 # queues, metrics, close/drain); the wire codec fuzz seeds ride along.
-go test -race -timeout 10m ./internal/server/... ./internal/wire/...
+# The transaction layer (commit records, publish/apply/erase, the
+# TxnTest torn-state oracle) joins the race gate: its campaign fans out
+# across workers and its server integration rides the shard goroutines.
+go test -race -timeout 10m ./internal/server/... ./internal/wire/... ./internal/txn/... ./internal/workload/...
+# Transactional crash campaign smoke: a small fixed-seed torn-commit
+# hunt with storage faults and double crashes; riocrash -txn exits
+# nonzero on any torn transaction or aborted recovery. (The commitorder
+# analyzer fixtures run in the riolint step and go test above.)
+go run ./cmd/riocrash -txn -runs 2 -seed 1996 -disk-faults -quiet
 # Server smoke benchmark: rioload against riod's in-process transport,
 # with a 1-shard baseline — fails if the run errors; the report lands in
 # BENCH_server.json (uploaded as a CI artifact).
