@@ -80,7 +80,13 @@ type TxnRunResult struct {
 	RecoveryAborted        bool
 	Quarantined            int
 	Salvaged               int
-	VolumeLost             bool
+	// TxnQuarantined counts records the txn roll-forward refused as
+	// deterministically unappliable and quarantined. The workload only
+	// stages writes, so any refusal means storage damage recovery has
+	// already accounted for — but it still disqualifies the run from
+	// convicting the txn layer of a torn commit.
+	TxnQuarantined int
+	VolumeLost     bool
 }
 
 // RunTxnOne executes a single transactional crash run: boot, warm up
@@ -185,14 +191,16 @@ func RunTxnOne(sys System, ft fault.Type, cfg RunConfig) (res TxnRunResult, err 
 	// torn tails are dropped. In double-fault mode a second crash also
 	// interrupts this phase at a seed-derived step; recovery restarts
 	// and must converge (Apply is idempotent).
-	topts := txn.Options{}
+	topts := txn.Options{
+		Crashed: func() bool { return m.Crashed() != nil },
+	}
 	if cfg.DiskFaults {
 		topts.CrashAtStep = int(sim.Mix(cfg.Seed, txnRecoverySalt) % txnRecoveryWindow)
 	}
 	l := txn.NewLog(m.FS)
-	if _, terr := l.RecoverOpts(topts); terr == txn.ErrInterrupted {
+	if tst, terr := l.RecoverOpts(topts); terr == txn.ErrInterrupted {
 		res.TxnRecoveryInterrupted = true
-		_, terr = l.Recover()
+		tst, terr = l.RecoverOpts(txn.Options{Crashed: topts.Crashed})
 		if terr != nil {
 			m.Disk.SetFaultPlan(nil)
 			res.RecoveryAborted = true
@@ -200,20 +208,24 @@ func RunTxnOne(sys System, ft fault.Type, cfg RunConfig) (res TxnRunResult, err 
 			res.Corruptions = []workload.Corruption{{Path: "/", Detail: "txn roll-forward failed: " + terr.Error()}}
 			return res, nil
 		}
+		res.TxnQuarantined = tst.Quarantined
 	} else if terr != nil {
 		m.Disk.SetFaultPlan(nil)
 		res.RecoveryAborted = true
 		res.Corrupted = true
 		res.Corruptions = []workload.Corruption{{Path: "/", Detail: "txn roll-forward failed: " + terr.Error()}}
 		return res, nil
+	} else {
+		res.TxnQuarantined = tst.Quarantined
 	}
 	m.Disk.SetFaultPlan(nil)
 
 	// Only a recovery that certified the storage clean can convict the
 	// transaction layer: when recovery itself reported damage (checksum
-	// hits, quarantined or salvaged pages), mixed ids are detected
-	// storage corruption, not a torn commit.
-	recoveryClean := !res.ChecksumDetected && res.Quarantined == 0 && res.Salvaged == 0
+	// hits, quarantined or salvaged pages, refused txn records), mixed
+	// ids are detected storage corruption, not a torn commit.
+	recoveryClean := !res.ChecksumDetected && res.Quarantined == 0 && res.Salvaged == 0 &&
+		res.TxnQuarantined == 0
 
 	v := tt.Verify(m.FS)
 	res.Corruptions = append(res.Corruptions, v.Failures...)
@@ -273,6 +285,7 @@ type TxnCell struct {
 	Aborted     int `json:"aborted"`
 	Quarantined int `json:"quarantined"`
 	Salvaged    int `json:"salvaged"`
+	TxnQuarant  int `json:"txn_quarantined"`
 	VolumeLost  int `json:"volume_lost"`
 
 	LastError string `json:"last_error,omitempty"`
@@ -316,6 +329,7 @@ func (c *TxnCell) fold(res TxnRunResult, err error) {
 	}
 	c.Quarantined += res.Quarantined
 	c.Salvaged += res.Salvaged
+	c.TxnQuarant += res.TxnQuarantined
 	if res.VolumeLost {
 		c.VolumeLost++
 	}

@@ -237,6 +237,29 @@ func (s *Server) route(req *wire.Request) (*shard, *wire.Response) {
 	if !req.Op.Valid() {
 		return fail(fmt.Sprintf("unknown op %d", uint8(req.Op)))
 	}
+	// Canonicalize paths before anything keys on their spelling. The fs
+	// trims outer slashes, so "a", "//a", and "/a/" all reach "/a" — if
+	// routing, the /.txn reservation, or transaction staging compared the
+	// raw spelling, an alias would slip past them (a write to ".txn/log"
+	// must not forge the commit log). Length is checked before the
+	// rewrite so the bound applies to what the client actually sent.
+	if len(req.Path) > wire.MaxPath || len(req.Path2) > wire.MaxPath {
+		return fail("path too long")
+	}
+	if req.Path != "" {
+		p, ok := txn.CanonicalPath(req.Path)
+		if !ok {
+			return fail(fmt.Sprintf("malformed path %q", req.Path))
+		}
+		req.Path = p
+	}
+	if req.Path2 != "" {
+		p, ok := txn.CanonicalPath(req.Path2)
+		if !ok {
+			return fail(fmt.Sprintf("malformed path %q", req.Path2))
+		}
+		req.Path2 = p
+	}
 	switch req.Op {
 	case wire.OpCrash, wire.OpWarmboot:
 		if req.Shard < 0 || int(req.Shard) >= len(s.shards) {
@@ -289,9 +312,6 @@ func (s *Server) route(req *wire.Request) (*shard, *wire.Response) {
 	if reservedPath(req.Path) || reservedPath(req.Path2) {
 		return fail(txn.Dir + " is reserved for the transaction log")
 	}
-	if len(req.Path) > wire.MaxPath || len(req.Path2) > wire.MaxPath {
-		return fail("path too long")
-	}
 	if len(req.Data) > wire.MaxData {
 		return fail("data too large")
 	}
@@ -325,7 +345,9 @@ func (s *Server) route(req *wire.Request) (*shard, *wire.Response) {
 // reservedPath reports whether p is under the transaction log's
 // reserved prefix. Client ops are refused there, which is what lets the
 // group publish reorder freely against the rest of its batch: no client
-// request can observe or disturb the log file.
+// request can observe or disturb the log file. The prefix match is
+// sound only because route canonicalizes paths first — the fs would
+// resolve aliases like ".txn/log" or "//.txn/log" to the same file.
 func reservedPath(p string) bool {
 	return p == txn.Dir || strings.HasPrefix(p, txn.Dir+"/")
 }
@@ -444,13 +466,18 @@ func (sh *shard) serve(batch []task) {
 	var sealed []txn.Record
 
 	// Stage: transaction control ops mutate only shard-local staging
-	// state; a commit seals its record for the group publish.
+	// state; a commit seals its record for the group publish. The group
+	// is budgeted against txn.MaxPublishBytes — the log is one fs file —
+	// so a commit that would overflow it is deferred (StatusAgain, the
+	// transaction stays open) rather than poisoning the whole publish.
+	groupBytes := 0
 	for _, t := range batch {
 		d := done{t: t, commit: -1}
 		if isTxnOp(t.req) {
 			var rec *txn.Record
-			d.resp, rec = sh.stage(t.req)
+			d.resp, rec = sh.stage(t.req, groupBytes)
 			if rec != nil {
+				groupBytes += rec.EncodedSize()
 				d.commit = len(sealed)
 				sealed = append(sealed, *rec)
 			}
@@ -466,7 +493,7 @@ func (sh *shard) serve(batch []task) {
 	var pubErr error
 	published := false
 	if len(sealed) > 0 && sh.logDirty && !sh.isDown() {
-		if _, err := sh.txnLog().Recover(); err != nil {
+		if _, err := sh.txnLog().RecoverOpts(sh.recoverOpts()); err != nil {
 			pubErr = err
 			if crashed, _ := sh.sys.Crashed(); crashed {
 				sh.setDown(true)
@@ -487,26 +514,30 @@ func (sh *shard) serve(batch []task) {
 	}
 
 	// Apply: walk the batch in task order; commits roll their records
-	// forward, everything else takes the ordinary handle path.
-	applied := 0
+	// forward, everything else takes the ordinary handle path. A record
+	// is resolved if it applied, or if it failed terminally — the tree's
+	// shape rejected it before anything mutated, so it must not survive
+	// in the log to be replayed as a commit its client was told failed.
+	resolved := 0
 	for i := range results {
 		d := &results[i]
 		switch {
 		case d.resp != nil: // answered at stage time
 		case d.commit >= 0:
-			d.resp = sh.applyCommit(d.t.req, &sealed[d.commit], published, pubErr)
-			if d.resp.Status == wire.StatusOK {
-				applied++
+			var outcome commitOutcome
+			d.resp, outcome = sh.applyCommit(d.t.req, &sealed[d.commit], published, pubErr)
+			if outcome != commitPending {
+				resolved++
 			}
 		default:
 			d.resp = sh.handle(d.t.req)
 		}
 	}
 
-	// Erase: drop the log only when every published record has fully
-	// applied; anything short of that leaves it in protected memory for
-	// warm reboot to roll forward.
-	if published && applied == len(sealed) && !sh.isDown() {
+	// Erase: drop the log only when every published record has resolved
+	// — fully applied, or terminally refused; anything short of that
+	// leaves it in protected memory for warm reboot to roll forward.
+	if published && resolved == len(sealed) && !sh.isDown() {
 		if err := sh.txnLog().Erase(); err == nil {
 			sh.logDirty = false
 		} else if crashed, _ := sh.sys.Crashed(); crashed {
@@ -575,12 +606,26 @@ func isTxnOp(req *wire.Request) bool {
 // would go stale.
 func (sh *shard) txnLog() *txn.Log { return txn.NewLog(sh.sys.Machine().FS) }
 
+// recoverOpts returns the Options a live shard recovers with: the crash
+// probe lets recovery tell crash fallout (retryable, shard goes down)
+// from a deterministic refusal (quarantine the record and move on)
+// before it classifies an apply failure.
+func (sh *shard) recoverOpts() txn.Options {
+	return txn.Options{Crashed: func() bool {
+		crashed, _ := sh.sys.Crashed()
+		return crashed
+	}}
+}
+
 // stage executes one transaction op's staging phase on the shard
 // goroutine. It answers begin/abort/staged-op immediately (they touch
 // only volatile server state) and returns a sealed record — with a nil
 // response — for a non-empty commit, which serve() publishes and
-// applies in its group-commit phases.
-func (sh *shard) stage(req *wire.Request) (*wire.Response, *txn.Record) {
+// applies in its group-commit phases. groupBytes is the encoded size of
+// records already sealed for this batch: a commit that would push the
+// group past txn.MaxPublishBytes is deferred with wire.StatusAgain and
+// its transaction stays open for a later, smaller batch.
+func (sh *shard) stage(req *wire.Request, groupBytes int) (*wire.Response, *txn.Record) {
 	ok := func() *wire.Response { return &wire.Response{ID: req.ID, Status: wire.StatusOK} }
 	fail := func(st wire.Status, msg string) (*wire.Response, *txn.Record) {
 		return &wire.Response{ID: req.ID, Status: st, Msg: msg}, nil
@@ -627,11 +672,20 @@ func (sh *shard) stage(req *wire.Request) (*wire.Response, *txn.Record) {
 			return fail(wire.StatusNoTxn,
 				fmt.Sprintf("no open transaction %d on shard %d", req.Txn, sh.id))
 		}
-		delete(sh.txns, uint32(req.Txn))
 		if len(tx.ops) == 0 {
+			delete(sh.txns, uint32(req.Txn))
 			return ok(), nil // nothing staged: commit is a no-op
 		}
-		return nil, &txn.Record{ID: req.Txn, Ops: tx.ops}
+		rec := &txn.Record{ID: req.Txn, Ops: tx.ops}
+		if int64(groupBytes+rec.EncodedSize()) > txn.MaxPublishBytes {
+			// The log is one fs file; this batch's group already fills
+			// it. Defer: the transaction stays open and the client
+			// retries the commit against a later batch.
+			return fail(wire.StatusAgain, fmt.Sprintf(
+				"shard %d txn log group full (%d bytes staged); retry commit", sh.id, groupBytes))
+		}
+		delete(sh.txns, uint32(req.Txn))
+		return nil, rec
 	}
 
 	// A staged data op.
@@ -671,47 +725,86 @@ func stagedOp(req *wire.Request) (txn.Op, string) {
 	return txn.Op{}, fmt.Sprintf("%v cannot run inside a transaction", req.Op)
 }
 
+// commitOutcome is applyCommit's verdict on one published record, which
+// decides whether the group erase may run: a pending record must stay in
+// the log for warm reboot to roll forward; an applied or terminal one is
+// resolved and must not be replayed.
+type commitOutcome uint8
+
+const (
+	commitPending  commitOutcome = iota // not applied; log keeps it for recovery
+	commitApplied                       // fully applied
+	commitTerminal                      // refused deterministically; client told, record dropped
+)
+
 // applyCommit rolls one published commit record forward on the shard's
-// System. A record that was published but could not be fully applied —
-// the shard went down earlier in the batch, or an op failed — stays in
-// the log (serve skips the erase), so warm reboot completes it: the
-// client may see a retryable ambiguity, never a torn state.
-func (sh *shard) applyCommit(req *wire.Request, rec *txn.Record, published bool, pubErr error) *wire.Response {
+// System. A record that was published but could not be applied because
+// the shard went down — a crash earlier in the batch, or mid-apply —
+// stays in the log (serve skips the erase), so warm reboot completes
+// it: the client may see a retryable ambiguity, never a torn state. A
+// record the tree's shape *deterministically* refuses (Apply's precheck
+// fails, mutating nothing) is terminal: the client gets the typed error
+// now, and the record must leave the log — retrying it forever would
+// wedge the shard, and replaying it after the obstruction clears would
+// apply a commit the client was told failed.
+func (sh *shard) applyCommit(req *wire.Request, rec *txn.Record, published bool, pubErr error) (*wire.Response, commitOutcome) {
 	fail := func(st wire.Status, msg string) *wire.Response {
 		return &wire.Response{ID: req.ID, Status: st, Msg: msg}
 	}
 	if !published {
 		if pubErr == nil {
-			return fail(wire.StatusAgain, fmt.Sprintf("shard %d down; commit not published", sh.id))
+			return fail(wire.StatusAgain, fmt.Sprintf("shard %d down; commit not published", sh.id)), commitPending
 		}
-		return fail(wire.StatusIO, "txn publish failed: "+pubErr.Error())
+		return fail(wire.StatusIO, "txn publish failed: "+pubErr.Error()), commitPending
 	}
 	if sh.isDown() {
 		// A crash landed between the publish and this record's slot (an
 		// admin crash earlier in the batch). The record is durable in
 		// protected memory: warm reboot rolls it forward.
 		return fail(wire.StatusAgain, fmt.Sprintf(
-			"shard %d down; commit %d rolls forward at warmboot", sh.id, rec.ID))
+			"shard %d down; commit %d rolls forward at warmboot", sh.id, rec.ID)), commitPending
 	}
 	if err := sh.txnLog().Apply(rec); err != nil {
 		if crashed, why := sh.sys.Crashed(); crashed {
 			sh.setDown(true)
 			sh.txns = nil
 			return fail(wire.StatusAgain, fmt.Sprintf(
-				"shard %d crashed applying commit: %s", sh.id, why))
+				"shard %d crashed applying commit: %s", sh.id, why)), commitPending
 		}
-		st, msg := statusOf(err)
-		return fail(st, msg)
+		var ce *txn.CheckError
+		if errors.As(err, &ce) {
+			// Refused before anything mutated: atomic failure, typed
+			// status, record resolved.
+			st, msg := statusOf(err)
+			return fail(st, msg), commitTerminal
+		}
+		if st, msg := statusOf(err); st != wire.StatusIO && st != wire.StatusNoSpace && st != wire.StatusReadOnly {
+			// A shape-of-the-tree error precheck did not foresee. Still
+			// terminal — it would recur on every replay — but something
+			// may have mutated, so keep the record as evidence instead
+			// of silently dropping it.
+			if qerr := sh.txnLog().Quarantine(rec); qerr != nil {
+				return fail(wire.StatusIO, "txn apply failed: "+msg+"; quarantine failed: "+qerr.Error()), commitPending
+			}
+			return fail(st, msg), commitTerminal
+		}
+		// Resource pressure or a degraded mount: the record stays in
+		// the log and recovery will retry it, so the outcome is
+		// ambiguous — answer retryable, never a definitive failure
+		// that a later roll-forward could contradict.
+		_, msg := statusOf(err)
+		return fail(wire.StatusAgain, fmt.Sprintf(
+			"shard %d commit %d deferred to recovery: %s", sh.id, rec.ID, msg)), commitPending
 	}
 	if crashed, why := sh.sys.Crashed(); crashed {
 		sh.setDown(true)
 		sh.txns = nil
 		return fail(wire.StatusAgain, fmt.Sprintf(
-			"shard %d crashed applying commit: %s", sh.id, why))
+			"shard %d crashed applying commit: %s", sh.id, why)), commitPending
 	}
 	resp := &wire.Response{ID: req.ID, Status: wire.StatusOK}
 	resp.Size = int64(len(rec.Ops))
-	return resp
+	return resp, commitApplied
 }
 
 // setDown flips the shard's outage flag (shard goroutine only).
@@ -759,9 +852,12 @@ func (sh *shard) handle(req *wire.Request) *wire.Response {
 			return fail(wire.StatusIO, "warm reboot failed: "+err.Error())
 		}
 		// Roll published-but-unerased transactions forward before taking
-		// traffic: committed records complete, torn tails are discarded,
-		// so no partially applied transaction is ever visible.
-		if _, err := sh.txnLog().Recover(); err != nil {
+		// traffic: committed records complete, records the tree's shape
+		// deterministically refuses are quarantined (they were never
+		// acked, and retrying them forever would wedge the shard), torn
+		// tails are discarded — no partially applied transaction is ever
+		// visible and no single record can poison warmboot.
+		if _, err := sh.txnLog().RecoverOpts(sh.recoverOpts()); err != nil {
 			sh.setDown(true)
 			return fail(wire.StatusIO, "txn roll-forward failed: "+err.Error())
 		}

@@ -295,3 +295,92 @@ func TestMuxClientTagExhaustion(t *testing.T) {
 		t.Fatal("Do on a saturated tag space must error")
 	}
 }
+
+// Aliases of the reserved /.txn prefix — spellings the fs would resolve
+// to the same files — must be refused, not just the literal prefix: a
+// client write through an alias could forge the commit log.
+func TestReservedPathAliasesRefused(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2, Seed: 7})
+	aliases := []string{
+		"/.txn", "/.txn/log", ".txn", ".txn/log", "//.txn/log", "/.txn/log/", "/.txn//log",
+	}
+	for _, p := range aliases {
+		for _, op := range []wire.Op{wire.OpWrite, wire.OpRead, wire.OpRm, wire.OpStat} {
+			r := do(t, s, &wire.Request{ID: 1, Op: op, Shard: -1, Path: p, Data: []byte("forged")})
+			if r.Status != wire.StatusInvalid {
+				t.Errorf("%v %q: status %v, want %v", op, p, r.Status, wire.StatusInvalid)
+			}
+		}
+		r := do(t, s, &wire.Request{ID: 2, Op: wire.OpMv, Shard: -1, Path: "/x", Path2: p})
+		if r.Status != wire.StatusInvalid && r.Status != wire.StatusCrossShard {
+			t.Errorf("mv dst %q: status %v, want invalid (or cross-shard)", p, r.Status)
+		}
+	}
+}
+
+// Path aliases must also route and serve as one file: a write through
+// one spelling reads back through another, on every shard layout.
+func TestPathCanonicalizationUnifiesAliases(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 4, Seed: 7})
+	if r := do(t, s, &wire.Request{ID: 1, Op: wire.OpWrite, Shard: -1, Path: "p/q", Data: []byte("via-alias")}); r.Status != wire.StatusOK {
+		t.Fatalf("write p/q: %+v", r)
+	}
+	for _, alias := range []string{"/p/q", "p/q", "//p/q", "/p/q/"} {
+		r := do(t, s, &wire.Request{ID: 2, Op: wire.OpRead, Shard: -1, Path: alias})
+		if r.Status != wire.StatusOK || string(r.Data) != "via-alias" {
+			t.Fatalf("read %q: %+v", alias, r)
+		}
+	}
+	// Malformed components are refused outright, as the fs would.
+	for _, bad := range []string{"/p/../q", "/p/./q", "/p//q"} {
+		if r := do(t, s, &wire.Request{ID: 3, Op: wire.OpRead, Shard: -1, Path: bad}); r.Status != wire.StatusInvalid {
+			t.Fatalf("read %q: status %v, want %v", bad, r.Status, wire.StatusInvalid)
+		}
+	}
+}
+
+// A commit the tree's shape rejects (rm of a non-empty directory) must
+// answer its typed status once and leave the shard fully serviceable:
+// later commits succeed and warmboot stays clean. One bad transaction
+// must not poison the log.
+func TestTxnDeterministicFailureDoesNotPoisonShard(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1, Seed: 7})
+	if r := do(t, s, &wire.Request{ID: 1, Op: wire.OpWrite, Shard: -1, Path: "/full/child", Data: []byte("x")}); r.Status != wire.StatusOK {
+		t.Fatalf("seed: %+v", r)
+	}
+
+	tx := begin(t, s, "/full")
+	if r := do(t, s, &wire.Request{ID: 2, Op: wire.OpRm, Shard: -1, Txn: tx, Path: "/full"}); r.Status != wire.StatusOK {
+		t.Fatalf("stage rm: %+v", r)
+	}
+	if r := do(t, s, &wire.Request{ID: 3, Op: wire.OpTxnCommit, Shard: -1, Txn: tx}); r.Status != wire.StatusNotEmpty {
+		t.Fatalf("commit of doomed rm: status %v, want %v (%+v)", r.Status, wire.StatusNotEmpty, r)
+	}
+
+	// The shard is not poisoned: a fresh commit applies cleanly.
+	tx2 := begin(t, s, "/t/after")
+	if r := do(t, s, &wire.Request{ID: 4, Op: wire.OpWrite, Shard: -1, Txn: tx2, Path: "/t/after", Data: []byte("alive")}); r.Status != wire.StatusOK {
+		t.Fatalf("stage: %+v", r)
+	}
+	if r := do(t, s, &wire.Request{ID: 5, Op: wire.OpTxnCommit, Shard: -1, Txn: tx2}); r.Status != wire.StatusOK {
+		t.Fatalf("commit after refused commit: %+v", r)
+	}
+	if r := do(t, s, &wire.Request{ID: 6, Op: wire.OpRead, Shard: -1, Path: "/t/after"}); string(r.Data) != "alive" {
+		t.Fatalf("read after refused commit: %+v", r)
+	}
+
+	// Warmboot must not replay the refused record — even once the
+	// obstruction is gone, a commit answered as failed may never apply.
+	if r := do(t, s, &wire.Request{ID: 7, Op: wire.OpRm, Shard: -1, Path: "/full/child"}); r.Status != wire.StatusOK {
+		t.Fatalf("clear obstruction: %+v", r)
+	}
+	if r := do(t, s, &wire.Request{ID: 8, Op: wire.OpWarmboot, Shard: 0}); r.Status != wire.StatusOK {
+		t.Fatalf("warmboot after refused commit: %+v", r)
+	}
+	if r := do(t, s, &wire.Request{ID: 9, Op: wire.OpStat, Shard: -1, Path: "/full"}); r.Status != wire.StatusOK {
+		t.Fatalf("/full vanished: the refused rm was replayed (%+v)", r)
+	}
+	if r := do(t, s, &wire.Request{ID: 10, Op: wire.OpRead, Shard: -1, Path: "/t/after"}); string(r.Data) != "alive" {
+		t.Fatalf("committed state lost across warmboot: %+v", r)
+	}
+}

@@ -2,7 +2,10 @@ package txn
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"rio/internal/fs"
@@ -317,5 +320,259 @@ func TestParseRejectsOversize(t *testing.T) {
 	mut[24], mut[25], mut[26], mut[27] = 0xff, 0xff, 0xff, 0xff
 	if got := ParseAll(mut); len(got) != 0 {
 		t.Fatalf("oversize nops parsed: %+v", got)
+	}
+}
+
+func TestCanonicalPath(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"/a", "/a", true},
+		{"/a/b/c", "/a/b/c", true},
+		{"a", "/a", true},
+		{"//a", "/a", true},
+		{"/a/", "/a", true},
+		{"//a/b//", "/a/b", true},
+		{"/a//b", "", false}, // inner empty component: the fs refuses it too
+		{".txn/log", "/.txn/log", true},
+		{"/", "/", true},
+		{"///", "/", true},
+		{"", "", false},
+		{"/.", "", false},
+		{"/..", "", false},
+		{"/a/./b", "", false},
+		{"/a/../b", "", false},
+		{"..", "", false},
+	}
+	for _, c := range cases {
+		got, ok := CanonicalPath(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("CanonicalPath(%q) = (%q, %v), want (%q, %v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestEncodedSizeMatchesAppendRecord(t *testing.T) {
+	for i, rec := range sampleRecords() {
+		if got, want := rec.EncodedSize(), len(AppendRecord(nil, &rec)); got != want {
+			t.Errorf("record %d: EncodedSize = %d, encoded length = %d", i, got, want)
+		}
+	}
+}
+
+// Publish must refuse any record parseRecord would reject: such a frame
+// applies at commit time but vanishes from crash recovery as a "torn
+// tail" — so it can never be allowed into the log.
+func TestPublishRejectsInvalidRecords(t *testing.T) {
+	m := rioMachine(t)
+	l := NewLog(m.FS)
+	longPath := "/" + strings.Repeat("x", MaxPathLen)
+	bad := []struct {
+		name string
+		rec  Record
+	}{
+		{"too many ops", Record{ID: 1, Ops: make([]Op, MaxOps+1)}},
+		{"unknown kind", Record{ID: 1, Ops: []Op{{Kind: 0, Path: "/a"}}}},
+		{"oversize data", Record{ID: 1, Ops: []Op{{Kind: OpWrite, Path: "/a", Data: make([]byte, MaxDataLen+1)}}}},
+		{"oversize path", Record{ID: 1, Ops: []Op{{Kind: OpMkdir, Path: longPath}}}},
+		{"non-canonical path", Record{ID: 1, Ops: []Op{{Kind: OpMkdir, Path: "a/b"}}}},
+		{"doubled slash", Record{ID: 1, Ops: []Op{{Kind: OpMkdir, Path: "/a//b"}}}},
+		{"dot component", Record{ID: 1, Ops: []Op{{Kind: OpMkdir, Path: "/a/../b"}}}},
+		{"negative offset", Record{ID: 1, Ops: []Op{{Kind: OpWrite, Path: "/a", Off: -1}}}},
+		{"path2 on write", Record{ID: 1, Ops: []Op{{Kind: OpWrite, Path: "/a", Path2: "/b"}}}},
+		{"data on remove", Record{ID: 1, Ops: []Op{{Kind: OpRemove, Path: "/a", Data: []byte("x")}}}},
+		{"non-canonical rename dst", Record{ID: 1, Ops: []Op{{Kind: OpRename, Path: "/a", Path2: "b//c"}}}},
+	}
+	for _, c := range bad {
+		if err := l.Publish([]Record{c.rec}); err == nil {
+			t.Errorf("%s: Publish accepted an unrecoverable record", c.name)
+		}
+		if _, err := m.FS.Stat(LogPath); err != fs.ErrNotFound {
+			t.Fatalf("%s: log exists after refused publish (stat err %v)", c.name, err)
+		}
+	}
+	// The group size is bounded by the log file's capacity.
+	big := Record{ID: 9}
+	for i := 0; i < 8; i++ {
+		big.Ops = append(big.Ops, Op{Kind: OpWrite, Path: fmt.Sprintf("/big/%d", i), Data: make([]byte, MaxDataLen)})
+	}
+	group := make([]Record, 0, 4)
+	for len(group) < 4 {
+		r := big
+		r.ID = uint64(len(group) + 1)
+		group = append(group, r)
+	}
+	if err := l.Publish(group); err == nil {
+		t.Fatalf("Publish accepted a %d-byte group over MaxPublishBytes=%d",
+			4*big.EncodedSize(), MaxPublishBytes)
+	}
+	if _, err := m.FS.Stat(LogPath); err != fs.ErrNotFound {
+		t.Fatalf("log exists after refused oversize group (stat err %v)", err)
+	}
+}
+
+// A record the tree's shape rejects must fail before any of its ops
+// run: Apply's precheck refuses it atomically with a CheckError.
+func TestApplyPrecheckAtomic(t *testing.T) {
+	m := rioMachine(t)
+	l := NewLog(m.FS)
+	// /d is non-empty, so the record's second op can never succeed.
+	if err := l.Apply(&Record{ID: 1, Ops: []Op{
+		{Kind: OpWrite, Path: "/d/keep", Data: []byte("x")},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	err := l.Apply(&Record{ID: 2, Ops: []Op{
+		{Kind: OpWrite, Path: "/fresh", Data: []byte("partial")},
+		{Kind: OpRemove, Path: "/d"},
+	}})
+	var ce *CheckError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Apply = %v, want *CheckError", err)
+	}
+	if ce.RecID != 2 || ce.OpIndex != 1 || !errors.Is(ce, fs.ErrNotEmpty) {
+		t.Fatalf("CheckError = %+v (err %v), want rec 2 op 1 ErrNotEmpty", ce, ce.Err)
+	}
+	// Atomic: the first op must not have run.
+	if _, err := m.FS.Stat("/fresh"); err != fs.ErrNotFound {
+		t.Fatalf("refused record leaked its first op: stat /fresh = %v", err)
+	}
+	if got := readBack(t, m.FS, "/d/keep"); string(got) != "x" {
+		t.Fatalf("/d/keep = %q, want %q", got, "x")
+	}
+}
+
+// Recovery must not let one deterministically unappliable record wedge
+// the log forever: it is quarantined (never replayed, never salvaged)
+// and the rest of the log rolls forward.
+func TestRecoverQuarantinesUnappliable(t *testing.T) {
+	m := rioMachine(t)
+	l := NewLog(m.FS)
+	good := Record{ID: 1, Ops: []Op{{Kind: OpWrite, Path: "/d/f", Data: []byte("applied")}}}
+	bad := Record{ID: 2, Ops: []Op{{Kind: OpRemove, Path: "/d"}}} // /d non-empty once good applies
+	if err := l.Publish([]Record{good, bad}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := l.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if st.Records != 2 || st.Applied != 1 || st.Quarantined != 1 {
+		t.Fatalf("stats = %+v, want Records=2 Applied=1 Quarantined=1", st)
+	}
+	if got := readBack(t, m.FS, "/d/f"); string(got) != "applied" {
+		t.Fatalf("/d/f = %q, want %q", got, "applied")
+	}
+	if _, err := m.FS.Stat(LogPath); err != fs.ErrNotFound {
+		t.Fatalf("log survives recovery: stat err %v", err)
+	}
+	qst, err := m.FS.Stat(QuarantinePath)
+	if err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if qst.Size <= 8 {
+		t.Fatalf("quarantine file too small: %d bytes", qst.Size)
+	}
+	// The quarantine file must never parse as a log: its leading magic
+	// differs, so ParseAll sees a torn head and yields nothing.
+	qdata := readBack(t, m.FS, QuarantinePath)
+	if recs := ParseAll(qdata); len(recs) != 0 {
+		t.Fatalf("quarantine file parsed as %d log records", len(recs))
+	}
+	// Nor may salvage resurrect it: plant its bytes in /lost+found and
+	// check recovery both ignores and preserves the file.
+	if err := m.FS.Mkdir("/lost+found"); err != nil && err != fs.ErrExists {
+		t.Fatal(err)
+	}
+	f, err := m.FS.Create("/lost+found/ino-42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(qdata, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := l.Recover()
+	if err != nil {
+		t.Fatalf("second Recover: %v", err)
+	}
+	if st2.Records != 0 || st2.SalvageLogs != 0 || st2.Quarantined != 0 {
+		t.Fatalf("second recovery stats = %+v, want all zero", st2)
+	}
+	if _, err := m.FS.Stat("/lost+found/ino-42"); err != nil {
+		t.Fatalf("salvage sweep disturbed the quarantined bytes: %v", err)
+	}
+}
+
+// An unreadable log must abort recovery, never be treated as empty and
+// erased — erasing it would silently discard published records.
+func TestRecoverRefusesUnreadableLog(t *testing.T) {
+	t.Run("log is a directory", func(t *testing.T) {
+		m := rioMachine(t)
+		l := NewLog(m.FS)
+		if err := m.FS.Mkdir(Dir); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.FS.Mkdir(LogPath); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Recover(); err == nil {
+			t.Fatal("Recover succeeded over an unreadable log")
+		}
+		if st, err := m.FS.Stat(LogPath); err != nil || !st.IsDir {
+			t.Fatalf("unreadable log was disturbed: stat %v %+v", err, st)
+		}
+	})
+	t.Run("log over size cap", func(t *testing.T) {
+		m := rioMachine(t)
+		l := NewLog(m.FS)
+		if err := l.Publish(sampleRecords()); err != nil {
+			t.Fatal(err)
+		}
+		old := maxLogBytes
+		maxLogBytes = 4
+		defer func() { maxLogBytes = old }()
+		if _, err := l.Recover(); err == nil {
+			t.Fatal("Recover succeeded over an implausibly large log")
+		}
+		if _, err := m.FS.Stat(LogPath); err != nil {
+			t.Fatalf("oversize log was erased: stat err %v", err)
+		}
+		maxLogBytes = old
+		st, err := l.Recover()
+		if err != nil {
+			t.Fatalf("Recover after restoring cap: %v", err)
+		}
+		if st.Applied != len(sampleRecords()) {
+			t.Fatalf("Applied = %d, want %d", st.Applied, len(sampleRecords()))
+		}
+		checkFinal(t, m.FS)
+	})
+}
+
+// A crash probe reporting true must keep recovery from quarantining:
+// crash fallout can look exactly like a deterministic refusal.
+func TestRecoverCrashProbeSuppressesQuarantine(t *testing.T) {
+	m := rioMachine(t)
+	l := NewLog(m.FS)
+	if err := l.Apply(&Record{ID: 1, Ops: []Op{{Kind: OpWrite, Path: "/d/f", Data: []byte("x")}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Publish([]Record{{ID: 2, Ops: []Op{{Kind: OpRemove, Path: "/d"}}}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := l.RecoverOpts(Options{Crashed: func() bool { return true }})
+	if err == nil {
+		t.Fatal("Recover succeeded though the crash probe fired")
+	}
+	if st.Quarantined != 0 {
+		t.Fatalf("quarantined %d records under a reported crash", st.Quarantined)
+	}
+	if _, err := m.FS.Stat(LogPath); err != nil {
+		t.Fatalf("log erased under a reported crash: stat err %v", err)
 	}
 }
