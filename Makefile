@@ -2,7 +2,7 @@
 # vet, tests, and the race detector over the concurrent campaign
 # scheduler (scripts/check.sh is the single source of truth).
 
-.PHONY: check build lint test race bench bench-core crash-recovery crash-txn serve-bench
+.PHONY: check build lint test race bench bench-core crash-recovery crash-txn crash-fleet serve-bench
 
 check:
 	sh scripts/check.sh
@@ -20,7 +20,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/crashtest/... ./internal/warmreboot/... ./internal/disk/...
+	go test -race ./internal/crashtest/... ./internal/warmreboot/... ./internal/disk/... ./internal/fleet/...
 
 bench:
 	go test -run '^$$' -bench . -benchtime 1x .
@@ -64,6 +64,12 @@ serve-bench:
 # transaction tears or any recovery aborts.
 crash-txn:
 	go run ./cmd/riocrash -txn -runs 10 -seed 1996 -disk-faults
+
+# Fleet campaign: machine-loss survival. 52 seed-derived plans (13 per
+# fault kind: machine kill, primary partition, backup loss, OS crash);
+# exits nonzero if any acked write fails to read back byte-equal.
+crash-fleet:
+	go run ./cmd/riocrash -fleet -runs 52 -seed 1996
 
 crash-recovery-golden:
 	mkdir -p testdata

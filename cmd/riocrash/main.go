@@ -25,6 +25,13 @@
 // only partially visible after recovery — which must be zero on both
 // Rio systems under every fault type. -runs then sets attempts per
 // cell (there is no crash quota).
+//
+// -fleet switches to the fleet campaign: each run boots a replicated
+// fleet (internal/fleet), acks writes, injects one fleet-level fault —
+// machine kill, primary partition, backup loss, or OS crash — and
+// demands every acked write read back byte-equal. -runs sets the total
+// plan count (kinds cycle by index, so runs >= 4 covers all four); the
+// headline Lost column must be zero.
 package main
 
 import (
@@ -35,7 +42,38 @@ import (
 
 	"rio"
 	"rio/internal/crashtest"
+	"rio/internal/crashtest/fleetcampaign"
 )
+
+// fleetMode runs the fleet campaign and prints its report.
+func fleetMode(runs int, seed uint64, workers int, quiet bool) {
+	cfg := fleetcampaign.Config{Seed: seed, Runs: runs, Workers: workers}
+	if !quiet {
+		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	fmt.Fprintf(os.Stderr, "running %d fleet crash plans (%d fault kinds, cycling)...\n",
+		runs, fleetcampaign.NumKinds)
+	rep, err := fleetcampaign.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "riocrash:", err)
+		os.Exit(1)
+	}
+	fmt.Println("Fleet crash campaign (acked-write survival across machine loss)")
+	fmt.Println()
+	fmt.Print(rep.Table())
+	fmt.Println()
+	if errs := rep.Errors(); len(errs) != 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "riocrash: harness error:", e)
+		}
+		os.Exit(1)
+	}
+	if n := rep.TotalLost(); n != 0 {
+		fmt.Printf("FAIL: %d acked writes lost\n", n)
+		os.Exit(1)
+	}
+	fmt.Println("zero acked writes lost: replication survived every machine kill, partition, and OS crash")
+}
 
 // txnCampaign runs the transactional variant and prints its report.
 func txnCampaign(runs int, seed uint64, workers int, diskFaults, quiet bool) {
@@ -80,10 +118,19 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines (0 = all cores)")
 	diskFaults := flag.Bool("disk-faults", false, "inject storage faults and a second crash during recovery")
 	txnMode := flag.Bool("txn", false, "run the transactional campaign (torn-commit hunt) instead of memTest")
+	fleetFlag := flag.Bool("fleet", false, "run the fleet campaign (machine-loss survival) instead of memTest; -runs = total plans")
 	jsonPath := flag.String("json", "", "write the full report as JSON to this path")
 	quiet := flag.Bool("quiet", false, "suppress per-cell progress")
 	flag.Parse()
 
+	if *txnMode && *fleetFlag {
+		fmt.Fprintln(os.Stderr, "riocrash: -txn and -fleet are mutually exclusive")
+		os.Exit(2)
+	}
+	if *fleetFlag {
+		fleetMode(*runs, *seed, *workers, *quiet)
+		return
+	}
 	if *txnMode {
 		txnCampaign(*runs, *seed, *workers, *diskFaults, *quiet)
 		return

@@ -20,6 +20,7 @@
 //	        [-shards 4] [-mem 16] [-disk 32]        (memory mode sizing)
 //	        [-compare N]                            (memory mode: baseline at N shards)
 //	        [-crash-shard K -crash-at D -crash-down D]
+//	        [-fleet -peers 3 -replicas 2]           (replicated fleet, machine kill mid-run)
 //
 // The run prints a throughput/latency table and writes a JSON report.
 // -compare N first runs the identical load against an N-shard server
@@ -33,6 +34,16 @@
 // load recovery: acknowledged writes survive, the other shards never
 // stall, and the report counts how many requests the retry loop
 // absorbed.
+//
+// -fleet runs the load against an in-process replicated fleet
+// (internal/fleet) instead of a single server: -peers nodes, each
+// shard on -replicas of them, a coordinator ticking in the background.
+// At -crash-at the primary of shard 0 is killed outright — the machine,
+// not just its OS — and revived -crash-down later; the run ends with a
+// verification pass that every key reads back byte-equal, and exits
+// nonzero on any loss. This is machine-loss-under-live-load: the
+// promotion, the client redirects, and the snapshot repair all happen
+// while the load is running.
 package main
 
 import (
@@ -46,6 +57,7 @@ import (
 	"time"
 
 	"rio"
+	"rio/internal/fleet"
 	"rio/internal/server"
 	"rio/internal/sim"
 	"rio/internal/wire"
@@ -104,6 +116,7 @@ type benchReport struct {
 	Result   runResult       `json:"result"`
 	Shards   *server.Metrics `json:"server_metrics,omitempty"`
 	Baseline *baselineReport `json:"baseline,omitempty"`
+	Fleet    *fleetReport    `json:"fleet,omitempty"`
 }
 
 type baselineReport struct {
@@ -138,6 +151,9 @@ func main() {
 	flag.IntVar(&cfg.CrashShard, "crash-shard", -1, "crash this shard mid-run (-1 = no crash)")
 	flag.DurationVar(&cfg.CrashAt, "crash-at", 2*time.Second, "when to crash, measured from run start")
 	flag.DurationVar(&cfg.CrashDown, "crash-down", 500*time.Millisecond, "outage length before the warm reboot")
+	fleetFlag := flag.Bool("fleet", false, "load an in-process replicated fleet; kill shard 0's primary at -crash-at, revive -crash-down later")
+	peers := flag.Int("peers", 3, "fleet mode: node count")
+	replicas := flag.Int("replicas", 2, "fleet mode: replicas per shard")
 	out := flag.String("out", "BENCH_server.json", "JSON report path (empty = skip)")
 	flag.Parse()
 
@@ -155,6 +171,11 @@ func main() {
 	}
 
 	report := benchReport{Bench: "riod-load", Config: cfg, Duration: cfg.Duration.Seconds()}
+
+	if *fleetFlag {
+		runFleetMain(cfg, *peers, *replicas, *out)
+		return
+	}
 
 	if *compare > 0 {
 		if cfg.Net != "memory" {
@@ -445,6 +466,268 @@ func crashController(cfg loadConfig, srv *server.Server, start time.Time) {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "rioload: warm-rebooted shard %d after %v down\n", cfg.CrashShard, cfg.CrashDown)
+}
+
+// fleetReport is the fleet-mode section of the JSON report.
+type fleetReport struct {
+	Peers       int    `json:"peers"`
+	Replicas    int    `json:"replicas"`
+	Killed      string `json:"killed"`
+	Promotions  uint64 `json:"promotions"`
+	Reconfigs   uint64 `json:"reconfigs"`
+	Repairs     uint64 `json:"repairs"`
+	ReplSent    uint64 `json:"repl_sent"`
+	ReplApplied uint64 `json:"repl_applied"`
+	Replays     uint64 `json:"replays"`
+	Fenced      uint64 `json:"fenced"`
+	Snapshots   uint64 `json:"snapshots"`
+	Redirects   uint64 `json:"redirects"`
+	Verified    int    `json:"verified_keys"`
+	Lost        int    `json:"lost_keys"`
+}
+
+// runFleetMain is the -fleet entry point: machine loss under live load.
+func runFleetMain(cfg loadConfig, peers, replicas int, out string) {
+	res, fr, err := runFleetLoad(cfg, peers, replicas)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rioload:", err)
+		os.Exit(1)
+	}
+	printRun(fmt.Sprintf("fleet (%d nodes xR%d)", peers, replicas), res)
+	fmt.Printf("\nfleet: killed %s mid-run; promotions %d, reconfigs %d, repairs %d, snapshots %d\n",
+		fr.Killed, fr.Promotions, fr.Reconfigs, fr.Repairs, fr.Snapshots)
+	fmt.Printf("replication: sent %d, applied %d, replays %d, fenced %d; client redirects %d\n",
+		fr.ReplSent, fr.ReplApplied, fr.Replays, fr.Fenced, fr.Redirects)
+	fmt.Printf("verification: %d keys byte-equal, %d lost\n", fr.Verified, fr.Lost)
+
+	if out != "" {
+		report := benchReport{Bench: "riod-fleet-load", Config: cfg,
+			Duration: cfg.Duration.Seconds(), Result: *res, Fleet: fr}
+		data, err := json.MarshalIndent(&report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(out, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rioload: write report:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	if fr.Lost != 0 {
+		fmt.Fprintln(os.Stderr, "rioload: acked writes lost across machine loss")
+		os.Exit(1)
+	}
+}
+
+// runFleetLoad drives cfg.Clients concurrent load streams against a
+// replicated fleet while a coordinator goroutine ticks, a controller
+// kills and later revives shard 0's primary, and a final pass verifies
+// every populated key reads back byte-equal.
+func runFleetLoad(cfg loadConfig, peers, replicas int) (*runResult, *fleetReport, error) {
+	f, err := fleet.New(fleet.Config{
+		Nodes: peers, Replicas: replicas, Shards: cfg.Shards, Seed: cfg.Seed,
+		Policy: rio.Policy(cfg.Policy), MemoryMB: cfg.MemMB, DiskMB: cfg.DiskMB,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	keys := make([]string, cfg.Keys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("/bench-k%05d", i)
+	}
+	cdf := skewCDF(cfg.Keys, cfg.Skew)
+	payload := make([]byte, cfg.Size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	newClient := func() *fleet.Client {
+		cl := f.Client(time.Sleep)
+		cl.RetryDelay = time.Millisecond
+		return cl
+	}
+
+	// Populate every key once, pre-fault, so the verify pass has a
+	// known acked byte-equal expectation for the whole key space.
+	{
+		var wg sync.WaitGroup
+		errs := make([]error, cfg.Clients)
+		for c := 0; c < cfg.Clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cl := newClient()
+				for i := c; i < len(keys); i += cfg.Clients {
+					resp, err := cl.Do(&wire.Request{ID: uint64(i), Op: wire.OpWrite,
+						Shard: -1, Path: keys[i], Data: payload})
+					if err != nil {
+						errs[c] = err
+						return
+					}
+					if resp.Status != wire.StatusOK {
+						errs[c] = fmt.Errorf("populate %s: %v %s", keys[i], resp.Status, resp.Msg)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	// Coordinator heartbeat loop: ~20ms ticks, the fleet's failure
+	// detector under live load.
+	stopTick := make(chan struct{})
+	var tickWG sync.WaitGroup
+	tickWG.Add(1)
+	go func() {
+		defer tickWG.Done()
+		tk := time.NewTicker(20 * time.Millisecond)
+		defer tk.Stop()
+		for {
+			select {
+			case <-stopTick:
+				return
+			case <-tk.C:
+				f.Tick()
+			}
+		}
+	}()
+
+	victim := f.Table().Routes[0].Primary
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+
+	// Fault controller: machine loss at -crash-at, revival (and
+	// snapshot repair) -crash-down later.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(time.Until(start.Add(cfg.CrashAt)))
+		f.Kill(victim)
+		fmt.Fprintf(os.Stderr, "rioload: killed %s at +%v\n", victim, cfg.CrashAt)
+		time.Sleep(cfg.CrashDown)
+		f.Revive(victim)
+		fmt.Fprintf(os.Stderr, "rioload: revived %s after %v down\n", victim, cfg.CrashDown)
+	}()
+
+	results := make([]runResult, cfg.Clients)
+	var redirects uint64
+	var redirMu sync.Mutex
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := newClient()
+			out := &results[c]
+			rng := sim.NewRand(sim.Mix(cfg.Seed, uint64(c), 0xF1EE7))
+			id := uint64(c) << 32
+			for time.Now().Before(deadline) {
+				key := keys[pick(cdf, rng)]
+				id++
+				req := &wire.Request{ID: id, Shard: -1, Path: key}
+				isWrite := rng.Float64() < cfg.Writes
+				if isWrite {
+					req.Op = wire.OpWrite
+					req.Data = payload
+				} else {
+					req.Op = wire.OpRead
+				}
+				begin := time.Now()
+				resp, err := cl.Do(req)
+				out.hist.Observe(time.Since(begin))
+				out.Ops++
+				if err != nil {
+					// Unreachable across the whole retry budget — the
+					// mid-kill window. Count it and keep loading.
+					out.Errors++
+					continue
+				}
+				out.Bytes += uint64(len(req.Data) + len(resp.Data))
+				if isWrite {
+					out.Writes++
+					if resp.Status == wire.StatusOK {
+						out.AckedWrites++
+					}
+				} else {
+					out.Reads++
+				}
+				if resp.Status != wire.StatusOK && !resp.Status.Retryable() {
+					out.Errors++
+				}
+			}
+			out.Retries = cl.Stats.Retries
+			redirMu.Lock()
+			redirects += cl.Stats.Redirects
+			redirMu.Unlock()
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(stopTick)
+	tickWG.Wait()
+
+	// Post-run convergence, then the gate: every populated (acked) key
+	// reads back byte-equal. Measured-phase writes reuse the same
+	// payload, so one expectation covers both phases.
+	for i := 0; i < 4; i++ {
+		f.Tick()
+	}
+	verified, lost := 0, 0
+	vcl := newClient()
+	for _, key := range keys {
+		ok := false
+		for round := 0; round < 8; round++ {
+			resp, err := vcl.Do(&wire.Request{Op: wire.OpRead, Shard: -1, Path: key})
+			if err == nil && resp.Status == wire.StatusOK && string(resp.Data) == string(payload) {
+				ok = true
+				break
+			}
+			f.Tick()
+		}
+		if ok {
+			verified++
+		} else {
+			lost++
+		}
+	}
+
+	merged := &runResult{WallSeconds: wall.Seconds()}
+	for c := range results {
+		r := &results[c]
+		merged.Ops += r.Ops
+		merged.Bytes += r.Bytes
+		merged.Reads += r.Reads
+		merged.Writes += r.Writes
+		merged.AckedWrites += r.AckedWrites
+		merged.Errors += r.Errors
+		merged.Retries += r.Retries
+		merged.hist.Merge(&r.hist)
+	}
+	merged.OpsPerSec = float64(merged.Ops) / wall.Seconds()
+	merged.MBPerSec = float64(merged.Bytes) / 1e6 / wall.Seconds()
+	merged.Latency = latencyJSON{
+		P50us: merged.hist.Quantile(0.50),
+		P95us: merged.hist.Quantile(0.95),
+		P99us: merged.hist.Quantile(0.99),
+	}
+
+	m := f.Metrics()
+	nm := f.NodeMetrics()
+	fr := &fleetReport{
+		Peers: peers, Replicas: replicas, Killed: victim,
+		Promotions: m.Promotions, Reconfigs: m.Reconfigs, Repairs: m.Repairs,
+		ReplSent: nm.ReplSent, ReplApplied: nm.ReplApplied, Replays: nm.Replays,
+		Fenced: nm.Fenced, Snapshots: nm.SnapshotsSent, Redirects: redirects,
+		Verified: verified, Lost: lost,
+	}
+	return merged, fr, nil
 }
 
 // skewCDF builds the cumulative distribution for a power-law key

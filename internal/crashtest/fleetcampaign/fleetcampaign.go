@@ -1,0 +1,408 @@
+// Package fleetcampaign is the crash campaign for the replicated
+// fleet. It answers the question the single-machine campaigns in
+// internal/crashtest cannot: does replication actually extend Rio's
+// durability promise from OS crashes to machine loss?
+//
+// Each run boots a small replicated fleet, acknowledges a batch of
+// writes, injects one fleet-level fault — a machine kill, a full
+// network partition of the primary, a backup loss, or a plain OS crash
+// — lets the coordinator converge, keeps writing, and then demands
+// every acknowledged write read back byte-equal. The gate is absolute:
+// the Lost column must be zero for every fault kind. Like the other
+// campaigns, every plan is a pure function of (campaign seed, plan
+// index), and results fold in index order, so the report is
+// byte-identical at any worker count.
+//
+// It lives in its own package (not crashtest proper) because the root
+// rio package imports crashtest, and this campaign needs
+// internal/fleet, which needs rio — same determinism discipline, one
+// level down the import graph.
+package fleetcampaign
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"rio/internal/fleet"
+	"rio/internal/sim"
+	"rio/internal/wire"
+)
+
+// salt namespaces the fleet campaign's derived streams.
+const salt = 0xF1EE7CA3
+
+// FaultKind is the fault a plan injects. Plans cycle through the kinds
+// by index, so any contiguous run of N >= 4 plans covers all four.
+type FaultKind uint8
+
+const (
+	// KillPrimary: the primary's machine dies — memory, protected cache
+	// and all. Promotion must recover every acked write from a backup.
+	KillPrimary FaultKind = iota
+	// PartitionPrimary: the primary is unreachable but intact; it is
+	// promoted over, then healed, and must end up fenced.
+	PartitionPrimary
+	// KillBackup: a backup dies. Writes must refuse to ack until the
+	// coordinator evicts the dead peer and repairs onto a spare.
+	KillBackup
+	// OSCrash: the primary's OS crashes and warm-reboots — the paper's
+	// own case. No promotion, no snapshot, nothing lost.
+	OSCrash
+
+	NumKinds = 4
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case KillPrimary:
+		return "kill-primary"
+	case PartitionPrimary:
+		return "partition-primary"
+	case KillBackup:
+		return "kill-backup"
+	case OSCrash:
+		return "os-crash"
+	}
+	return fmt.Sprintf("fleet-fault(%d)", uint8(k))
+}
+
+// Plan is one run's complete script — fault kind, write counts, seed —
+// derived from (campaign seed, index) alone.
+type Plan struct {
+	Index    int
+	Seed     uint64
+	Nodes    int
+	Shards   int
+	Replicas int
+	Kind     FaultKind
+	// PreWrites writes are acked before the fault; PostWrites after the
+	// coordinator converges. Every acked write from both phases must
+	// read back byte-equal at the end.
+	PreWrites  int
+	PostWrites int
+}
+
+// PlanFor derives plan i of a campaign. Pure function: same seed and
+// index, same plan, on any worker at any time.
+func PlanFor(campaignSeed uint64, i int) Plan {
+	s := sim.Mix(campaignSeed, salt, uint64(i))
+	return Plan{
+		Index:      i,
+		Seed:       s,
+		Nodes:      3,
+		Shards:     2,
+		Replicas:   2,
+		Kind:       FaultKind(i % NumKinds),
+		PreWrites:  4 + int(sim.Mix(s, 1)%5),
+		PostWrites: 4 + int(sim.Mix(s, 2)%5),
+	}
+}
+
+// payload derives write k's bytes.
+func payload(seed uint64, k int) []byte {
+	n := 16 + int(sim.Mix(seed, 0xDA7A, uint64(k))%48)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(sim.Mix(seed, uint64(k), uint64(i)))
+	}
+	return b
+}
+
+// RunResult is one run's outcome.
+type RunResult struct {
+	Plan Plan
+
+	Acked   int // writes acknowledged
+	Unacked int // writes that never acked within the retry budget
+	// Lost: acked writes that failed to read back byte-equal after the
+	// fault — the number the whole layer exists to keep at zero.
+	Lost int
+
+	Promotions int
+	Reconfigs  int
+	Repairs    int
+	Redirects  uint64
+	Retries    uint64
+	Err        string
+}
+
+// retryRounds bounds how many tick-and-retry rounds one write (or
+// verify read) gets before it is scored unacked/lost. Each round is a
+// full client attempt budget plus one coordinator tick, so the budget
+// covers detection (MissThreshold ticks) and repair with slack.
+const retryRounds = 8
+
+// RunOne executes one fleet crash plan. Traffic is serialized and
+// coordinator ticks are explicit, so the run is a deterministic
+// function of the plan.
+func RunOne(p Plan) (res RunResult) {
+	res = RunResult{Plan: p}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = fmt.Sprintf("fleet run panic (seed=%d kind=%v): %v", p.Seed, p.Kind, r)
+		}
+	}()
+
+	f, err := fleet.New(fleet.Config{
+		Nodes: p.Nodes, Shards: p.Shards, Replicas: p.Replicas, Seed: p.Seed,
+	})
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	cl := f.Client(nil)
+
+	type ackedWrite struct {
+		path string
+		data []byte
+	}
+	var acked []ackedWrite
+
+	write := func(k int) {
+		path := fmt.Sprintf("/w/k%03d", k)
+		data := payload(p.Seed, k)
+		for round := 0; round < retryRounds; round++ {
+			resp, err := cl.Do(&wire.Request{Op: wire.OpWrite, Shard: -1, Path: path, Data: data})
+			if err == nil && resp.Status == wire.StatusOK {
+				res.Acked++
+				acked = append(acked, ackedWrite{path, data})
+				return
+			}
+			// Unreachable primary, degraded replication, mid-promotion:
+			// give the coordinator a tick and try again.
+			f.Tick()
+		}
+		res.Unacked++
+	}
+
+	ticks := func(n int) {
+		for i := 0; i < n; i++ {
+			f.Tick()
+		}
+	}
+
+	k := 0
+	for ; k < p.PreWrites; k++ {
+		write(k)
+	}
+
+	route0 := f.Table().Routes[0]
+	healAfter := -1
+	switch p.Kind {
+	case KillPrimary:
+		f.Kill(route0.Primary)
+		ticks(4)
+	case PartitionPrimary:
+		f.Isolate(route0.Primary)
+		ticks(4)
+		// Heal mid-way through the post writes so the deposed primary's
+		// fencing runs under live traffic.
+		healAfter = p.PostWrites / 2
+	case KillBackup:
+		if len(route0.Backups) > 0 {
+			f.Kill(route0.Backups[0])
+			ticks(2)
+		}
+	case OSCrash:
+		n := f.Node(route0.Primary)
+		n.CrashNode()
+		if err := n.WarmbootNode(); err != nil {
+			res.Err = "warmboot: " + err.Error()
+			return res
+		}
+		ticks(1)
+	}
+
+	for j := 0; j < p.PostWrites; j++ {
+		if j == healAfter {
+			f.Rejoin(route0.Primary)
+			ticks(2)
+		}
+		write(k)
+		k++
+	}
+
+	// The durability gate: every acknowledged write reads back
+	// byte-equal, across whatever the fault did to the fleet.
+	for _, aw := range acked {
+		ok := false
+		for round := 0; round < retryRounds; round++ {
+			resp, err := cl.Do(&wire.Request{Op: wire.OpRead, Shard: -1, Path: aw.path})
+			if err == nil && resp.Status == wire.StatusOK && string(resp.Data) == string(aw.data) {
+				ok = true
+				break
+			}
+			f.Tick()
+		}
+		if !ok {
+			res.Lost++
+		}
+	}
+
+	m := f.Metrics()
+	res.Promotions = int(m.Promotions)
+	res.Reconfigs = int(m.Reconfigs)
+	res.Repairs = int(m.Repairs)
+	res.Redirects = cl.Stats.Redirects
+	res.Retries = cl.Stats.Retries
+	return res
+}
+
+// Config parameterises the campaign.
+type Config struct {
+	Seed    uint64
+	Runs    int // plans executed; kinds cycle by index
+	Workers int // 0 = GOMAXPROCS
+	// Progress, when set, receives one line per folded run.
+	Progress func(string)
+}
+
+// DefaultConfig covers all four fault kinds across a healthy sample of
+// seed-derived plans — 52 runs is 13 per kind, comfortably past the
+// acceptance bar of 50 while keeping the kind cycle exact.
+func DefaultConfig(seed uint64) Config {
+	return Config{Seed: seed, Runs: 52}
+}
+
+// KindCell aggregates one fault kind's runs.
+type KindCell struct {
+	Runs       int    `json:"runs"`
+	Acked      int    `json:"acked"`
+	Unacked    int    `json:"unacked"`
+	Lost       int    `json:"lost"`
+	Promotions int    `json:"promotions"`
+	Reconfigs  int    `json:"reconfigs"`
+	Repairs    int    `json:"repairs"`
+	Redirects  uint64 `json:"redirects"`
+	Retries    uint64 `json:"retries"`
+	Errors     int    `json:"errors"`
+	LastError  string `json:"last_error,omitempty"`
+}
+
+func (c *KindCell) fold(res RunResult) {
+	c.Runs++
+	if res.Err != "" {
+		c.Errors++
+		c.LastError = res.Err
+		return
+	}
+	c.Acked += res.Acked
+	c.Unacked += res.Unacked
+	c.Lost += res.Lost
+	c.Promotions += res.Promotions
+	c.Reconfigs += res.Reconfigs
+	c.Repairs += res.Repairs
+	c.Redirects += res.Redirects
+	c.Retries += res.Retries
+}
+
+// Report is the campaign's aggregated outcome: one cell per fault kind
+// (a fixed array, not a map — the fold and the render walk it in kind
+// order, so the bytes cannot depend on scheduling).
+type Report struct {
+	Seed  uint64             `json:"seed"`
+	Runs  int                `json:"runs"`
+	Cells [NumKinds]KindCell `json:"cells"`
+}
+
+// TotalLost sums the Lost column — the number that must be zero.
+func (r *Report) TotalLost() int {
+	n := 0
+	for i := range r.Cells {
+		n += r.Cells[i].Lost
+	}
+	return n
+}
+
+// TotalErrors sums harness errors.
+func (r *Report) TotalErrors() int {
+	n := 0
+	for i := range r.Cells {
+		n += r.Cells[i].Errors
+	}
+	return n
+}
+
+// Table renders the campaign. Built purely from folded cells in kind
+// order — byte-identical at any worker count.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %6s %7s %8s %6s %6s %7s %8s %9s %8s\n",
+		"Fault Kind", "runs", "acked", "unacked", "lost", "promo", "reconf", "repairs", "redirects", "retries")
+	var tot KindCell
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		fmt.Fprintf(&b, "%-20s %6d %7d %8d %6d %6d %7d %8d %9d %8d\n",
+			FaultKind(i).String(), c.Runs, c.Acked, c.Unacked, c.Lost,
+			c.Promotions, c.Reconfigs, c.Repairs, c.Redirects, c.Retries)
+		tot.Runs += c.Runs
+		tot.Acked += c.Acked
+		tot.Unacked += c.Unacked
+		tot.Lost += c.Lost
+		tot.Promotions += c.Promotions
+		tot.Reconfigs += c.Reconfigs
+		tot.Repairs += c.Repairs
+		tot.Redirects += c.Redirects
+		tot.Retries += c.Retries
+	}
+	fmt.Fprintf(&b, "%-20s %6d %7d %8d %6d %6d %7d %8d %9d %8d\n",
+		"Total", tot.Runs, tot.Acked, tot.Unacked, tot.Lost,
+		tot.Promotions, tot.Reconfigs, tot.Repairs, tot.Redirects, tot.Retries)
+	return b.String()
+}
+
+// Errors returns per-kind harness errors in kind order.
+func (r *Report) Errors() []string {
+	var out []string
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Errors > 0 {
+			out = append(out, fmt.Sprintf("%v: %d errors, last: %s",
+				FaultKind(i), c.Errors, c.LastError))
+		}
+	}
+	return out
+}
+
+// Run executes cfg.Runs seed-derived fleet crash plans. Workers write
+// disjoint result slots; the fold walks them in plan order after the
+// barrier, so the report is byte-identical at any worker count.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Runs <= 0 {
+		return nil, fmt.Errorf("fleetcampaign: Runs must be positive")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]RunResult, cfg.Runs)
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				results[i] = RunOne(PlanFor(cfg.Seed, i))
+			}
+		}()
+	}
+	for i := 0; i < cfg.Runs; i++ {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+
+	rep := &Report{Seed: cfg.Seed, Runs: cfg.Runs}
+	for i := 0; i < cfg.Runs; i++ {
+		res := results[i]
+		rep.Cells[res.Plan.Kind].fold(res)
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("fleet %03d %v: acked=%d lost=%d promo=%d",
+				i, res.Plan.Kind, res.Acked, res.Lost, res.Promotions))
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,104 @@
+package fleetcampaign
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPlanDeterministic(t *testing.T) {
+	for i := 0; i < 16; i++ {
+		a := PlanFor(77, i)
+		b := PlanFor(77, i)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("plan %d not deterministic: %+v vs %+v", i, a, b)
+		}
+		if a.Kind != FaultKind(i%NumKinds) {
+			t.Fatalf("plan %d: kind %v, want %v", i, a.Kind, FaultKind(i%NumKinds))
+		}
+		if a.PreWrites < 4 || a.PreWrites > 8 || a.PostWrites < 4 || a.PostWrites > 8 {
+			t.Fatalf("plan %d: write counts out of range: %+v", i, a)
+		}
+	}
+	if PlanFor(77, 0).Seed == PlanFor(78, 0).Seed {
+		t.Fatal("different campaign seeds produced the same plan seed")
+	}
+}
+
+func TestFaultKindStrings(t *testing.T) {
+	want := []string{"kill-primary", "partition-primary", "kill-backup", "os-crash"}
+	for i, w := range want {
+		if got := FaultKind(i).String(); got != w {
+			t.Fatalf("kind %d: %q, want %q", i, got, w)
+		}
+	}
+}
+
+// TestRunOneEachKind runs one plan per fault kind and demands the gate
+// the whole layer exists for: nothing acked is ever lost.
+func TestRunOneEachKind(t *testing.T) {
+	for i := 0; i < NumKinds; i++ {
+		p := PlanFor(1996, i)
+		res := RunOne(p)
+		if res.Err != "" {
+			t.Fatalf("%v: harness error: %s", p.Kind, res.Err)
+		}
+		if res.Lost != 0 {
+			t.Fatalf("%v: lost %d acked writes (acked=%d)", p.Kind, res.Lost, res.Acked)
+		}
+		if res.Acked == 0 {
+			t.Fatalf("%v: nothing acked — the run exercised nothing", p.Kind)
+		}
+		switch p.Kind {
+		case KillPrimary:
+			if res.Promotions == 0 {
+				t.Fatalf("kill-primary: no promotion happened (reconfigs=%d)", res.Reconfigs)
+			}
+		case OSCrash:
+			if res.Promotions != 0 {
+				t.Fatalf("os-crash: warm reboot should not trigger promotion, got %d", res.Promotions)
+			}
+		}
+	}
+}
+
+// TestCampaignWorkerInvariance is the determinism acceptance criterion:
+// the report — every byte of it — must not depend on the worker count.
+func TestCampaignWorkerInvariance(t *testing.T) {
+	run := func(workers int) *Report {
+		rep, err := Run(Config{Seed: 424242, Runs: 8, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return rep
+	}
+	r1 := run(1)
+	r4 := run(4)
+	if !reflect.DeepEqual(r1, r4) {
+		t.Fatalf("reports differ across worker counts:\n1 worker:\n%s\n4 workers:\n%s", r1.Table(), r4.Table())
+	}
+	if r1.Table() != r4.Table() {
+		t.Fatalf("tables differ across worker counts:\n%s\nvs\n%s", r1.Table(), r4.Table())
+	}
+	if r1.TotalLost() != 0 {
+		t.Fatalf("campaign lost %d acked writes:\n%s", r1.TotalLost(), r1.Table())
+	}
+	if r1.TotalErrors() != 0 {
+		t.Fatalf("campaign had harness errors: %v", r1.Errors())
+	}
+	total := 0
+	for i := range r1.Cells {
+		if r1.Cells[i].Runs != 2 {
+			t.Fatalf("kind %v ran %d times, want 2 (8 runs cycling 4 kinds)", FaultKind(i), r1.Cells[i].Runs)
+		}
+		total += r1.Cells[i].Runs
+	}
+	if total != r1.Runs {
+		t.Fatalf("cells account for %d runs, report says %d", total, r1.Runs)
+	}
+}
+
+func TestCampaignRejectsZeroRuns(t *testing.T) {
+	if _, err := Run(Config{Seed: 1}); err == nil {
+		t.Fatal("Runs=0 accepted")
+	}
+}

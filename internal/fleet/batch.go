@@ -1,0 +1,317 @@
+// Package fleet extends Rio's durability story from OS crashes to
+// machine loss. The paper's warm reboot recovers every acked write
+// when the operating system goes down, because the file cache's memory
+// survives the reboot; when the *machine* goes down — power loss,
+// hardware failure — that memory is gone. The fleet answers with the
+// classic systems move: keep each shard's protected cache alive on R
+// machines, acknowledge a write only after every active peer holds it,
+// and promote a backup when the primary's machine is lost.
+//
+// The layer is built from the same parts as the single-node server:
+// each replica is one rio.System (single-threaded, one lock per
+// replica), ops are executed through server.Exec on primary and backup
+// alike — the same function over the same op sequence is what makes a
+// backup's tree byte-equal to its primary's — and replication rides the
+// riod wire protocol (OpReplBatch frames inside Request.Data), so a
+// backup on another process or another machine is the same code path as
+// a backup in the next goroutine.
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"rio/internal/wire"
+)
+
+// Replication frame layout, carried in wire.Request.Data of an
+// OpReplBatch:
+//
+//	magic u32 | epoch u64 | seq u64 | nops u32 | nops×(u32 len, op bytes) | fnv64
+//
+// Each op is one wire.AppendRequest encoding — the exact request the
+// primary executed, with append offsets already resolved to absolute so
+// the backup's execution cannot diverge. The trailing FNV-1a 64 covers
+// everything before it: replication crosses machines, and a frame that
+// arrives damaged must be refused, not applied.
+const frameMagic uint32 = 0x52464C31 // "RFL1"
+
+// Batch is one replication unit: the ops a primary executed under one
+// sequence number.
+type Batch struct {
+	Epoch uint64
+	Seq   uint64
+	Ops   []*wire.Request
+}
+
+// maxFrameOps bounds ops per frame; with the wire's per-op bounds this
+// keeps any frame under wire.MaxData with room to spare.
+const maxFrameOps = 64
+
+// EncodeBatch renders b as a checksummed frame. It fails rather than
+// emit a frame larger than wire.MaxData — callers split batches first.
+func EncodeBatch(b *Batch) ([]byte, error) {
+	if len(b.Ops) == 0 || len(b.Ops) > maxFrameOps {
+		return nil, fmt.Errorf("fleet: batch of %d ops (want 1..%d)", len(b.Ops), maxFrameOps)
+	}
+	buf := make([]byte, 0, 256)
+	buf = binary.BigEndian.AppendUint32(buf, frameMagic)
+	buf = binary.BigEndian.AppendUint64(buf, b.Epoch)
+	buf = binary.BigEndian.AppendUint64(buf, b.Seq)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(b.Ops)))
+	for _, op := range b.Ops {
+		enc := wire.AppendRequest(nil, op)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(enc)))
+		buf = append(buf, enc...)
+	}
+	h := fnv.New64a()
+	h.Write(buf)
+	buf = binary.BigEndian.AppendUint64(buf, h.Sum64())
+	if len(buf) > wire.MaxData {
+		return nil, fmt.Errorf("fleet: frame of %d bytes exceeds wire.MaxData", len(buf))
+	}
+	return buf, nil
+}
+
+// DecodeBatch parses and verifies one frame. Any structural damage —
+// short buffer, bad magic, bad checksum, an op that does not decode —
+// is an error; a backup never applies a frame it cannot fully verify.
+func DecodeBatch(buf []byte) (*Batch, error) {
+	const head = 4 + 8 + 8 + 4
+	if len(buf) < head+8 {
+		return nil, fmt.Errorf("fleet: frame truncated (%d bytes)", len(buf))
+	}
+	body, sum := buf[:len(buf)-8], binary.BigEndian.Uint64(buf[len(buf)-8:])
+	h := fnv.New64a()
+	h.Write(body)
+	if h.Sum64() != sum {
+		return nil, fmt.Errorf("fleet: frame checksum mismatch")
+	}
+	if m := binary.BigEndian.Uint32(body); m != frameMagic {
+		return nil, fmt.Errorf("fleet: bad frame magic %#x", m)
+	}
+	b := &Batch{
+		Epoch: binary.BigEndian.Uint64(body[4:]),
+		Seq:   binary.BigEndian.Uint64(body[12:]),
+	}
+	nops := binary.BigEndian.Uint32(body[20:])
+	if nops == 0 || nops > maxFrameOps {
+		return nil, fmt.Errorf("fleet: frame declares %d ops", nops)
+	}
+	rest := body[head:]
+	for i := uint32(0); i < nops; i++ {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("fleet: frame truncated in op %d", i)
+		}
+		n := binary.BigEndian.Uint32(rest)
+		rest = rest[4:]
+		if uint32(len(rest)) < n {
+			return nil, fmt.Errorf("fleet: frame truncated in op %d body", i)
+		}
+		op, err := wire.DecodeRequest(rest[:n])
+		if err != nil {
+			return nil, fmt.Errorf("fleet: frame op %d: %w", i, err)
+		}
+		b.Ops = append(b.Ops, op)
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("fleet: %d trailing bytes after frame ops", len(rest))
+	}
+	return b, nil
+}
+
+// Route is one shard's replica set at one configuration epoch. Primary
+// first in spirit: Primary serves clients and replicates; Backups hold
+// the shard and stand for promotion.
+type Route struct {
+	Shard   int
+	Epoch   uint64
+	Primary string
+	Backups []string
+}
+
+// Table is the coordinator's routing view, carried to every node in
+// heartbeat frames so deposed primaries learn where to redirect.
+type Table struct {
+	Routes []Route // ascending by Shard
+}
+
+// EncodeTable renders t for a heartbeat's Data.
+func EncodeTable(t *Table) []byte {
+	buf := binary.BigEndian.AppendUint32(nil, uint32(len(t.Routes)))
+	for _, r := range t.Routes {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(r.Shard))
+		buf = binary.BigEndian.AppendUint64(buf, r.Epoch)
+		buf = appendStr(buf, r.Primary)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.Backups)))
+		for _, b := range r.Backups {
+			buf = appendStr(buf, b)
+		}
+	}
+	return buf
+}
+
+// DecodeTable parses a heartbeat routing table.
+func DecodeTable(buf []byte) (*Table, error) {
+	d := dec{buf: buf}
+	n := d.u32()
+	if n > 1<<16 {
+		return nil, fmt.Errorf("fleet: table declares %d routes", n)
+	}
+	t := &Table{}
+	for i := uint32(0); i < n; i++ {
+		r := Route{Shard: int(d.u32()), Epoch: d.u64(), Primary: d.str()}
+		nb := d.u16()
+		for j := uint16(0); j < nb; j++ {
+			r.Backups = append(r.Backups, d.str())
+		}
+		t.Routes = append(t.Routes, r)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("fleet: %d trailing bytes after table", len(d.buf))
+	}
+	return t, nil
+}
+
+// ReplicaStatus is one replica's position, reported in heartbeat
+// responses; the coordinator promotes the most-advanced backup by
+// (Epoch, Seq) and repairs divergence it sees here.
+type ReplicaStatus struct {
+	Shard   int
+	Role    Role
+	Epoch   uint64
+	Seq     uint64
+	Suspect []string // backups this primary could not reach (sorted)
+}
+
+// Role is a replica's place in its shard's replica set.
+type Role uint8
+
+const (
+	RoleBackup Role = iota
+	RolePrimary
+	// RoleDeposed marks a former primary fenced by a newer epoch; it
+	// serves only StatusMoved until the coordinator reinstalls it.
+	RoleDeposed
+)
+
+func (r Role) String() string {
+	switch r {
+	case RolePrimary:
+		return "primary"
+	case RoleBackup:
+		return "backup"
+	case RoleDeposed:
+		return "deposed"
+	}
+	return fmt.Sprintf("role(%d)", uint8(r))
+}
+
+// EncodeStatus renders a node's per-replica status for a heartbeat
+// response (ascending by shard).
+func EncodeStatus(sts []ReplicaStatus) []byte {
+	buf := binary.BigEndian.AppendUint32(nil, uint32(len(sts)))
+	for _, st := range sts {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(st.Shard))
+		buf = append(buf, byte(st.Role))
+		buf = binary.BigEndian.AppendUint64(buf, st.Epoch)
+		buf = binary.BigEndian.AppendUint64(buf, st.Seq)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(st.Suspect)))
+		for _, s := range st.Suspect {
+			buf = appendStr(buf, s)
+		}
+	}
+	return buf
+}
+
+// DecodeStatus parses a heartbeat response's status blob.
+func DecodeStatus(buf []byte) ([]ReplicaStatus, error) {
+	d := dec{buf: buf}
+	n := d.u32()
+	if n > 1<<16 {
+		return nil, fmt.Errorf("fleet: status declares %d replicas", n)
+	}
+	var sts []ReplicaStatus
+	for i := uint32(0); i < n; i++ {
+		st := ReplicaStatus{Shard: int(d.u32()), Role: Role(d.u8()), Epoch: d.u64(), Seq: d.u64()}
+		ns := d.u16()
+		for j := uint16(0); j < ns; j++ {
+			st.Suspect = append(st.Suspect, d.str())
+		}
+		sts = append(sts, st)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("fleet: %d trailing bytes after status", len(d.buf))
+	}
+	return sts, nil
+}
+
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// dec is a sticky-error big-endian reader for the fleet's small blobs.
+type dec struct {
+	buf []byte
+	err error
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.buf) < n {
+		d.err = fmt.Errorf("fleet: blob truncated (want %d bytes, have %d)", n, len(d.buf))
+		return nil
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b
+}
+
+func (d *dec) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *dec) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (d *dec) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *dec) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *dec) str() string {
+	n := d.u16()
+	b := d.take(int(n))
+	return string(b)
+}

@@ -1,0 +1,442 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rio/internal/wire"
+)
+
+func testFleet(t *testing.T, nodes, shards, replicas int) *Fleet {
+	t.Helper()
+	f, err := New(Config{Nodes: nodes, Shards: shards, Replicas: replicas, Seed: 1996})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func mustWrite(t *testing.T, c *Client, path string, data []byte) {
+	t.Helper()
+	resp, err := c.Do(&wire.Request{Op: wire.OpWrite, Shard: -1, Offset: 0, Path: path, Data: data})
+	if err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("write %s: %v (%s)", path, resp.Status, resp.Msg)
+	}
+}
+
+func mustRead(t *testing.T, c *Client, path string, want []byte) {
+	t.Helper()
+	resp, err := c.Do(&wire.Request{Op: wire.OpRead, Shard: -1, Path: path})
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("read %s: %v (%s)", path, resp.Status, resp.Msg)
+	}
+	if !bytes.Equal(resp.Data, want) {
+		t.Fatalf("read %s: got %d bytes, want %d (content mismatch)", path, len(resp.Data), len(want))
+	}
+}
+
+func fill(n int, salt byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*7 + salt
+	}
+	return b
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	b := &Batch{Epoch: 3, Seq: 41, Ops: []*wire.Request{
+		{ID: 1, Op: wire.OpWrite, Shard: -1, Offset: 128, Path: "/a/b", Data: []byte("payload")},
+		{ID: 2, Op: wire.OpMkdir, Shard: -1, Path: "/dir"},
+	}}
+	frame, err := EncodeBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatch(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 3 || got.Seq != 41 || len(got.Ops) != 2 {
+		t.Fatalf("decoded %+v", got)
+	}
+	if got.Ops[0].Path != "/a/b" || !bytes.Equal(got.Ops[0].Data, []byte("payload")) {
+		t.Fatalf("op 0 mangled: %+v", got.Ops[0])
+	}
+	// Any flipped byte must fail the checksum (or a structural check) —
+	// replication crosses machines and damaged frames must never apply.
+	for i := 0; i < len(frame); i++ {
+		mut := append([]byte(nil), frame...)
+		mut[i] ^= 0x40
+		if _, err := DecodeBatch(mut); err == nil {
+			t.Fatalf("corrupted byte %d decoded without error", i)
+		}
+	}
+	for n := 0; n < len(frame); n++ {
+		if _, err := DecodeBatch(frame[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", n)
+		}
+	}
+}
+
+func TestTableAndStatusRoundTrip(t *testing.T) {
+	tab := &Table{Routes: []Route{
+		{Shard: 0, Epoch: 7, Primary: "node2", Backups: []string{"node0", "node1"}},
+		{Shard: 1, Epoch: 1, Primary: "node0", Backups: nil},
+	}}
+	got, err := DecodeTable(EncodeTable(tab))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tab) {
+		t.Fatalf("table round trip:\n got %+v\nwant %+v", got, tab)
+	}
+	sts := []ReplicaStatus{
+		{Shard: 0, Role: RolePrimary, Epoch: 7, Seq: 99, Suspect: []string{"node1"}},
+		{Shard: 1, Role: RoleBackup, Epoch: 1, Seq: 3},
+	}
+	gotSts, err := DecodeStatus(EncodeStatus(sts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotSts, sts) {
+		t.Fatalf("status round trip:\n got %+v\nwant %+v", gotSts, sts)
+	}
+}
+
+// Placement must be a pure function of (seed, node set, shard) and must
+// move only the lost node's shards when a node disappears.
+func TestPlaceDeterministicAndStable(t *testing.T) {
+	nodes := []string{"node0", "node1", "node2", "node3"}
+	for shard := 0; shard < 16; shard++ {
+		a := Place(42, nodes, shard, 2)
+		b := Place(42, []string{"node3", "node1", "node0", "node2"}, shard, 2)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("shard %d: placement depends on input order: %v vs %v", shard, a, b)
+		}
+		if a[0] == a[1] {
+			t.Fatalf("shard %d: duplicate replica %v", shard, a)
+		}
+		// Removing a node not in the set must not move the shard.
+		for _, gone := range nodes {
+			if gone == a[0] || gone == a[1] {
+				continue
+			}
+			var rest []string
+			for _, n := range nodes {
+				if n != gone {
+					rest = append(rest, n)
+				}
+			}
+			c := Place(42, rest, shard, 2)
+			if !reflect.DeepEqual(a, c) {
+				t.Fatalf("shard %d: removing bystander %s moved placement %v -> %v", shard, gone, a, c)
+			}
+		}
+	}
+}
+
+// The basic loop: writes ack, reads see them, and each acked write is
+// on every replica (snapshot the backup and check).
+func TestFleetWriteReplicates(t *testing.T) {
+	f := testFleet(t, 3, 2, 2)
+	cl := f.Client(nil)
+	for i := 0; i < 8; i++ {
+		mustWrite(t, cl, fmt.Sprintf("/data/k%02d", i), fill(100+i, byte(i)))
+	}
+	for i := 0; i < 8; i++ {
+		mustRead(t, cl, fmt.Sprintf("/data/k%02d", i), fill(100+i, byte(i)))
+	}
+	nm := f.NodeMetrics()
+	if nm.ReplSent == 0 || nm.ReplApplied != nm.ReplSent {
+		t.Fatalf("replication did not run: %+v", nm)
+	}
+	// Every backup replica holds what its primary holds.
+	for _, rt := range f.Table().Routes {
+		prim := f.Node(rt.Primary).replicaFor(rt.Shard)
+		prim.mu.Lock()
+		want, err := buildSnapshot(prim)
+		prim.mu.Unlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range rt.Backups {
+			rep := f.Node(b).replicaFor(rt.Shard)
+			rep.mu.Lock()
+			got, err := buildSnapshot(rep)
+			rep.mu.Unlock()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("shard %d: backup %s diverged from primary %s", rt.Shard, b, rt.Primary)
+			}
+		}
+	}
+}
+
+// Machine loss of a primary: the coordinator notices via missed
+// heartbeats, promotes the backup, clients follow the redirect, and
+// every previously acked write reads back byte-equal.
+func TestFleetSurvivesPrimaryKill(t *testing.T) {
+	f := testFleet(t, 3, 2, 2)
+	cl := f.Client(nil)
+	acked := map[string][]byte{}
+	for i := 0; i < 6; i++ {
+		p := fmt.Sprintf("/pre/k%02d", i)
+		acked[p] = fill(64+i, byte(i))
+		mustWrite(t, cl, p, acked[p])
+	}
+	victim := f.Table().Routes[0].Primary
+	f.Kill(victim)
+	for i := 0; i < 4; i++ { // MissThreshold=3 to declare, one more to repair
+		f.Tick()
+	}
+	if got := f.Table().Routes[0].Primary; got == victim {
+		t.Fatalf("shard 0 primary still the killed node %s", victim)
+	}
+	if f.Metrics().Promotions == 0 {
+		t.Fatal("no promotion recorded")
+	}
+	// Every acked write survives the machine loss.
+	for i := 0; i < 6; i++ {
+		p := fmt.Sprintf("/pre/k%02d", i)
+		mustRead(t, cl, p, acked[p])
+	}
+	// And the fleet takes new writes (repair restored R=2 from the spare).
+	for i := 0; i < 4; i++ {
+		p := fmt.Sprintf("/post/k%02d", i)
+		mustWrite(t, cl, p, fill(32+i, byte(i)))
+		mustRead(t, cl, p, fill(32+i, byte(i)))
+	}
+	if cl.Stats.Redirects+cl.Stats.Refreshes == 0 {
+		t.Fatal("client never rerouted — the kill was invisible?")
+	}
+}
+
+// A fully partitioned primary is indistinguishable from a dead one
+// until the partition heals: promotion happens, and on heal the old
+// primary is fenced by the new epoch — its replication frames get
+// StatusMoved and it serves only redirects.
+func TestFleetPartitionFencesOldPrimary(t *testing.T) {
+	f := testFleet(t, 3, 2, 2)
+	cl := f.Client(nil)
+	mustWrite(t, cl, "/a", fill(50, 1))
+	old := f.Table().Routes[0].Primary
+	f.Isolate(old)
+	for i := 0; i < 4; i++ {
+		f.Tick()
+	}
+	next := f.Table().Routes[0].Primary
+	if next == old {
+		t.Fatalf("no promotion away from isolated %s", old)
+	}
+	mustWrite(t, cl, "/b", fill(51, 2))
+
+	f.Rejoin(old)
+	// The old primary still believes it owns shard 0. Its next
+	// replication attempt must be fenced, after which it redirects.
+	shard0 := f.Table().Routes[0]
+	var pathOnShard0 string
+	for i := 0; ; i++ {
+		p := fmt.Sprintf("/fence/k%02d", i)
+		if ShardOf(p, 2) == 0 {
+			pathOnShard0 = p
+			break
+		}
+	}
+	resp := f.Node(old).Serve(ClientName,
+		&wire.Request{Op: wire.OpWrite, Shard: -1, Offset: 0, Path: pathOnShard0, Data: []byte("stale")})
+	if resp.Status != wire.StatusMoved && resp.Status != wire.StatusAgain {
+		t.Fatalf("stale primary accepted a write: %v (%s)", resp.Status, resp.Msg)
+	}
+	f.Tick() // heartbeat reconciles the rejoined node's view
+	resp = f.Node(old).Serve(ClientName,
+		&wire.Request{Op: wire.OpWrite, Shard: -1, Offset: 0, Path: pathOnShard0, Data: []byte("stale")})
+	if resp.Status != wire.StatusMoved {
+		t.Fatalf("deposed primary did not redirect: %v (%s)", resp.Status, resp.Msg)
+	}
+	if resp.Msg != shard0.Primary {
+		t.Fatalf("redirect to %q, want current primary %q", resp.Msg, shard0.Primary)
+	}
+	// Acked writes from before and during the partition both survive.
+	mustRead(t, cl, "/a", fill(50, 1))
+	mustRead(t, cl, "/b", fill(51, 2))
+}
+
+// Losing a backup degrades writes (ack-after-replicate refuses to lie)
+// until the coordinator evicts the dead peer and re-replicates onto a
+// spare; no acked write is lost and service resumes.
+func TestFleetSurvivesBackupKill(t *testing.T) {
+	f := testFleet(t, 3, 2, 2)
+	cl := f.Client(nil)
+	mustWrite(t, cl, "/pre", fill(40, 9))
+	rt := f.Table().Routes[0]
+	victim := rt.Backups[0]
+	f.Kill(victim)
+
+	// The very next write to shard 0 cannot ack (its backup is gone):
+	// a direct, attempt-bounded client send sees StatusAgain.
+	one := f.Client(nil)
+	one.MaxAttempts = 1
+	var p0 string
+	for i := 0; ; i++ {
+		p := fmt.Sprintf("/deg/k%02d", i)
+		if ShardOf(p, 2) == 0 {
+			p0 = p
+			break
+		}
+	}
+	resp, err := one.Do(&wire.Request{Op: wire.OpWrite, Shard: -1, Offset: 0, Path: p0, Data: fill(8, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != wire.StatusAgain {
+		t.Fatalf("write acked with a dead backup: %v (%s)", resp.Status, resp.Msg)
+	}
+
+	// Eviction (suspect report) and repair (snapshot onto the spare)
+	// happen on the next ticks; then the same write acks.
+	f.Tick()
+	f.Tick()
+	mustWrite(t, cl, p0, fill(8, 3))
+	mustRead(t, cl, "/pre", fill(40, 9))
+	mustRead(t, cl, p0, fill(8, 3))
+	if f.Metrics().Reconfigs == 0 {
+		t.Fatal("dead backup never evicted")
+	}
+}
+
+// An OS crash is not a machine loss: the protected cache survives, warm
+// reboot restores the tree and the replication position, and no
+// promotion or snapshot is needed.
+func TestFleetOSCrashWarmboots(t *testing.T) {
+	f := testFleet(t, 3, 2, 2)
+	cl := f.Client(nil)
+	acked := map[string][]byte{}
+	for i := 0; i < 5; i++ {
+		p := fmt.Sprintf("/os/k%02d", i)
+		acked[p] = fill(90+i, byte(i))
+		mustWrite(t, cl, p, acked[p])
+	}
+	victim := f.Table().Routes[0].Primary
+	n := f.Node(victim)
+	st := n.Status()
+	n.CrashNode()
+	if err := n.WarmbootNode(); err != nil {
+		t.Fatalf("warmboot: %v", err)
+	}
+	if got := n.Status(); !reflect.DeepEqual(got, st) {
+		t.Fatalf("replica positions changed across warm reboot:\n got %+v\nwant %+v", got, st)
+	}
+	for p, want := range map[string][]byte{"/os/k00": acked["/os/k00"]} {
+		mustRead(t, cl, p, want)
+	}
+	for i := 0; i < 5; i++ {
+		p := fmt.Sprintf("/os/k%02d", i)
+		mustRead(t, cl, p, acked[p])
+	}
+	if f.Table().Routes[0].Primary != victim {
+		t.Fatal("warm reboot triggered a promotion; it must not")
+	}
+	mustWrite(t, cl, "/os/after", fill(10, 1))
+	mustRead(t, cl, "/os/after", fill(10, 1))
+}
+
+// Snapshot + install must reproduce the tree byte-for-byte, and a
+// revived (empty) machine must be repaired back into the replica set.
+// R=3 on 3 nodes, so the killed node's capacity cannot be replaced by
+// a spare — the revived machine itself must be recruited back.
+func TestFleetReviveRepairsBySnapshot(t *testing.T) {
+	f := testFleet(t, 3, 2, 3)
+	cl := f.Client(nil)
+	for i := 0; i < 6; i++ {
+		mustWrite(t, cl, fmt.Sprintf("/sn/k%02d", i), fill(70+i, byte(i)))
+	}
+	victim := f.Table().Routes[0].Primary
+	f.Kill(victim)
+	for i := 0; i < 4; i++ {
+		f.Tick()
+	}
+	f.Revive(victim)
+	f.Tick()
+	// The revived machine must hold a fresh replica of every shard it
+	// was recruited for, byte-identical to the primary.
+	reinstalled := 0
+	for _, rt := range f.Table().Routes {
+		if !contains(rt.Backups, victim) && rt.Primary != victim {
+			continue
+		}
+		reinstalled++
+		prim := f.Node(rt.Primary).replicaFor(rt.Shard)
+		prim.mu.Lock()
+		want, err := buildSnapshot(prim)
+		prim.mu.Unlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := f.Node(victim).replicaFor(rt.Shard)
+		if rep == nil {
+			t.Fatalf("revived node recruited for shard %d but holds no replica", rt.Shard)
+		}
+		rep.mu.Lock()
+		got, err := buildSnapshot(rep)
+		rep.mu.Unlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("shard %d: reinstalled replica diverges from primary", rt.Shard)
+		}
+	}
+	if reinstalled == 0 {
+		t.Fatal("revived node never recruited back into any replica set")
+	}
+	if f.Metrics().Repairs == 0 {
+		t.Fatal("no snapshot repair recorded")
+	}
+	for i := 0; i < 6; i++ {
+		mustRead(t, cl, fmt.Sprintf("/sn/k%02d", i), fill(70+i, byte(i)))
+	}
+}
+
+// Fleet nodes refuse the transaction ops — transactions are the
+// single-node server's feature, and silently accepting them without
+// replicating staged state would be a lie.
+func TestFleetRefusesTxnOps(t *testing.T) {
+	f := testFleet(t, 2, 1, 2)
+	prim := f.Table().Routes[0].Primary
+	for _, op := range []wire.Op{wire.OpTxnBegin, wire.OpTxnCommit, wire.OpTxnAbort} {
+		resp := f.Node(prim).Serve(ClientName, &wire.Request{Op: op, Shard: -1, Path: "/x", Txn: 1})
+		if resp.Status != wire.StatusInvalid {
+			t.Fatalf("%v: got %v, want StatusInvalid", op, resp.Status)
+		}
+	}
+}
+
+// The reserved metadata prefix is unreachable from clients.
+func TestFleetReservedPath(t *testing.T) {
+	f := testFleet(t, 2, 1, 2)
+	cl := f.Client(nil)
+	for _, p := range []string{"/.fleet/seq", "/.fleet", ".fleet/seq", "/.fleet/seq/"} {
+		resp, err := cl.Do(&wire.Request{Op: wire.OpWrite, Shard: -1, Offset: 0, Path: p, Data: []byte("x")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != wire.StatusInvalid {
+			t.Fatalf("write to %q: got %v, want StatusInvalid", p, resp.Status)
+		}
+	}
+	// A path with an empty component never reaches the reservation
+	// check: it is refused as malformed at routing time.
+	if _, err := cl.Do(&wire.Request{Op: wire.OpWrite, Shard: -1, Path: "//.fleet//seq", Data: []byte("x")}); err == nil {
+		t.Fatal("malformed alias of the reserved path was routed")
+	}
+}

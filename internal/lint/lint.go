@@ -264,8 +264,8 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnost
 var detPackages = map[string]bool{
 	"sim": true, "disk": true, "fs": true, "cache": true,
 	"kernel": true, "mmu": true, "machine": true, "warmreboot": true,
-	"ioretry": true, "crashtest": true, "registry": true,
-	"workload": true, "fault": true,
+	"ioretry": true, "crashtest": true, "fleetcampaign": true,
+	"registry": true, "workload": true, "fault": true,
 }
 
 // baseIdent unwraps selectors, indexing, stars, and parens down to the

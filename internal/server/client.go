@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"rio/internal/sim"
 	"rio/internal/wire"
 )
 
@@ -219,50 +220,117 @@ type RetryPolicy struct {
 	// BaseDelay backs off the first retry; each further retry doubles
 	// it, capped at MaxDelay.
 	BaseDelay time.Duration
-	MaxDelay  time.Duration
+	// MaxDelay is a hard cap: no computed delay — doubled or jittered —
+	// ever exceeds it. Zero means uncapped.
+	MaxDelay time.Duration
+	// Seed, when nonzero, spreads each delay uniformly over
+	// [delay/2, delay] with sim.Mix(Seed, attempt). Without jitter,
+	// every client blocked on the same dead primary re-sends on the
+	// same schedule, and the promoted primary takes the whole herd in
+	// one synchronized burst; with it, each seed gets its own
+	// deterministic, desynchronized schedule.
+	Seed uint64
 }
 
 // DefaultRetryPolicy rides out a shard warm reboot: ~10 attempts
 // backing off 1ms -> 128ms covers several hundred milliseconds of
-// outage before giving up.
+// outage before giving up. Callers that fan out many clients should
+// set a distinct Seed per client to avoid a synchronized retry storm.
 func DefaultRetryPolicy() RetryPolicy {
 	return RetryPolicy{MaxRetries: 10, BaseDelay: time.Millisecond, MaxDelay: 128 * time.Millisecond}
+}
+
+// Delay returns the backoff before retry attempt n (0-based): BaseDelay
+// doubled n times, jittered into [d/2, d] when Seed is set, and never
+// above MaxDelay. It is a pure function of (policy, n) — the schedule a
+// seed produces is deterministic, reproducible, and testable without
+// sleeping.
+func (p RetryPolicy) Delay(n int) time.Duration {
+	d := p.BaseDelay
+	// Shift without overflow: past 62 doublings (or past the cap) the
+	// exponential is saturated anyway.
+	for i := 0; i < n; i++ {
+		if d >= p.MaxDelay && p.MaxDelay > 0 {
+			break
+		}
+		if d > 1<<62-1-d { // d*2 would overflow
+			d = 1<<62 - 1
+			break
+		}
+		d *= 2
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Seed != 0 && d > 1 {
+		half := d / 2
+		d = half + time.Duration(sim.Mix(p.Seed, uint64(n))%uint64(half+1))
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
 }
 
 // RetryStats counts what the retry loop absorbed.
 type RetryStats struct {
 	Retries   uint64 // re-submissions issued
 	Exhausted uint64 // requests that stayed retryable after MaxRetries
+	Redirects uint64 // StatusMoved hops followed
 	Backoff   time.Duration
 }
 
+// maxRedirects bounds how many StatusMoved hops one Do will follow. A
+// correct coordinator converges in one hop; the bound exists so a
+// routing loop (two nodes each pointing at the other mid-promotion)
+// costs a typed error, not a hang.
+const maxRedirects = 4
+
 // RetryClient wraps a Client with the EAGAIN discipline: responses
-// whose status is Retryable are re-submitted with exponential backoff.
-// All other responses, and transport errors, pass through. Not safe
-// for concurrent use (wraps a single-connection client).
+// whose status is Retryable are re-submitted with exponential backoff
+// (jittered and capped per Pol). All other responses, and transport
+// errors, pass through — except StatusMoved when Redial is set, which
+// is followed transparently: the client re-dials the address the
+// redirect names and re-sends there. Not safe for concurrent use
+// (wraps a single-connection client).
 type RetryClient struct {
 	C     Client
 	Pol   RetryPolicy
 	Stats RetryStats
+
+	// Redial, when set, follows StatusMoved redirects: it dials the
+	// address carried in Response.Msg and returns a client for it; the
+	// old client is closed and replaced. Works over any transport —
+	// DialTCP, DialMux, or an in-process resolver.
+	Redial func(addr string) (Client, error)
+
+	// sleep is the backoff seam; tests and deterministic harnesses
+	// replace it. nil means time.Sleep.
+	sleep func(time.Duration)
 }
+
+// SetSleep replaces the backoff sleep (nil restores time.Sleep). The
+// fleet campaign injects a no-op so retry schedules stay bounded by
+// attempt count, not wall time.
+func (r *RetryClient) SetSleep(fn func(time.Duration)) { r.sleep = fn }
 
 // Do implements Client.
 func (r *RetryClient) Do(req *wire.Request) (*wire.Response, error) {
-	resp, err := r.C.Do(req)
+	resp, err := r.doMoved(req)
 	if err != nil {
 		return resp, err
 	}
 	for n := 0; n < r.Pol.MaxRetries && resp.Status.Retryable(); n++ {
-		d := r.Pol.BaseDelay << uint(n)
-		if r.Pol.MaxDelay > 0 && d > r.Pol.MaxDelay {
-			d = r.Pol.MaxDelay
-		}
-		if d > 0 {
+		if d := r.Pol.Delay(n); d > 0 {
 			r.Stats.Backoff += d
-			time.Sleep(d)
+			if r.sleep != nil {
+				r.sleep(d)
+			} else {
+				time.Sleep(d)
+			}
 		}
 		r.Stats.Retries++
-		if resp, err = r.C.Do(req); err != nil {
+		if resp, err = r.doMoved(req); err != nil {
 			return resp, err
 		}
 	}
@@ -270,6 +338,26 @@ func (r *RetryClient) Do(req *wire.Request) (*wire.Response, error) {
 		r.Stats.Exhausted++
 	}
 	return resp, nil
+}
+
+// doMoved issues one attempt, following a bounded chain of StatusMoved
+// redirects when a Redial hook is present.
+func (r *RetryClient) doMoved(req *wire.Request) (*wire.Response, error) {
+	resp, err := r.C.Do(req)
+	for hops := 0; err == nil && resp.Status == wire.StatusMoved && r.Redial != nil; hops++ {
+		if hops >= maxRedirects {
+			return resp, fmt.Errorf("server: %d redirects without converging (last: %q)", hops, resp.Msg)
+		}
+		next, derr := r.Redial(resp.Msg)
+		if derr != nil {
+			return resp, fmt.Errorf("server: following redirect to %q: %w", resp.Msg, derr)
+		}
+		r.C.Close()
+		r.C = next
+		r.Stats.Redirects++
+		resp, err = r.C.Do(req)
+	}
+	return resp, err
 }
 
 // Close implements Client.

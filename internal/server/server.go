@@ -52,6 +52,22 @@ type Config struct {
 	MemoryMB int
 	DiskMB   int
 
+	// IdleTimeout drops a TCP connection whose peer sends nothing for
+	// this long (default 5m; negative disables). WriteTimeout bounds
+	// each response frame write (default 30s; negative disables). Both
+	// exist so a hung or partitioned peer cannot pin a serving
+	// goroutine forever.
+	IdleTimeout  time.Duration
+	WriteTimeout time.Duration
+
+	// DrainTimeout bounds how long Close waits for the drain. Zero
+	// means wait forever (the historical behaviour). When the bound
+	// expires — a shard goroutine wedged mid-batch, or a connection
+	// that never hangs up — every request still sitting in a shard
+	// queue is answered wire.StatusTimeout and Close returns; a wedged
+	// goroutine itself cannot be killed and is abandoned.
+	DrainTimeout time.Duration
+
 	// testGate, when set, is called by a shard goroutine before each
 	// drain cycle. Tests use it to stall a shard and observe queueing
 	// behaviour deterministically.
@@ -70,6 +86,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = defaultIdleTimeout
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = defaultWriteTimeout
 	}
 	return c
 }
@@ -354,12 +376,16 @@ func reservedPath(p string) bool {
 
 // Close drains and stops the server: new requests are refused with
 // wire.StatusClosed, every already-queued request is answered, and all
-// shard goroutines exit before Close returns. Idempotent.
+// shard goroutines exit before Close returns. Idempotent. With
+// Config.DrainTimeout set, the wait is bounded: if a shard queue never
+// empties (a goroutine wedged in the simulator, a test gate that never
+// opens), the remaining queued requests are failed with
+// wire.StatusTimeout instead of hanging shutdown.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		s.wg.Wait()
+		s.waitDrain()
 		return
 	}
 	s.closed = true
@@ -367,7 +393,38 @@ func (s *Server) Close() {
 		close(sh.ch)
 	}
 	s.mu.Unlock()
-	s.wg.Wait()
+	s.waitDrain()
+}
+
+// waitDrain waits for the shard goroutines (and any serving
+// connections) to finish, bounded by DrainTimeout when set. On timeout
+// it answers everything still queued with StatusTimeout — each task is
+// received exactly once, either by its shard goroutine or here, so no
+// request is ever double-answered.
+func (s *Server) waitDrain() {
+	if s.cfg.DrainTimeout <= 0 {
+		s.wg.Wait()
+		return
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(s.cfg.DrainTimeout):
+		for _, sh := range s.shards {
+			for {
+				t, ok := <-sh.ch // closed by Close; never blocks once empty
+				if !ok {
+					break
+				}
+				t.resp <- &wire.Response{ID: t.req.ID, Status: wire.StatusTimeout,
+					Msg: fmt.Sprintf("shard %d drain timed out after %v; request unserved", sh.id, s.cfg.DrainTimeout)}
+			}
+		}
+	}
 }
 
 // Metrics snapshots per-shard and aggregate counters.
@@ -889,8 +946,16 @@ func (sh *shard) handle(req *wire.Request) *wire.Response {
 
 // data executes a data op. Runs only on the shard goroutine, only on a
 // healthy shard.
-func (sh *shard) data(req *wire.Request) *wire.Response {
-	sys := sh.sys
+func (sh *shard) data(req *wire.Request) *wire.Response { return Exec(sh.sys, req) }
+
+// Exec executes one data op against sys and returns its response. It is
+// the single op-to-filesystem translation both serving layers share: a
+// Server's shard goroutine calls it for client requests, and a fleet
+// replica calls it both when a primary serves a request and when a
+// backup applies a replicated batch — the same function on the same op
+// sequence is what makes a backup byte-identical to its primary. The
+// caller owns the single-goroutine discipline for sys.
+func Exec(sys *rio.System, req *wire.Request) *wire.Response {
 	resp := &wire.Response{ID: req.ID}
 	fail := func(err error) *wire.Response {
 		resp.Status, resp.Msg = statusOf(err)
@@ -904,7 +969,7 @@ func (sh *shard) data(req *wire.Request) *wire.Response {
 		} else if !rio.IsNotExist(err) {
 			return fail(err)
 		}
-		f, err := sh.create(req.Path)
+		f, err := execCreate(sys, req.Path)
 		if err != nil {
 			return fail(err)
 		}
@@ -953,7 +1018,7 @@ func (sh *shard) data(req *wire.Request) *wire.Response {
 	case wire.OpWrite:
 		f, err := sys.Open(req.Path)
 		if rio.IsNotExist(err) {
-			f, err = sh.create(req.Path)
+			f, err = execCreate(sys, req.Path)
 		}
 		if err != nil {
 			return fail(err)
@@ -976,7 +1041,7 @@ func (sh *shard) data(req *wire.Request) *wire.Response {
 		}
 
 	case wire.OpMkdir:
-		if err := sh.mkdirAll(req.Path); err != nil {
+		if err := MkdirAll(sys, req.Path); err != nil {
 			return fail(err)
 		}
 
@@ -1013,37 +1078,37 @@ func (sh *shard) data(req *wire.Request) *wire.Response {
 	return resp
 }
 
-// create makes path, materialising missing parent directories first.
-// Each shard is its own filesystem, so a directory tree exists
+// execCreate makes path, materialising missing parent directories
+// first. Each shard is its own filesystem, so a directory tree exists
 // per-shard: creating /smoke/f01 on shard 3 creates shard 3's /smoke.
 // Open and write therefore have mkdir-p semantics — a path-keyed store
 // where a key's parents are namespace bookkeeping, not client state.
-func (sh *shard) create(path string) (*rio.File, error) {
-	f, err := sh.sys.Create(path)
+func execCreate(sys *rio.System, path string) (*rio.File, error) {
+	f, err := sys.Create(path)
 	if err != rio.ErrNotFound {
 		return f, err
 	}
-	if err := sh.mkdirAll(parentDir(path)); err != nil {
+	if err := MkdirAll(sys, parentDir(path)); err != nil {
 		return nil, err
 	}
-	return sh.sys.Create(path)
+	return sys.Create(path)
 }
 
-// mkdirAll creates path and any missing parents (mkdir -p).
-func (sh *shard) mkdirAll(path string) error {
+// MkdirAll creates path and any missing parents (mkdir -p).
+func MkdirAll(sys *rio.System, path string) error {
 	if path == "" || path == "/" {
 		return nil
 	}
-	if st, err := sh.sys.Stat(path); err == nil {
+	if st, err := sys.Stat(path); err == nil {
 		if st.IsDir {
 			return nil
 		}
 		return rio.ErrNotDir
 	}
-	if err := sh.mkdirAll(parentDir(path)); err != nil {
+	if err := MkdirAll(sys, parentDir(path)); err != nil {
 		return err
 	}
-	if err := sh.sys.Mkdir(path); err != nil && err != rio.ErrExists {
+	if err := sys.Mkdir(path); err != nil && err != rio.ErrExists {
 		return err
 	}
 	return nil

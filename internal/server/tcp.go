@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"time"
 
 	"rio/internal/wire"
 )
@@ -14,6 +15,17 @@ import (
 // pulling frames), not an error — the bound exists so one connection
 // cannot hold unbounded decoded frames in memory.
 const connInflight = 64
+
+// Connection deadline defaults (Config.IdleTimeout / WriteTimeout; a
+// negative value disables). A serving goroutine must never be pinned
+// forever by a peer that went silent — a hung client, or a machine on
+// the wrong side of a network partition, would otherwise hold its
+// reader goroutine and up to connInflight decoded requests until
+// process exit.
+const (
+	defaultIdleTimeout  = 5 * time.Minute
+	defaultWriteTimeout = 30 * time.Second
+)
 
 // Serve accepts connections on ln and serves each on its own
 // goroutine until ln is closed (Accept then returns an error) — the
@@ -49,12 +61,19 @@ func (s *Server) Serve(ln net.Listener) error {
 // on. Any transport or decode error ends the connection: the framing
 // carries no resync marker, so after a bad frame the stream cannot be
 // trusted.
+//
+// Both directions carry deadlines: the reader arms an idle timeout
+// before each frame (a peer that sends nothing for IdleTimeout is
+// dropped), and the writer arms a per-frame write deadline (a peer
+// that stops draining its receive window cannot block the writer
+// forever). Either deadline firing closes the connection.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	idle, write := s.cfg.IdleTimeout, s.cfg.WriteTimeout
 
-	// The writer owns the socket's write side. A write failure closes
-	// the connection (unblocking the reader) but keeps draining the
-	// channel so dispatchers never block on a dead peer.
+	// The writer owns the socket's write side. A write failure or
+	// deadline closes the connection (unblocking the reader) but keeps
+	// draining the channel so dispatchers never block on a dead peer.
 	out := make(chan *wire.Response, connInflight)
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
@@ -66,6 +85,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			if broken {
 				continue
 			}
+			if write > 0 {
+				conn.SetWriteDeadline(time.Now().Add(write))
+			}
 			if err := wire.WriteFrame(conn, wire.AppendResponse(buf[:0], resp)); err != nil {
 				broken = true
 				conn.Close()
@@ -76,6 +98,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	inflight := make(chan struct{}, connInflight)
 	var dispatchWG sync.WaitGroup
 	for {
+		if idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+		}
 		payload, err := wire.ReadFrame(conn, wire.MaxFrame)
 		if err != nil {
 			break

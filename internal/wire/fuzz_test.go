@@ -22,6 +22,10 @@ func FuzzDecodeRequest(f *testing.F) {
 		{ID: 7, Op: OpWrite, Shard: -1, Txn: 1<<32 | 9, Path: "/t", Data: []byte("staged")},
 		{ID: 8, Op: OpTxnCommit, Shard: -1, Txn: 1<<32 | 9},
 		{ID: 9, Op: OpTxnAbort, Shard: -1, Txn: 2<<32 | 4},
+		{ID: 10, Op: OpReplBatch, Shard: 2, Data: []byte("\x00\x01fleet batch payload")},
+		{ID: 11, Op: OpReplPull, Shard: 2, Offset: 41},
+		{ID: 12, Op: OpSnapshot, Shard: 0, Offset: 1 << 19},
+		{ID: 13, Op: OpHeartbeat, Shard: -1, Data: []byte("routing table bytes")},
 	} {
 		f.Add(AppendRequest(nil, r))
 	}
@@ -61,6 +65,9 @@ func FuzzDecodeResponse(f *testing.F) {
 	for _, r := range []*Response{
 		{ID: 1, Status: StatusOK, Size: 10, Data: []byte("payload")},
 		{ID: 2, Status: StatusNotFound, Msg: "nope"},
+		{ID: 3, Status: StatusMoved, Msg: "127.0.0.1:8002"},
+		{ID: 4, Status: StatusTimeout, Msg: "drain timeout"},
+		{ID: 5, Status: StatusAgain, Size: 17, Msg: "replica behind: applied 17"},
 	} {
 		f.Add(AppendResponse(nil, r))
 	}

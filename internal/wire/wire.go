@@ -43,6 +43,15 @@ const (
 	OpTxnBegin     // open a transaction on the target shard; Response.Size returns the handle
 	OpTxnCommit    // atomically apply every op staged under Request.Txn
 	OpTxnAbort     // discard every op staged under Request.Txn
+
+	// Fleet replication ops (primary <-> backup and coordinator <-> node
+	// traffic; see internal/fleet). Their payloads ride in Data as
+	// checksummed sub-frames with their own strict bounds, so the base
+	// codec stays total over them like any other op.
+	OpReplBatch // primary -> backup: apply one sequence-numbered op batch (Shard = global shard)
+	OpReplPull  // backup -> primary: replay retained tail batches from Offset = seq
+	OpSnapshot  // backup -> primary: fetch a shard snapshot chunk at Offset (Size = total)
+	OpHeartbeat // coordinator -> node: liveness probe; Data carries the routing table
 	opMax
 )
 
@@ -51,6 +60,8 @@ var opNames = [...]string{
 	OpMkdir: "mkdir", OpRm: "rm", OpMv: "mv", OpStat: "stat",
 	OpSync: "sync", OpCrash: "crash", OpWarmboot: "warmboot",
 	OpTxnBegin: "txn-begin", OpTxnCommit: "txn-commit", OpTxnAbort: "txn-abort",
+	OpReplBatch: "repl-batch", OpReplPull: "repl-pull",
+	OpSnapshot: "snapshot", OpHeartbeat: "heartbeat",
 }
 
 func (o Op) String() string {
@@ -90,6 +101,17 @@ const (
 	StatusCrossShard
 	StatusNoTxn    // Request.Txn names no open transaction on its shard
 	StatusTxnLimit // transaction table or staged-op budget exhausted
+	// StatusMoved: the receiver no longer serves the request's shard —
+	// the fleet coordinator promoted a different primary. Msg carries the
+	// new primary's address verbatim (at most MaxMsg bytes); clients
+	// re-route and re-send. Also fences a deposed primary's replication
+	// frames: a backup that has seen a newer epoch refuses old-epoch
+	// batches with this status.
+	StatusMoved
+	// StatusTimeout: the server gave up waiting — a bounded drain expired
+	// at shutdown, or a peer deadline fired. Not retryable against the
+	// same endpoint; the request's fate on the shard is unknown.
+	StatusTimeout
 	statusMax
 )
 
@@ -100,7 +122,8 @@ var statusNames = [...]string{
 	StatusReadOnly: "read-only", StatusInvalid: "invalid",
 	StatusClosed: "closed", StatusIO: "io-error",
 	StatusCrossShard: "cross-shard", StatusNoTxn: "no-txn",
-	StatusTxnLimit: "txn-limit",
+	StatusTxnLimit: "txn-limit", StatusMoved: "moved",
+	StatusTimeout: "timeout",
 }
 
 func (s Status) String() string {

@@ -23,6 +23,10 @@ func sampleRequests() []*Request {
 		{ID: 12, Op: OpWrite, Shard: -1, Txn: 3<<32 | 1, Path: "/a", Data: []byte("staged")},
 		{ID: 13, Op: OpTxnCommit, Shard: -1, Txn: 3<<32 | 1},
 		{ID: 14, Op: OpTxnAbort, Shard: -1, Txn: 3<<32 | 2},
+		{ID: 15, Op: OpReplBatch, Shard: 5, Data: []byte("batch sub-frame")},
+		{ID: 16, Op: OpReplPull, Shard: 5, Offset: 99},
+		{ID: 17, Op: OpSnapshot, Shard: 5, Offset: 4096},
+		{ID: 18, Op: OpHeartbeat, Shard: -1, Data: []byte("routing")},
 		{ID: ^uint64(0), Op: OpWrite, Shard: -1, Offset: 1<<62 - 1, Path: "/x", Data: make([]byte, 3000)},
 	}
 }
@@ -132,10 +136,45 @@ func TestStatusRetryable(t *testing.T) {
 		t.Fatal("StatusAgain must be retryable")
 	}
 	for _, s := range []Status{StatusOK, StatusNotFound, StatusClosed, StatusIO, StatusInvalid,
-		StatusCrossShard, StatusNoTxn, StatusTxnLimit} {
+		StatusCrossShard, StatusNoTxn, StatusTxnLimit, StatusMoved, StatusTimeout} {
 		if s.Retryable() {
 			t.Fatalf("%v must not be retryable", s)
 		}
+	}
+}
+
+// A StatusMoved redirect carries the new primary's address verbatim in
+// Msg. It must round-trip every address shape a fleet can mint — node
+// names, host:port, IPv6 — up to the wire bound, and an address past
+// MaxMsg must be rejected by the decoder, not truncated silently.
+func TestStatusMovedRoundTrip(t *testing.T) {
+	longest := string(bytes.Repeat([]byte{'a'}, MaxMsg))
+	for _, addr := range []string{
+		"node3",
+		"127.0.0.1:8002",
+		"[::1]:8002",
+		"fleet-host.example.com:7979",
+		"",
+		longest,
+	} {
+		want := &Response{ID: 42, Status: StatusMoved, Size: 7, Msg: addr}
+		got, err := DecodeResponse(AppendResponse(nil, want))
+		if err != nil {
+			t.Fatalf("decode moved(%q): %v", addr, err)
+		}
+		if got.Status != StatusMoved || got.Msg != addr || got.Size != want.Size || got.ID != want.ID {
+			t.Fatalf("moved round trip: got %+v want %+v", got, want)
+		}
+	}
+	// One byte past MaxMsg: the u16 prefix can express it, the decoder
+	// must refuse it.
+	over := AppendResponse(nil, &Response{Status: StatusMoved})
+	// Msg prefix is the trailing u16; rewrite it to MaxMsg+1 and pad.
+	over = over[:len(over)-2]
+	over = append(over, byte((MaxMsg+1)>>8), byte((MaxMsg+1)&0xff))
+	over = append(over, bytes.Repeat([]byte{'b'}, MaxMsg+1)...)
+	if _, err := DecodeResponse(over); !errors.Is(err, ErrTooLong) {
+		t.Fatalf("oversize moved address: got %v, want ErrTooLong", err)
 	}
 }
 

@@ -28,11 +28,19 @@ go test -race -timeout 10m ./internal/warmreboot/... ./internal/disk/... ./inter
 # TxnTest torn-state oracle) joins the race gate: its campaign fans out
 # across workers and its server integration rides the shard goroutines.
 go test -race -timeout 10m ./internal/server/... ./internal/wire/... ./internal/txn/... ./internal/workload/...
+# The fleet layer replicates shards across nodes: replica locks, the
+# in-process transport, and the coordinator's tick all run under real
+# concurrency in the campaign, so it joins the race gate.
+go test -race -timeout 10m ./internal/fleet/...
 # Transactional crash campaign smoke: a small fixed-seed torn-commit
 # hunt with storage faults and double crashes; riocrash -txn exits
 # nonzero on any torn transaction or aborted recovery. (The commitorder
 # analyzer fixtures run in the riolint step and go test above.)
 go run ./cmd/riocrash -txn -runs 2 -seed 1996 -disk-faults -quiet
+# Fleet campaign smoke: two seed-derived plans (the kind cycle makes
+# that exactly one machine kill + one primary partition); riocrash
+# -fleet exits nonzero if any acked write is lost.
+go run ./cmd/riocrash -fleet -runs 2 -seed 1996 -quiet
 # Server smoke benchmark: rioload against riod's in-process transport,
 # with a 1-shard baseline — fails if the run errors; the report lands in
 # BENCH_server.json (uploaded as a CI artifact).
