@@ -65,11 +65,12 @@ serve-bench:
 crash-txn:
 	go run ./cmd/riocrash -txn -runs 10 -seed 1996 -disk-faults
 
-# Fleet campaign: machine-loss survival. 52 seed-derived plans (13 per
-# fault kind: machine kill, primary partition, backup loss, OS crash);
-# exits nonzero if any acked write fails to read back byte-equal.
+# Fleet campaign: machine-loss survival. 55 seed-derived plans (11 per
+# fault kind: machine kill, primary partition, backup loss, OS crash,
+# pairwise partition); exits nonzero if any acked write fails to read
+# back byte-equal or a deposed primary serves a stale read.
 crash-fleet:
-	go run ./cmd/riocrash -fleet -runs 52 -seed 1996
+	go run ./cmd/riocrash -fleet -runs 55 -seed 1996
 
 crash-recovery-golden:
 	mkdir -p testdata

@@ -28,10 +28,12 @@
 //
 // -fleet switches to the fleet campaign: each run boots a replicated
 // fleet (internal/fleet), acks writes, injects one fleet-level fault —
-// machine kill, primary partition, backup loss, or OS crash — and
-// demands every acked write read back byte-equal. -runs sets the total
-// plan count (kinds cycle by index, so runs >= 4 covers all four); the
-// headline Lost column must be zero.
+// machine kill, primary partition, backup loss, OS crash, or a
+// pairwise partition that strands a deposed primary with live client
+// links — and demands every acked write read back byte-equal with no
+// stale reads served. -runs sets the total plan count (kinds cycle by
+// index, so runs >= 5 covers all five); the headline Lost and Stale
+// columns must be zero.
 package main
 
 import (
@@ -72,7 +74,11 @@ func fleetMode(runs int, seed uint64, workers int, quiet bool) {
 		fmt.Printf("FAIL: %d acked writes lost\n", n)
 		os.Exit(1)
 	}
-	fmt.Println("zero acked writes lost: replication survived every machine kill, partition, and OS crash")
+	if n := rep.TotalStale(); n != 0 {
+		fmt.Printf("FAIL: %d stale reads served by deposed primaries\n", n)
+		os.Exit(1)
+	}
+	fmt.Println("zero acked writes lost, zero stale reads: replication survived every machine kill, partition, and OS crash")
 }
 
 // txnCampaign runs the transactional variant and prints its report.

@@ -4,14 +4,16 @@
 // durability promise from OS crashes to machine loss?
 //
 // Each run boots a small replicated fleet, acknowledges a batch of
-// writes, injects one fleet-level fault — a machine kill, a full
-// network partition of the primary, a backup loss, or a plain OS crash
-// — lets the coordinator converge, keeps writing, and then demands
-// every acknowledged write read back byte-equal. The gate is absolute:
-// the Lost column must be zero for every fault kind. Like the other
-// campaigns, every plan is a pure function of (campaign seed, plan
-// index), and results fold in index order, so the report is
-// byte-identical at any worker count.
+// writes (each key half absolute write, half append — the op shape
+// whose retries must stay idempotent), injects one fleet-level fault —
+// a machine kill, a full network partition of the primary, a backup
+// loss, a plain OS crash, or a pairwise cut that leaves the primary
+// client-reachable but peer-blind — lets the coordinator converge,
+// keeps writing, and then demands every acknowledged write read back
+// byte-equal. The gate is absolute: the Lost and Stale columns must be
+// zero for every fault kind. Like the other campaigns, every plan is a
+// pure function of (campaign seed, plan index), and results fold in
+// index order, so the report is byte-identical at any worker count.
 //
 // It lives in its own package (not crashtest proper) because the root
 // rio package imports crashtest, and this campaign needs
@@ -50,8 +52,13 @@ const (
 	// OSCrash: the primary's OS crashes and warm-reboots — the paper's
 	// own case. No promotion, no snapshot, nothing lost.
 	OSCrash
+	// PartitionPair: pairwise cuts sever the primary from its peers and
+	// the coordinator while clients can still reach it. Promotion
+	// happens behind its back; the deposed-but-ignorant primary must
+	// refuse reads (the read fence) instead of serving stale bytes.
+	PartitionPair
 
-	NumKinds = 4
+	NumKinds = 5
 )
 
 func (k FaultKind) String() string {
@@ -64,6 +71,8 @@ func (k FaultKind) String() string {
 		return "kill-backup"
 	case OSCrash:
 		return "os-crash"
+	case PartitionPair:
+		return "partition-pair"
 	}
 	return fmt.Sprintf("fleet-fault(%d)", uint8(k))
 }
@@ -119,6 +128,10 @@ type RunResult struct {
 	// Lost: acked writes that failed to read back byte-equal after the
 	// fault — the number the whole layer exists to keep at zero.
 	Lost int
+	// Stale: reads a deposed primary served with bytes that contradict
+	// acked state (the partition-pair probe). Must be zero: a read that
+	// misses acked writes breaks the same promise as losing them.
+	Stale int
 
 	Promotions int
 	Reconfigs  int
@@ -157,24 +170,51 @@ func RunOne(p Plan) (res RunResult) {
 	type ackedWrite struct {
 		path string
 		data []byte
+		// prefix: only the first len(data) bytes are acked — the trailing
+		// append never acked, so the file may or may not carry it.
+		prefix bool
 	}
 	var acked []ackedWrite
 
-	write := func(k int) {
-		path := fmt.Sprintf("/w/k%03d", k)
-		data := payload(p.Seed, k)
+	// do retries one request across coordinator ticks. The request is
+	// built once and reused: fleet.Client pins a resolved append offset
+	// into it, so every retry — including ours across rounds — rewrites
+	// the same bytes at the same offset instead of appending again.
+	do := func(req *wire.Request) bool {
 		for round := 0; round < retryRounds; round++ {
-			resp, err := cl.Do(&wire.Request{Op: wire.OpWrite, Shard: -1, Path: path, Data: data})
+			resp, err := cl.Do(req)
 			if err == nil && resp.Status == wire.StatusOK {
-				res.Acked++
-				acked = append(acked, ackedWrite{path, data})
-				return
+				return true
 			}
 			// Unreachable primary, degraded replication, mid-promotion:
 			// give the coordinator a tick and try again.
 			f.Tick()
 		}
-		res.Unacked++
+		return false
+	}
+
+	// write lands key k in two acked steps: the head as an absolute
+	// write at offset 0, the tail as an append (Offset < 0) — the op
+	// shape whose retries must not duplicate bytes. A head that acked
+	// without its tail is verified as a prefix.
+	write := func(k int) {
+		path := fmt.Sprintf("/w/k%03d", k)
+		head := payload(p.Seed, k)
+		tail := payload(sim.Mix(p.Seed, 0xA99E), k)
+		if !do(&wire.Request{Op: wire.OpWrite, Shard: -1, Path: path, Data: head}) {
+			res.Unacked++
+			return
+		}
+		res.Acked++
+		acked = append(acked, ackedWrite{path: path, data: head, prefix: true})
+		idx := len(acked) - 1
+		if !do(&wire.Request{Op: wire.OpWrite, Shard: -1, Offset: -1, Path: path, Data: tail}) {
+			res.Unacked++
+			return
+		}
+		res.Acked++
+		full := append(append([]byte(nil), head...), tail...)
+		acked[idx] = ackedWrite{path: path, data: full}
 	}
 
 	ticks := func(n int) {
@@ -213,6 +253,57 @@ func RunOne(p Plan) (res RunResult) {
 			return res
 		}
 		ticks(1)
+	case PartitionPair:
+		// Pairwise cuts: the primary loses its peers and the coordinator
+		// but keeps its client links — the stale-read window.
+		tr := f.Transport()
+		for _, id := range f.NodeIDs() {
+			if id != route0.Primary {
+				tr.Cut(route0.Primary, id)
+			}
+		}
+		tr.Cut(route0.Primary, fleet.CoordName)
+		ticks(4)
+		healAfter = p.PostWrites / 2
+	}
+
+	if p.Kind == PartitionPair {
+		// The stale-read probe: rewrite an acked key on the partitioned
+		// shard through the new primary (a fresh client routes straight
+		// there), then read it from the old primary — still reachable by
+		// clients, ignorant of its deposition. The read fence must refuse;
+		// an OK carrying the old bytes is a stale read.
+		probe := -1
+		for i := range acked {
+			if !acked[i].prefix && fleet.ShardOf(acked[i].path, p.Shards) == route0.Shard {
+				probe = i
+				break
+			}
+		}
+		if probe >= 0 {
+			rew := append([]byte(nil), acked[probe].data...)
+			for i := range rew {
+				rew[i] ^= 0x5A
+			}
+			fresh := f.Client(nil)
+			rewACK := false
+			for round := 0; round < retryRounds; round++ {
+				resp, err := fresh.Do(&wire.Request{Op: wire.OpWrite, Shard: -1, Path: acked[probe].path, Data: rew})
+				if err == nil && resp.Status == wire.StatusOK {
+					rewACK = true
+					break
+				}
+				f.Tick()
+			}
+			if rewACK {
+				acked[probe].data = rew
+				resp, err := f.Transport().Send(fleet.ClientName, route0.Primary,
+					&wire.Request{Op: wire.OpRead, Shard: -1, Path: acked[probe].path})
+				if err == nil && resp.Status == wire.StatusOK && string(resp.Data) != string(rew) {
+					res.Stale++
+				}
+			}
+		}
 	}
 
 	for j := 0; j < p.PostWrites; j++ {
@@ -225,14 +316,22 @@ func RunOne(p Plan) (res RunResult) {
 	}
 
 	// The durability gate: every acknowledged write reads back
-	// byte-equal, across whatever the fault did to the fleet.
+	// byte-equal — exactly for fully acked keys, as a prefix for keys
+	// whose trailing append never acked — across whatever the fault did
+	// to the fleet.
 	for _, aw := range acked {
 		ok := false
 		for round := 0; round < retryRounds; round++ {
 			resp, err := cl.Do(&wire.Request{Op: wire.OpRead, Shard: -1, Path: aw.path})
-			if err == nil && resp.Status == wire.StatusOK && string(resp.Data) == string(aw.data) {
-				ok = true
-				break
+			if err == nil && resp.Status == wire.StatusOK {
+				if aw.prefix {
+					ok = len(resp.Data) >= len(aw.data) && string(resp.Data[:len(aw.data)]) == string(aw.data)
+				} else {
+					ok = string(resp.Data) == string(aw.data)
+				}
+				if ok {
+					break
+				}
 			}
 			f.Tick()
 		}
@@ -259,11 +358,11 @@ type Config struct {
 	Progress func(string)
 }
 
-// DefaultConfig covers all four fault kinds across a healthy sample of
-// seed-derived plans — 52 runs is 13 per kind, comfortably past the
+// DefaultConfig covers all five fault kinds across a healthy sample of
+// seed-derived plans — 55 runs is 11 per kind, comfortably past the
 // acceptance bar of 50 while keeping the kind cycle exact.
 func DefaultConfig(seed uint64) Config {
-	return Config{Seed: seed, Runs: 52}
+	return Config{Seed: seed, Runs: 55}
 }
 
 // KindCell aggregates one fault kind's runs.
@@ -272,6 +371,7 @@ type KindCell struct {
 	Acked      int    `json:"acked"`
 	Unacked    int    `json:"unacked"`
 	Lost       int    `json:"lost"`
+	Stale      int    `json:"stale"`
 	Promotions int    `json:"promotions"`
 	Reconfigs  int    `json:"reconfigs"`
 	Repairs    int    `json:"repairs"`
@@ -291,6 +391,7 @@ func (c *KindCell) fold(res RunResult) {
 	c.Acked += res.Acked
 	c.Unacked += res.Unacked
 	c.Lost += res.Lost
+	c.Stale += res.Stale
 	c.Promotions += res.Promotions
 	c.Reconfigs += res.Reconfigs
 	c.Repairs += res.Repairs
@@ -316,6 +417,17 @@ func (r *Report) TotalLost() int {
 	return n
 }
 
+// TotalStale sums the Stale column — also gated at zero: a deposed
+// primary serving bytes that miss acked writes breaks the same promise
+// as losing them.
+func (r *Report) TotalStale() int {
+	n := 0
+	for i := range r.Cells {
+		n += r.Cells[i].Stale
+	}
+	return n
+}
+
 // TotalErrors sums harness errors.
 func (r *Report) TotalErrors() int {
 	n := 0
@@ -329,26 +441,27 @@ func (r *Report) TotalErrors() int {
 // order — byte-identical at any worker count.
 func (r *Report) Table() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-20s %6s %7s %8s %6s %6s %7s %8s %9s %8s\n",
-		"Fault Kind", "runs", "acked", "unacked", "lost", "promo", "reconf", "repairs", "redirects", "retries")
+	fmt.Fprintf(&b, "%-20s %6s %7s %8s %6s %6s %6s %7s %8s %9s %8s\n",
+		"Fault Kind", "runs", "acked", "unacked", "lost", "stale", "promo", "reconf", "repairs", "redirects", "retries")
 	var tot KindCell
 	for i := range r.Cells {
 		c := &r.Cells[i]
-		fmt.Fprintf(&b, "%-20s %6d %7d %8d %6d %6d %7d %8d %9d %8d\n",
-			FaultKind(i).String(), c.Runs, c.Acked, c.Unacked, c.Lost,
+		fmt.Fprintf(&b, "%-20s %6d %7d %8d %6d %6d %6d %7d %8d %9d %8d\n",
+			FaultKind(i).String(), c.Runs, c.Acked, c.Unacked, c.Lost, c.Stale,
 			c.Promotions, c.Reconfigs, c.Repairs, c.Redirects, c.Retries)
 		tot.Runs += c.Runs
 		tot.Acked += c.Acked
 		tot.Unacked += c.Unacked
 		tot.Lost += c.Lost
+		tot.Stale += c.Stale
 		tot.Promotions += c.Promotions
 		tot.Reconfigs += c.Reconfigs
 		tot.Repairs += c.Repairs
 		tot.Redirects += c.Redirects
 		tot.Retries += c.Retries
 	}
-	fmt.Fprintf(&b, "%-20s %6d %7d %8d %6d %6d %7d %8d %9d %8d\n",
-		"Total", tot.Runs, tot.Acked, tot.Unacked, tot.Lost,
+	fmt.Fprintf(&b, "%-20s %6d %7d %8d %6d %6d %6d %7d %8d %9d %8d\n",
+		"Total", tot.Runs, tot.Acked, tot.Unacked, tot.Lost, tot.Stale,
 		tot.Promotions, tot.Reconfigs, tot.Repairs, tot.Redirects, tot.Retries)
 	return b.String()
 }
@@ -400,8 +513,8 @@ func Run(cfg Config) (*Report, error) {
 		res := results[i]
 		rep.Cells[res.Plan.Kind].fold(res)
 		if cfg.Progress != nil {
-			cfg.Progress(fmt.Sprintf("fleet %03d %v: acked=%d lost=%d promo=%d",
-				i, res.Plan.Kind, res.Acked, res.Lost, res.Promotions))
+			cfg.Progress(fmt.Sprintf("fleet %03d %v: acked=%d lost=%d stale=%d promo=%d",
+				i, res.Plan.Kind, res.Acked, res.Lost, res.Stale, res.Promotions))
 		}
 	}
 	return rep, nil

@@ -25,7 +25,7 @@ func TestPlanDeterministic(t *testing.T) {
 }
 
 func TestFaultKindStrings(t *testing.T) {
-	want := []string{"kill-primary", "partition-primary", "kill-backup", "os-crash"}
+	want := []string{"kill-primary", "partition-primary", "kill-backup", "os-crash", "partition-pair"}
 	for i, w := range want {
 		if got := FaultKind(i).String(); got != w {
 			t.Fatalf("kind %d: %q, want %q", i, got, w)
@@ -45,6 +45,9 @@ func TestRunOneEachKind(t *testing.T) {
 		if res.Lost != 0 {
 			t.Fatalf("%v: lost %d acked writes (acked=%d)", p.Kind, res.Lost, res.Acked)
 		}
+		if res.Stale != 0 {
+			t.Fatalf("%v: %d stale reads served by a deposed primary", p.Kind, res.Stale)
+		}
 		if res.Acked == 0 {
 			t.Fatalf("%v: nothing acked — the run exercised nothing", p.Kind)
 		}
@@ -57,6 +60,10 @@ func TestRunOneEachKind(t *testing.T) {
 			if res.Promotions != 0 {
 				t.Fatalf("os-crash: warm reboot should not trigger promotion, got %d", res.Promotions)
 			}
+		case PartitionPair:
+			if res.Promotions == 0 {
+				t.Fatalf("partition-pair: no promotion happened (reconfigs=%d)", res.Reconfigs)
+			}
 		}
 	}
 }
@@ -65,7 +72,7 @@ func TestRunOneEachKind(t *testing.T) {
 // the report — every byte of it — must not depend on the worker count.
 func TestCampaignWorkerInvariance(t *testing.T) {
 	run := func(workers int) *Report {
-		rep, err := Run(Config{Seed: 424242, Runs: 8, Workers: workers})
+		rep, err := Run(Config{Seed: 424242, Runs: 2 * NumKinds, Workers: workers})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -82,13 +89,16 @@ func TestCampaignWorkerInvariance(t *testing.T) {
 	if r1.TotalLost() != 0 {
 		t.Fatalf("campaign lost %d acked writes:\n%s", r1.TotalLost(), r1.Table())
 	}
+	if r1.TotalStale() != 0 {
+		t.Fatalf("campaign served %d stale reads:\n%s", r1.TotalStale(), r1.Table())
+	}
 	if r1.TotalErrors() != 0 {
 		t.Fatalf("campaign had harness errors: %v", r1.Errors())
 	}
 	total := 0
 	for i := range r1.Cells {
 		if r1.Cells[i].Runs != 2 {
-			t.Fatalf("kind %v ran %d times, want 2 (8 runs cycling 4 kinds)", FaultKind(i), r1.Cells[i].Runs)
+			t.Fatalf("kind %v ran %d times, want 2 (%d runs cycling %d kinds)", FaultKind(i), r1.Cells[i].Runs, 2*NumKinds, NumKinds)
 		}
 		total += r1.Cells[i].Runs
 	}

@@ -51,9 +51,11 @@ const maxFrameOps = 64
 
 // EncodeBatch renders b as a checksummed frame. It fails rather than
 // emit a frame larger than wire.MaxData — callers split batches first.
+// A zero-op batch is a fence probe: it carries only (epoch, seq), and a
+// backup applies nothing — it just answers the epoch check.
 func EncodeBatch(b *Batch) ([]byte, error) {
-	if len(b.Ops) == 0 || len(b.Ops) > maxFrameOps {
-		return nil, fmt.Errorf("fleet: batch of %d ops (want 1..%d)", len(b.Ops), maxFrameOps)
+	if len(b.Ops) > maxFrameOps {
+		return nil, fmt.Errorf("fleet: batch of %d ops (want 0..%d)", len(b.Ops), maxFrameOps)
 	}
 	buf := make([]byte, 0, 256)
 	buf = binary.BigEndian.AppendUint32(buf, frameMagic)
@@ -96,7 +98,7 @@ func DecodeBatch(buf []byte) (*Batch, error) {
 		Seq:   binary.BigEndian.Uint64(body[12:]),
 	}
 	nops := binary.BigEndian.Uint32(body[20:])
-	if nops == 0 || nops > maxFrameOps {
+	if nops > maxFrameOps {
 		return nil, fmt.Errorf("fleet: frame declares %d ops", nops)
 	}
 	rest := body[head:]

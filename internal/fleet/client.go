@@ -68,6 +68,28 @@ func (c *Client) Do(req *wire.Request) (*wire.Response, error) {
 	if !ok {
 		return nil, fmt.Errorf("fleet: malformed path %q", req.Path)
 	}
+	// Resolve append offsets here, once, before the first send, and pin
+	// the result into the caller's request. From then on every retry —
+	// this loop's or a caller re-submitting the same request — rewrites
+	// the same absolute offset instead of appending again, which is what
+	// makes a degraded write ("applied but unacked", StatusAgain) safe
+	// to re-send. Fleet nodes refuse Offset < 0 outright for the same
+	// reason. The price: two clients appending to one path concurrently
+	// may resolve the same offset and overwrite rather than interleave.
+	if req.Op == wire.OpWrite && req.Offset < 0 {
+		st, err := c.Do(&wire.Request{Op: wire.OpStat, Shard: req.Shard, Path: p})
+		if err != nil {
+			return nil, err
+		}
+		switch st.Status {
+		case wire.StatusOK:
+			req.Offset = st.Size
+		case wire.StatusNotFound:
+			req.Offset = 0
+		default:
+			return st, nil
+		}
+	}
 	shard := ShardOf(p, c.shards)
 	var last *wire.Response
 	var lastErr error

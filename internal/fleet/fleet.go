@@ -200,6 +200,7 @@ func (f *Fleet) NodeMetrics() NodeMetrics {
 		tot.Fenced += m.Fenced
 		tot.Redirects += m.Redirects
 		tot.Degraded += m.Degraded
+		tot.ReadFences += m.ReadFences
 		tot.Crashes += m.Crashes
 		tot.Warmboots += m.Warmboots
 		tot.SnapshotsSent += m.SnapshotsSent

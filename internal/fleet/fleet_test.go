@@ -86,6 +86,29 @@ func TestBatchRoundTrip(t *testing.T) {
 	}
 }
 
+// A zero-op batch is the read-fence probe: it must round-trip like any
+// frame, carrying only (epoch, seq).
+func TestFenceFrameRoundTrip(t *testing.T) {
+	frame, err := EncodeBatch(&Batch{Epoch: 9, Seq: 1234})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatch(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 9 || got.Seq != 1234 || len(got.Ops) != 0 {
+		t.Fatalf("fence frame round trip: %+v", got)
+	}
+	for i := 0; i < len(frame); i++ {
+		mut := append([]byte(nil), frame...)
+		mut[i] ^= 0x40
+		if _, err := DecodeBatch(mut); err == nil {
+			t.Fatalf("corrupted fence byte %d decoded without error", i)
+		}
+	}
+}
+
 func TestTableAndStatusRoundTrip(t *testing.T) {
 	tab := &Table{Routes: []Route{
 		{Shard: 0, Epoch: 7, Primary: "node2", Backups: []string{"node0", "node1"}},
@@ -405,6 +428,148 @@ func TestFleetReviveRepairsBySnapshot(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		mustRead(t, cl, fmt.Sprintf("/sn/k%02d", i), fill(70+i, byte(i)))
 	}
+}
+
+// Append retries must be idempotent end to end: the node refuses
+// relative offsets outright, the client resolves the append offset once
+// and pins it into the request, and a caller re-sending that same
+// request across a degraded window ("applied but unacked") rewrites the
+// same bytes instead of appending them again.
+func TestFleetAppendRetryIdempotent(t *testing.T) {
+	f := testFleet(t, 3, 1, 2) // one shard: every path lands on it
+	cl := f.Client(nil)
+	head := fill(40, 1)
+	tail := fill(24, 2)
+	mustWrite(t, cl, "/log", head)
+
+	// A raw relative offset never reaches execution — re-resolving it on
+	// retry is exactly how appends used to duplicate.
+	prim := f.Table().Routes[0].Primary
+	raw := f.Node(prim).Serve(ClientName,
+		&wire.Request{Op: wire.OpWrite, Shard: -1, Offset: -1, Path: "/log", Data: tail})
+	if raw.Status != wire.StatusInvalid {
+		t.Fatalf("relative offset accepted by the node: %v (%s)", raw.Status, raw.Msg)
+	}
+
+	// The client resolves the offset once and writes it back into the
+	// request, so the request itself becomes retry-safe.
+	req := &wire.Request{Op: wire.OpWrite, Shard: -1, Offset: -1, Path: "/log", Data: tail}
+	resp, err := cl.Do(req)
+	if err != nil || resp.Status != wire.StatusOK {
+		t.Fatalf("append: %v %v", err, resp)
+	}
+	if req.Offset != int64(len(head)) {
+		t.Fatalf("append offset not pinned: %d, want %d", req.Offset, len(head))
+	}
+	want := append(append([]byte(nil), head...), tail...)
+	mustRead(t, cl, "/log", want)
+
+	// Kill the backup and re-send the very same request: the primary
+	// applies it (at the pinned offset) but cannot ack — the degraded
+	// window. The caller's retry after reconfiguration must leave the
+	// file byte-identical, not longer.
+	f.Kill(f.Table().Routes[0].Backups[0])
+	one := f.Client(nil)
+	one.MaxAttempts = 1
+	resp, err = one.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != wire.StatusAgain {
+		t.Fatalf("degraded append: got %v (%s), want StatusAgain", resp.Status, resp.Msg)
+	}
+	f.Tick() // evict the dead backup
+	f.Tick() // repair onto the spare
+	resp, err = cl.Do(req)
+	if err != nil || resp.Status != wire.StatusOK {
+		t.Fatalf("append retry after reconfiguration: %v %v", err, resp)
+	}
+	mustRead(t, cl, "/log", want)
+}
+
+// A pairwise partition leaves the old primary reachable by clients but
+// blind to its peers and the coordinator. After the promotion it never
+// heard about, it must refuse reads (the read fence) rather than serve
+// stale bytes, and after healing it must redirect.
+func TestFleetPairwiseCutReadFenced(t *testing.T) {
+	f := testFleet(t, 3, 1, 2)
+	cl := f.Client(nil)
+	v1 := fill(64, 3)
+	mustWrite(t, cl, "/a", v1)
+
+	old := f.Table().Routes[0].Primary
+	tr := f.Transport()
+	for _, id := range f.NodeIDs() {
+		if id != old {
+			tr.Cut(old, id)
+		}
+	}
+	tr.Cut(old, CoordName) // clients still reach old
+	for i := 0; i < 4; i++ {
+		f.Tick()
+	}
+	if f.Table().Routes[0].Primary == old {
+		t.Fatalf("no promotion away from pair-partitioned %s", old)
+	}
+
+	// Rewrite /a through the new primary; same length, different bytes.
+	v2 := append([]byte(nil), v1...)
+	for i := range v2 {
+		v2[i] ^= 0x5A
+	}
+	fresh := f.Client(nil)
+	mustWrite(t, fresh, "/a", v2)
+
+	// The old primary still believes it owns the shard and clients can
+	// still reach it. Serving this read would return v1 — stale.
+	resp := f.Node(old).Serve(ClientName, &wire.Request{Op: wire.OpRead, Shard: -1, Path: "/a"})
+	if resp.Status == wire.StatusOK {
+		t.Fatalf("deposed primary served a read: %d bytes (stale=%v)",
+			len(resp.Data), !bytes.Equal(resp.Data, v2))
+	}
+
+	// After healing, the heartbeat reconciles it and reads redirect.
+	f.Rejoin(old)
+	f.Tick()
+	resp = f.Node(old).Serve(ClientName, &wire.Request{Op: wire.OpRead, Shard: -1, Path: "/a"})
+	if resp.Status != wire.StatusMoved {
+		t.Fatalf("healed deposed primary: got %v (%s), want StatusMoved", resp.Status, resp.Msg)
+	}
+	mustRead(t, cl, "/a", v2)
+}
+
+// An epoch adopted on promotion must be persisted immediately, not on
+// the next write: a promoted primary that warm-reboots before writing
+// must come back at the promoted epoch, or its frames would be fenced
+// and the shard would blip unavailable until the next heartbeat.
+func TestFleetPromotedEpochSurvivesWarmboot(t *testing.T) {
+	f := testFleet(t, 3, 1, 2)
+	cl := f.Client(nil)
+	mustWrite(t, cl, "/pre", fill(32, 7))
+
+	old := f.Table().Routes[0].Primary
+	f.Kill(old)
+	for i := 0; i < 4; i++ {
+		f.Tick()
+	}
+	next := f.Table().Routes[0].Primary
+	if next == old {
+		t.Fatal("no promotion happened")
+	}
+	n := f.Node(next)
+	before := n.Status()
+	n.CrashNode()
+	if err := n.WarmbootNode(); err != nil {
+		t.Fatalf("warmboot: %v", err)
+	}
+	after := n.Status()
+	if !reflect.DeepEqual(after, before) {
+		t.Fatalf("promoted epoch regressed across warm reboot:\n got %+v\nwant %+v", after, before)
+	}
+	// No deposition blip: the rebooted primary serves immediately.
+	mustWrite(t, cl, "/post", fill(16, 8))
+	mustRead(t, cl, "/pre", fill(32, 7))
+	mustRead(t, cl, "/post", fill(16, 8))
 }
 
 // Fleet nodes refuse the transaction ops — transactions are the

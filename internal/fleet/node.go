@@ -85,6 +85,7 @@ type NodeMetrics struct {
 	Fenced        uint64 // stale-epoch frames refused with StatusMoved
 	Redirects     uint64 // client requests answered StatusMoved
 	Degraded      uint64 // writes applied locally but unacked (backup unreachable)
+	ReadFences    uint64 // reads served after every active backup confirmed the epoch
 	Crashes       uint64
 	Warmboots     uint64
 	SnapshotsSent uint64
@@ -270,6 +271,7 @@ func (n *Node) applyView(t *Table) {
 		}
 		r.mu.Lock()
 		if route.Epoch >= r.epoch {
+			raised := route.Epoch > r.epoch
 			r.epoch = route.Epoch
 			switch {
 			case route.Primary == n.cfg.ID:
@@ -286,6 +288,14 @@ func (n *Node) applyView(t *Table) {
 				r.role = RoleBackup
 			default:
 				r.role = RoleDeposed
+			}
+			if raised && !r.down {
+				// Persist the adopted epoch now, not on the next write: a
+				// just-promoted primary that warm-reboots before its first
+				// write would otherwise reload the stale epoch, emit fenced
+				// frames, and depose itself until the next heartbeat. Best
+				// effort — on failure the next persistSeq covers it.
+				_ = r.persistSeq()
 			}
 		}
 		r.mu.Unlock()
@@ -399,6 +409,16 @@ func (n *Node) serveClient(req *wire.Request) *wire.Response {
 		return fail(wire.StatusCrossShard, "mv across shards is not supported")
 	}
 
+	// Append offsets are the client's to resolve: an op whose effect
+	// depends on current file size is not idempotent under retry — a
+	// degraded write answered StatusAgain would be re-applied at a new
+	// offset and duplicate its bytes. fleet.Client resolves the offset
+	// once (Stat) and pins it; anything else is refused outright.
+	if req.Op == wire.OpWrite && req.Offset < 0 {
+		return fail(wire.StatusInvalid,
+			"fleet requires absolute write offsets (client resolves appends; retries must be idempotent)")
+	}
+
 	r := n.replicaFor(shard)
 	if r == nil {
 		return n.movedTo(req, shard)
@@ -413,23 +433,13 @@ func (n *Node) serveClient(req *wire.Request) *wire.Response {
 	}
 
 	if !mutating(req.Op) {
+		if resp := n.readFence(r, req); resp != nil {
+			return resp
+		}
 		return server.Exec(r.sys, req)
 	}
 
-	// Resolve append offsets to absolute before anything executes, so
-	// primary and backup run the identical op. The copy keeps the
-	// caller's request (shared memory on the in-process transport)
-	// untouched.
-	exec := *req
-	if exec.Op == wire.OpWrite && exec.Offset < 0 {
-		if st, err := r.sys.Stat(exec.Path); err == nil {
-			exec.Offset = st.Size
-		} else {
-			exec.Offset = 0
-		}
-	}
-
-	resp := server.Exec(r.sys, &exec)
+	resp := server.Exec(r.sys, req)
 	if crashed, why := r.sys.Crashed(); crashed {
 		r.down = true
 		return fail(wire.StatusAgain, fmt.Sprintf("node %s shard %d crashed: %s", n.cfg.ID, shard, why))
@@ -442,7 +452,7 @@ func (n *Node) serveClient(req *wire.Request) *wire.Response {
 	if err := r.persistSeq(); err != nil {
 		return fail(wire.StatusIO, "persist seq: "+err.Error())
 	}
-	frame, err := EncodeBatch(&Batch{Epoch: r.epoch, Seq: r.seq, Ops: []*wire.Request{&exec}})
+	frame, err := EncodeBatch(&Batch{Epoch: r.epoch, Seq: r.seq, Ops: []*wire.Request{req}})
 	if err != nil {
 		return fail(wire.StatusIO, err.Error())
 	}
@@ -454,21 +464,9 @@ func (n *Node) serveClient(req *wire.Request) *wire.Response {
 	// unacked" — the client sees StatusAgain and retries (idempotent by
 	// the absolute-offset rule), while the coordinator's next tick
 	// evicts the dead peer and the retry acks against the new epoch.
-	degraded := ""
-	for _, b := range r.backups {
-		if b == n.cfg.ID || r.suspect[b] {
-			if r.suspect[b] {
-				degraded = b
-			}
-			continue
-		}
-		if ok, fenced := n.replicateTo(r, b, frame); !ok {
-			if fenced {
-				return n.movedTo(req, shard)
-			}
-			r.suspect[b] = true
-			degraded = b
-		}
+	degraded, fenced := n.confirmPeers(r, req, frame, false)
+	if fenced != nil {
+		return fenced
 	}
 	if degraded != "" {
 		n.count(func(m *NodeMetrics) { m.Degraded++ })
@@ -478,10 +476,65 @@ func (n *Node) serveClient(req *wire.Request) *wire.Response {
 	return resp
 }
 
+// confirmPeers delivers frame to every active, non-suspect backup of r.
+// degraded names a peer that could not confirm (now marked suspect);
+// fenced is the StatusMoved redirect when a backup refused us as a
+// stale epoch — this node has been deposed.
+func (n *Node) confirmPeers(r *replica, req *wire.Request, frame []byte, fence bool) (degraded string, fenced *wire.Response) {
+	for _, b := range r.backups {
+		if b == n.cfg.ID || r.suspect[b] {
+			if r.suspect[b] {
+				degraded = b
+			}
+			continue
+		}
+		if ok, moved := n.replicateTo(r, b, frame, fence); !ok {
+			if moved {
+				return "", n.movedTo(req, r.shard)
+			}
+			r.suspect[b] = true
+			degraded = b
+		}
+	}
+	return degraded, nil
+}
+
+// readFence re-proves this replica's primacy before a read is served.
+// A deposed primary under a pairwise partition — cut off from its
+// peers and the coordinator but still reachable by clients — would
+// otherwise serve arbitrarily stale reads after a promotion it never
+// heard about. The fence is a zero-op frame pushed through the same
+// epoch check as replication: every active backup must confirm our
+// epoch, exactly the set a write would have to ack through. nil means
+// the read may be served; a coordinator-blessed solo replica (empty
+// backup set at the current epoch) serves without peers, which is as
+// fenced as the fleet can be.
+func (n *Node) readFence(r *replica, req *wire.Request) *wire.Response {
+	if len(r.backups) == 0 {
+		return nil
+	}
+	frame, err := EncodeBatch(&Batch{Epoch: r.epoch, Seq: r.seq})
+	if err != nil {
+		return &wire.Response{ID: req.ID, Status: wire.StatusIO, Msg: err.Error()}
+	}
+	degraded, fenced := n.confirmPeers(r, req, frame, true)
+	if fenced != nil {
+		return fenced
+	}
+	if degraded != "" {
+		return &wire.Response{ID: req.ID, Status: wire.StatusAgain, Msg: fmt.Sprintf(
+			"shard %d read fence: backup %s unreachable; awaiting reconfiguration", r.shard, degraded)}
+	}
+	n.count(func(m *NodeMetrics) { m.ReadFences++ })
+	return nil
+}
+
 // replicateTo delivers frame to backup b with bounded retries,
 // replaying the tail to close a sequence gap. fenced reports that b
-// refused us as a stale epoch — this node has been deposed.
-func (n *Node) replicateTo(r *replica, b string, frame []byte) (ok, fenced bool) {
+// refused us as a stale epoch — this node has been deposed. fence
+// marks a zero-op probe, which confirms the epoch but is not a
+// replicated data frame and stays out of the ReplSent count.
+func (n *Node) replicateTo(r *replica, b string, frame []byte, fence bool) (ok, fenced bool) {
 	req := &wire.Request{Op: wire.OpReplBatch, Shard: int32(r.shard), Data: frame}
 	for attempt := 0; attempt <= n.cfg.ReplRetries; attempt++ {
 		if attempt > 0 {
@@ -496,7 +549,9 @@ func (n *Node) replicateTo(r *replica, b string, frame []byte) (ok, fenced bool)
 		}
 		switch resp.Status {
 		case wire.StatusOK:
-			n.count(func(m *NodeMetrics) { m.ReplSent++ })
+			if !fence {
+				n.count(func(m *NodeMetrics) { m.ReplSent++ })
+			}
 			return true, false
 		case wire.StatusMoved:
 			r.role = RoleDeposed
@@ -566,9 +621,20 @@ func (n *Node) serveReplBatch(req *wire.Request) *wire.Response {
 	if b.Epoch > r.epoch {
 		// A newer configuration reached us through the data path before
 		// the heartbeat did; adopt it. Whoever sends frames at the
-		// newest epoch is the primary, so we are a backup.
+		// newest epoch is the primary, so we are a backup. Persist the
+		// adopted epoch immediately — fence frames and duplicates return
+		// below without reaching the apply path's persist, and an epoch
+		// held only in memory regresses across a warm reboot.
 		r.epoch = b.Epoch
 		r.role = RoleBackup
+		if err := r.persistSeq(); err != nil {
+			return fail(wire.StatusIO, "persist epoch: "+err.Error())
+		}
+	}
+	if len(b.Ops) == 0 {
+		// A read fence: the sender only needed the epoch check above.
+		// Answer with our position and leave seq/tail untouched.
+		return &wire.Response{ID: req.ID, Status: wire.StatusOK, Size: int64(r.seq)}
 	}
 	if b.Seq <= r.seq {
 		n.count(func(m *NodeMetrics) { m.ReplDups++ })

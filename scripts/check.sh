@@ -37,10 +37,11 @@ go test -race -timeout 10m ./internal/fleet/...
 # nonzero on any torn transaction or aborted recovery. (The commitorder
 # analyzer fixtures run in the riolint step and go test above.)
 go run ./cmd/riocrash -txn -runs 2 -seed 1996 -disk-faults -quiet
-# Fleet campaign smoke: two seed-derived plans (the kind cycle makes
-# that exactly one machine kill + one primary partition); riocrash
-# -fleet exits nonzero if any acked write is lost.
-go run ./cmd/riocrash -fleet -runs 2 -seed 1996 -quiet
+# Fleet campaign smoke: five seed-derived plans (the kind cycle makes
+# that exactly one of each fault kind, including the pairwise partition
+# that probes for stale reads from a deposed primary); riocrash -fleet
+# exits nonzero if any acked write is lost or any stale read is served.
+go run ./cmd/riocrash -fleet -runs 5 -seed 1996 -quiet
 # Server smoke benchmark: rioload against riod's in-process transport,
 # with a 1-shard baseline — fails if the run errors; the report lands in
 # BENCH_server.json (uploaded as a CI artifact).
