@@ -1,7 +1,10 @@
-// Command riolint runs the repo's static-analysis suite: five analyzers
-// enforcing the determinism, protection-discipline, and commit-ordering
-// invariants the compiler cannot see (see internal/lint and DESIGN.md
-// "Enforced invariants").
+// Command riolint runs the repo's static-analysis suite: eight analyzers
+// enforcing the determinism, protection-discipline, commit-ordering,
+// buffer-aliasing, replication-ordering, and wire-bounds invariants the
+// compiler cannot see (see internal/lint and DESIGN.md "Enforced
+// invariants"). The interprocedural analyzers (bufalias, replorder,
+// wirebounds) share a module-wide call graph and per-function dataflow
+// summaries built once per run.
 //
 // Usage:
 //
@@ -15,9 +18,10 @@
 //
 // Flags:
 //
-//	-json        emit diagnostics as a JSON array
+//	-json        emit findings plus per-analyzer wall time as JSON
 //	-tests       include in-package _test.go files
-//	-maporder, -walltime, -protpair, -seedflow, -commitorder
+//	-maporder, -walltime, -protpair, -seedflow, -commitorder,
+//	-bufalias, -replorder, -wirebounds
 //	             enable/disable individual analyzers (all default true)
 //
 // Exit status: 0 clean, 1 diagnostics reported, 2 load/usage error.
@@ -80,7 +84,7 @@ func run() int {
 		return fail(err)
 	}
 
-	diags := lint.Run(loader.Fset, selected, analyzers)
+	diags, times := lint.RunTimed(loader.Fset, selected, analyzers)
 	// Print file paths relative to the working directory, as go vet does.
 	for i := range diags {
 		if rel, err := filepath.Rel(cwd, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
@@ -96,9 +100,20 @@ func run() int {
 			Analyzer string `json:"analyzer"`
 			Message  string `json:"message"`
 		}
-		out := make([]jsonDiag, 0, len(diags))
+		type jsonTime struct {
+			Analyzer string  `json:"analyzer"`
+			Millis   float64 `json:"millis"`
+		}
+		type jsonReport struct {
+			Findings []jsonDiag `json:"findings"`
+			Timings  []jsonTime `json:"timings"`
+		}
+		out := jsonReport{Findings: make([]jsonDiag, 0, len(diags)), Timings: make([]jsonTime, 0, len(times))}
 		for _, d := range diags {
-			out = append(out, jsonDiag{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+			out.Findings = append(out.Findings, jsonDiag{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+		}
+		for _, tm := range times {
+			out.Timings = append(out.Timings, jsonTime{tm.Name, float64(tm.Elapsed.Microseconds()) / 1000})
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

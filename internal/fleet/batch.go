@@ -107,6 +107,9 @@ func DecodeBatch(buf []byte) (*Batch, error) {
 			return nil, fmt.Errorf("fleet: frame truncated in op %d", i)
 		}
 		n := binary.BigEndian.Uint32(rest)
+		if n > wire.MaxData {
+			return nil, fmt.Errorf("fleet: frame op %d declares %d bytes (max %d)", i, n, wire.MaxData)
+		}
 		rest = rest[4:]
 		if uint32(len(rest)) < n {
 			return nil, fmt.Errorf("fleet: frame truncated in op %d body", i)

@@ -25,8 +25,8 @@ type ClientStats struct {
 type Client struct {
 	tr      Transport
 	shards  int
-	view    map[int]string   // shard -> primary address
-	refresh func() *Table    // coordinator's current table
+	view    map[int]string // shard -> primary address
+	refresh func() *Table  // coordinator's current table
 	sleep   func(time.Duration)
 
 	// MaxAttempts bounds the whole retry loop per Do (default 16).

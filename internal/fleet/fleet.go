@@ -492,7 +492,11 @@ installed:
 		}
 		d := dec{buf: pull.Data}
 		for len(d.buf) > 0 && d.err == nil {
-			frame := d.take(int(d.u32()))
+			n := int(d.u32())
+			if n > wire.MaxData {
+				return fmt.Errorf("fleet: tail frame declares %d bytes (max %d)", n, wire.MaxData)
+			}
+			frame := d.take(n)
 			if d.err != nil {
 				break
 			}

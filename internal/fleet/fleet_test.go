@@ -2,8 +2,11 @@ package fleet
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"reflect"
+	"strings"
 	"testing"
 
 	"rio/internal/wire"
@@ -106,6 +109,29 @@ func TestFenceFrameRoundTrip(t *testing.T) {
 		if _, err := DecodeBatch(mut); err == nil {
 			t.Fatalf("corrupted fence byte %d decoded without error", i)
 		}
+	}
+}
+
+// A frame op that declares more bytes than wire.MaxData must be refused
+// by the protocol-maximum check before any slice is sized from the wire
+// — even when the frame's checksum is valid, so this is not corruption
+// but a malicious or buggy peer. Regression test for the missing bound
+// the wirebounds analyzer flagged here.
+func TestBatchRejectsOversizedOpLength(t *testing.T) {
+	body := binary.BigEndian.AppendUint32(nil, frameMagic)
+	body = binary.BigEndian.AppendUint64(body, 3)  // epoch
+	body = binary.BigEndian.AppendUint64(body, 41) // seq
+	body = binary.BigEndian.AppendUint32(body, 1)  // nops
+	body = binary.BigEndian.AppendUint32(body, uint32(wire.MaxData+1))
+	h := fnv.New64a()
+	h.Write(body)
+	frame := binary.BigEndian.AppendUint64(body, h.Sum64())
+	_, err := DecodeBatch(frame)
+	if err == nil {
+		t.Fatal("op declaring more than wire.MaxData bytes decoded without error")
+	}
+	if !strings.Contains(err.Error(), "declares") {
+		t.Fatalf("want the protocol-maximum error, got: %v", err)
 	}
 }
 

@@ -35,10 +35,10 @@ const (
 
 // NodeConfig boots one fleet machine.
 type NodeConfig struct {
-	ID     string
-	Shards int // global shard count (fleet-wide constant)
-	Seed   uint64
-	Policy rio.Policy
+	ID               string
+	Shards           int // global shard count (fleet-wide constant)
+	Seed             uint64
+	Policy           rio.Policy
 	MemoryMB, DiskMB int
 	Transport        Transport
 	TailLen          int

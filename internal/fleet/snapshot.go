@@ -19,7 +19,8 @@ import (
 // exactly which tail frames come after it.
 //
 // Layout: magic u32 | epoch u64 | seq u64 | nrec u32 |
-//         nrec×(kind u8, path str16, data u32+bytes) | fnv64
+//
+//	nrec×(kind u8, path str16, data u32+bytes) | fnv64
 const snapMagic uint32 = 0x52534E31 // "RSN1"
 
 const (
@@ -155,6 +156,7 @@ func (n *Node) InstallSnapshot(shard int, blob []byte) error {
 	for i := uint32(0); i < nrec; i++ {
 		kind := d.u8()
 		path := d.str()
+		//riolint:wirebounds a record is a whole file with no protocol maximum of its own; take bounds it by the checksummed blob's remaining bytes, themselves ≤ wire.MaxData
 		data := d.take(int(d.u32()))
 		if d.err != nil {
 			return d.err

@@ -372,6 +372,7 @@ func (f *FS) writeBlockAsyncCB(block int64, data []byte, onCommit func()) {
 	start := maxT(f.Clock.Now(), f.diskFree)
 	f.diskFree = start.Add(f.price(seq))
 	f.lastIO = block
+	//riolint:bufalias sanctioned custody transfer: the pending queue owns this private copy until drainPending releases it back to the pool
 	f.pending = append(f.pending, asyncWrite{block: block, data: cp, done: f.diskFree, onCommit: onCommit})
 	f.Stats.AsyncWrites++
 }

@@ -1,13 +1,20 @@
 // Package lint is riolint's engine: a stdlib-only static-analysis
 // framework (go/ast + go/types; no x/tools, honoring the repo's
-// stdlib-only rule) plus the five analyzers that encode invariants this
+// stdlib-only rule) plus the eight analyzers that encode invariants this
 // codebase has been burned by. The compiler cannot see Rio's safety
 // arguments — that every file-cache store happens inside a brief
 // write-permission window (the paper's §3 protection discipline), that
-// every simulated outcome is a pure function of seeds, and that a
-// transaction commit is published and applied before it is acked — so
-// riolint enforces them as a tier-1 gate instead of leaving them to
-// reviewer vigilance.
+// every simulated outcome is a pure function of seeds, that a
+// transaction commit is published and applied before it is acked, and
+// that the fleet replicates before acking — so riolint enforces them as
+// a tier-1 gate instead of leaving them to reviewer vigilance.
+//
+// The engine runs in two tiers. The per-function analyzers walk one body
+// at a time; the interprocedural ones (bufalias, replorder, wirebounds)
+// additionally consult a module-wide Program — a call graph plus
+// per-function dataflow summaries (interproc.go) — so a pooled buffer
+// leaked three calls away from the pool, or an epoch persisted via a
+// helper, is still seen.
 //
 // Analyzers (see their files for the precise rules):
 //
@@ -25,6 +32,16 @@
 //   - commitorder: the transaction layer's publish -> apply -> erase ->
 //     ack protocol; acking a commit before its record is published and
 //     applied is a torn-commit window.
+//   - bufalias: pooled and frame-aliased buffers (kernel scratch, the fs
+//     block pool, Into-style destinations) must not escape their
+//     sanctioned window — no heap stores, channel sends, goroutine
+//     hand-offs, or use after release, tracked interprocedurally.
+//   - replorder: the fleet's exec -> persist -> replicate -> ack
+//     ordering, fenced reads, and persisted epoch adoption (the PR-7
+//     review bug class).
+//   - wirebounds: every decoded wire/RFL1/RSN1 length is checked against
+//     its protocol maximum and the remaining buffer before any
+//     allocation or slice.
 //
 // A finding is silenced with a suppression comment naming the
 // analyzer's directive and a mandatory reason:
@@ -34,6 +51,9 @@
 //	//riolint:protpair <why the frame legitimately stays writable>
 //	//riolint:seedflow <why this arithmetic is not seed derivation>
 //	//riolint:commitorder <why this protocol verb legitimately runs early>
+//	//riolint:bufalias <why this custody transfer of a pooled buffer is sanctioned>
+//	//riolint:replorder <why this replication verb legitimately reorders>
+//	//riolint:wirebounds <why this decoded length needs no protocol maximum>
 //
 // The comment attaches to the line it sits on, or, as a standalone
 // comment, to the line directly below it. A reason is required: a bare
@@ -48,6 +68,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // A Diagnostic is one finding, printable as "file:line:col: analyzer: message".
@@ -73,7 +94,7 @@ type Analyzer struct {
 
 // All returns the full riolint suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Maporder, Walltime, Protpair, Seedflow, Commitorder}
+	return []*Analyzer{Maporder, Walltime, Protpair, Seedflow, Commitorder, Bufalias, Replorder, Wirebounds}
 }
 
 // A Pass hands one analyzer one package plus a reporting callback.
@@ -81,6 +102,9 @@ type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Pkg      *Package
+	// Prog is the interprocedural view over every package in this Run
+	// (call graph + summaries), shared across analyzers and packages.
+	Prog *Program
 
 	diags *[]Diagnostic
 	supp  *suppressions
@@ -218,7 +242,7 @@ func lintDirectives(supp *suppressions, ran []*Analyzer, diags *[]Diagnostic) {
 		switch {
 		case a == nil:
 			*diags = append(*diags, Diagnostic{Pos: sup.pos, Analyzer: "riolint",
-				Message: fmt.Sprintf("unknown suppression directive %q (known: ordered, walltime, protpair, seedflow, commitorder)", sup.directive)})
+				Message: fmt.Sprintf("unknown suppression directive %q (known: ordered, walltime, protpair, seedflow, commitorder, bufalias, replorder, wirebounds)", sup.directive)})
 		case sup.reason == "":
 			*diags = append(*diags, Diagnostic{Pos: sup.pos, Analyzer: "riolint",
 				Message: fmt.Sprintf("suppression %q needs a reason: //riolint:%s <why this is safe>", sup.directive, sup.directive)})
@@ -232,14 +256,37 @@ func lintDirectives(supp *suppressions, ran []*Analyzer, diags *[]Diagnostic) {
 // Run executes the given analyzers over the packages and returns all
 // diagnostics sorted by position.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunTimed(fset, pkgs, analyzers)
+	return diags
+}
+
+// An AnalyzerTime is one analyzer's total wall time across a Run, for
+// the CLI's -json output.
+type AnalyzerTime struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// RunTimed is Run plus per-analyzer wall time, in the order the
+// analyzers were given (the interprocedural Program build is charged to
+// the first analyzer that forces it).
+func RunTimed(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerTime) {
 	var diags []Diagnostic
+	prog := buildProgram(fset, pkgs)
+	elapsed := make(map[string]time.Duration, len(analyzers))
 	for _, pkg := range pkgs {
 		supp := parseSuppressions(fset, pkg)
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, diags: &diags, supp: supp}
+			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, Prog: prog, diags: &diags, supp: supp}
+			start := time.Now()
 			a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
 		}
 		lintDirectives(supp, analyzers, &diags)
+	}
+	times := make([]AnalyzerTime, 0, len(analyzers))
+	for _, a := range analyzers {
+		times = append(times, AnalyzerTime{Name: a.Name, Elapsed: elapsed[a.Name]})
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -254,7 +301,7 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnost
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
+	return diags, times
 }
 
 // detPackages are the determinism-critical package names: simulation

@@ -97,6 +97,21 @@ func TestCommitorderFixtures(t *testing.T) {
 	checkFixture(t, Commitorder, "commitorder_clean")
 }
 
+func TestBufaliasFixtures(t *testing.T) {
+	checkFixture(t, Bufalias, "bufalias_bad")
+	checkFixture(t, Bufalias, "bufalias_clean")
+}
+
+func TestReplorderFixtures(t *testing.T) {
+	checkFixture(t, Replorder, "replorder_bad")
+	checkFixture(t, Replorder, "replorder_clean")
+}
+
+func TestWireboundsFixtures(t *testing.T) {
+	checkFixture(t, Wirebounds, "wirebounds_bad")
+	checkFixture(t, Wirebounds, "wirebounds_clean")
+}
+
 // TestTreeClean is the gate the CLI enforces in scripts/check.sh: the
 // full suite reports nothing on the real tree. Any true positive must be
 // fixed (or annotated with a reasoned //riolint: comment) in the same
@@ -113,5 +128,33 @@ func TestTreeClean(t *testing.T) {
 	diags := Run(loader.Fset, pkgs, All())
 	for _, d := range diags {
 		t.Errorf("riolint finding on the tree: %s", d)
+	}
+}
+
+// TestNoStaleSuppressions sweeps the tree's //riolint: comments: every
+// directive must name a known analyzer, carry a reason, and still
+// suppress a live finding (the engine reports violations under the
+// "riolint" pseudo-analyzer). It also pins that the tree has at least
+// one suppression, so the sweep cannot vacuously pass.
+func TestNoStaleSuppressions(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("finding module root: %v", err)
+	}
+	pkgs, err := loader.LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		total += len(parseSuppressions(loader.Fset, pkg).all)
+	}
+	if total == 0 {
+		t.Fatalf("no //riolint: suppressions found in the tree; the stale-suppression sweep is vacuous")
+	}
+	for _, d := range Run(loader.Fset, pkgs, All()) {
+		if d.Analyzer == "riolint" {
+			t.Errorf("suppression hygiene: %s", d)
+		}
 	}
 }

@@ -42,16 +42,31 @@ type Loader struct {
 
 	std    types.Importer
 	byPath map[string]*Package
+	// Type-checked results are cached so repeated loads — every
+	// analyzer pass of a riolint run, every fixture test sharing the
+	// package loader — parse and type-check each package once.
+	modCache map[string][]*Package
+	dirCache map[string]*Package
 }
 
 // NewLoader returns a Loader with an empty package cache.
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
 	return &Loader{
-		Fset:   fset,
-		std:    importer.ForCompiler(fset, "source", nil),
-		byPath: make(map[string]*Package),
+		Fset:     fset,
+		std:      importer.ForCompiler(fset, "source", nil),
+		byPath:   make(map[string]*Package),
+		modCache: make(map[string][]*Package),
+		dirCache: make(map[string]*Package),
 	}
+}
+
+// cacheKey distinguishes loads whose file sets differ.
+func (l *Loader) cacheKey(path string) string {
+	if l.IncludeTests {
+		return path + "|tests"
+	}
+	return path
 }
 
 // modImporter resolves module-internal imports from the loader's cache
@@ -81,6 +96,9 @@ func (l *Loader) LoadModule(root string) ([]*Package, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
+	}
+	if cached, ok := l.modCache[l.cacheKey(root)]; ok {
+		return cached, nil
 	}
 	modulePath, err := modulePathOf(root)
 	if err != nil {
@@ -121,6 +139,7 @@ func (l *Loader) LoadModule(root string) ([]*Package, error) {
 			return nil, err
 		}
 	}
+	l.modCache[l.cacheKey(root)] = ordered
 	return ordered, nil
 }
 
@@ -133,6 +152,9 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cached, ok := l.dirCache[l.cacheKey(dir)]; ok {
+		return cached, nil
+	}
 	pkg, err := l.parseDir(dir, "fixture/"+filepath.Base(dir))
 	if err != nil {
 		return nil, err
@@ -143,6 +165,7 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	if err := l.check(pkg, "\x00no-module"); err != nil {
 		return nil, err
 	}
+	l.dirCache[l.cacheKey(dir)] = pkg
 	return pkg, nil
 }
 

@@ -1,0 +1,310 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Replorder is the fleet's commitorder: it pins the replication
+// protocol's crash-safety ordering (DESIGN.md §8) as typestate the
+// compiler cannot see. The ordering is the whole machine-loss argument:
+//
+//	exec → advance seq → persist seq → replicate to every active
+//	backup → ack the client
+//
+// and, on the control plane, a replica that adopts a higher epoch must
+// persist it before doing anything else — PR 7's review found exactly
+// that bug (a promoted primary whose epoch died with the process), so
+// the class is now a gate. Like commitorder, recognition is structural
+// and per-function-body, but the persist check is interprocedural: a
+// call that transitively reaches persistSeq counts as persisting.
+//
+// Rules, in internal/fleet (and fixtures declaring package fleet):
+//
+//  1. ack-before-replicate: returning a server.Exec result before the
+//     first confirmPeers/replicateTo call, unguarded by a Status check
+//     and not on the fenced read path, acks a write a machine loss can
+//     still drop.
+//  2. persist-before-exec: advancing and persisting the sequence number
+//     before the op executes makes tail replay skip the op after a
+//     crash between the two.
+//  3. unfenced read: a function that branches on op mutability and
+//     executes ops must call readFence before executing, and must use
+//     its result — a deposed primary that skips or ignores the fence
+//     serves stale reads.
+//  4. unpersisted epoch adoption: assigning a new epoch (other than
+//     loading it from stable storage) without a subsequent call that
+//     reaches persistSeq leaves promotion volatile across warm reboot.
+//
+// A site that legitimately reorders carries //riolint:replorder <reason>.
+var Replorder = &Analyzer{
+	Name:      "replorder",
+	Directive: "replorder",
+	Doc:       "fleet replication must exec, persist, replicate, then ack; adopted epochs must be persisted",
+	Run:       runReplorder,
+}
+
+func runReplorder(p *Pass) {
+	if p.Pkg.Name != "fleet" {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkReplContext(p, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkReplContext(p, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// replEvents is one function body's protocol activity, positionally.
+type replEvents struct {
+	execs      []token.Pos
+	confirm    token.Pos // first confirmPeers/replicateTo
+	fences     []token.Pos
+	fenceDrops []token.Pos // readFence calls whose result is discarded
+	persists   []token.Pos // direct or transitive persistSeq
+	seqAdvs    []token.Pos // writes to a .seq field
+	adopts     []token.Pos // non-load writes to a .epoch field
+	mutating   token.Pos   // first mutability branch
+	acks       []token.Pos // returns of an Exec-derived value (unguarded)
+}
+
+func checkReplContext(p *Pass, body *ast.BlockStmt) {
+	var ev replEvents
+	execVars := make(map[string]bool) // idents assigned from an Exec call
+	guards := statusGuardRanges(body)
+
+	own := func(n ast.Node) bool {
+		_, isLit := n.(*ast.FuncLit)
+		return !isLit
+	}
+
+	// First sweep: calls, field writes, exec-result bindings.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n != nil && !own(n) && n != body {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			switch calleeName(s) {
+			case "Exec":
+				ev.execs = append(ev.execs, s.Pos())
+			case "confirmPeers", "replicateTo":
+				if ev.confirm == token.NoPos {
+					ev.confirm = s.Pos()
+				}
+			case "readFence":
+				ev.fences = append(ev.fences, s.Pos())
+			case "persistSeq":
+				ev.persists = append(ev.persists, s.Pos())
+			case "mutating":
+				if ev.mutating == token.NoPos {
+					ev.mutating = s.Pos()
+				}
+			default:
+				if p.Prog != nil {
+					if callee := staticCallee(p.Pkg.Info, s); callee != nil &&
+						p.Prog.funcs[callee] != nil && p.Prog.reachesName(callee, "persistSeq") {
+						ev.persists = append(ev.persists, s.Pos())
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && calleeName(call) == "readFence" {
+				ev.fenceDrops = append(ev.fenceDrops, call.Pos())
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if sel, ok := unparen(lhs).(*ast.SelectorExpr); ok {
+					switch sel.Sel.Name {
+					case "seq":
+						ev.seqAdvs = append(ev.seqAdvs, lhs.Pos())
+					case "epoch":
+						if !rhsIsCall(s) {
+							ev.adopts = append(ev.adopts, lhs.Pos())
+						}
+					}
+				}
+			}
+			if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+				if call, ok := unparen(s.Rhs[0]).(*ast.CallExpr); ok && calleeName(call) == "Exec" {
+					if id, ok := unparen(s.Lhs[0]).(*ast.Ident); ok {
+						execVars[id.Name] = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel, ok := unparen(s.X).(*ast.SelectorExpr); ok && sel.Sel.Name == "seq" {
+				ev.seqAdvs = append(ev.seqAdvs, s.Pos())
+			}
+		}
+		return true
+	})
+
+	// Second sweep: returns of Exec-derived values, skipping Status-guarded
+	// branches (an early return of a failed Exec is a refusal, not an ack).
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n != nil && !own(n) && n != body {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, r := range ret.Results {
+			derived := false
+			switch x := unparen(r).(type) {
+			case *ast.CallExpr:
+				derived = calleeName(x) == "Exec"
+			case *ast.Ident:
+				derived = execVars[x.Name]
+			}
+			if derived && !inRanges(guards, ret.Pos()) {
+				ev.acks = append(ev.acks, ret.Pos())
+			}
+		}
+		return true
+	})
+
+	reportRepl(p, &ev)
+}
+
+func reportRepl(p *Pass, ev *replEvents) {
+	firstExec := first(ev.execs)
+	firstFence := first(ev.fences)
+	line := func(pos token.Pos) int { return p.Fset.Position(pos).Line }
+
+	// Rule 1: ack before replication confirmed.
+	if ev.confirm != token.NoPos {
+		for _, ack := range ev.acks {
+			if ack < ev.confirm && !(firstFence != token.NoPos && firstFence < ack) {
+				p.Reportf(ack,
+					"client acked before every active backup confirmed the write (replication at line %d); a machine loss here drops an acked write — replicate, then ack",
+					line(ev.confirm))
+			}
+		}
+	}
+
+	// Rule 2: seq advanced and persisted before the op executed.
+	if firstExec != token.NoPos {
+		for _, per := range ev.persists {
+			if per >= firstExec {
+				continue
+			}
+			for _, adv := range ev.seqAdvs {
+				if adv < per {
+					p.Reportf(per,
+						"sequence number persisted before the op executed (exec at line %d); a crash between them makes tail replay skip this op — exec, advance, then persist",
+						line(firstExec))
+					break
+				}
+			}
+		}
+	}
+
+	// Rule 3: the read path must fence, before executing, and use the result.
+	if ev.mutating != token.NoPos && firstExec != token.NoPos {
+		switch {
+		case firstFence == token.NoPos:
+			p.Reportf(ev.mutating,
+				"this function branches on op mutability but never calls readFence; a deposed primary that skips the fence serves stale reads")
+		case firstFence > firstExec:
+			p.Reportf(firstFence,
+				"readFence runs after an op already executed (exec at line %d); fence before serving",
+				line(firstExec))
+		}
+	}
+	for _, pos := range ev.fenceDrops {
+		p.Reportf(pos,
+			"readFence result discarded; a failed fence must refuse the read, not fall through")
+	}
+
+	// Rule 4: an adopted epoch must be persisted in the same function.
+	for _, adopt := range ev.adopts {
+		persisted := false
+		for _, per := range ev.persists {
+			if per > adopt {
+				persisted = true
+				break
+			}
+		}
+		if !persisted {
+			p.Reportf(adopt,
+				"adopted epoch is never persisted here; a warm reboot reloads the old epoch and the replica re-serves a fenced role — call persistSeq after adopting")
+		}
+	}
+}
+
+// statusGuardRanges collects the body ranges of if/switch statements
+// whose condition inspects a .Status field: returns inside them are
+// refusals of failed ops, not premature acks.
+func statusGuardRanges(body *ast.BlockStmt) [][2]token.Pos {
+	var ranges [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.IfStmt:
+			if s.Cond != nil && mentionsStatus(s.Cond) {
+				ranges = append(ranges, [2]token.Pos{s.Body.Pos(), s.Body.End()})
+				if s.Else != nil {
+					ranges = append(ranges, [2]token.Pos{s.Else.Pos(), s.Else.End()})
+				}
+			}
+		case *ast.SwitchStmt:
+			if s.Tag != nil && mentionsStatus(s.Tag) {
+				ranges = append(ranges, [2]token.Pos{s.Body.Pos(), s.Body.End()})
+			}
+		}
+		return true
+	})
+	return ranges
+}
+
+func mentionsStatus(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && strings.Contains(sel.Sel.Name, "Status") {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func inRanges(ranges [][2]token.Pos, pos token.Pos) bool {
+	for _, r := range ranges {
+		if pos >= r[0] && pos < r[1] {
+			return true
+		}
+	}
+	return false
+}
+
+func rhsIsCall(s *ast.AssignStmt) bool {
+	return len(s.Rhs) == 1 && isCall(unparen(s.Rhs[0]))
+}
+
+func isCall(e ast.Expr) bool {
+	_, ok := e.(*ast.CallExpr)
+	return ok
+}
+
+func first(ps []token.Pos) token.Pos {
+	if len(ps) == 0 {
+		return token.NoPos
+	}
+	min := ps[0]
+	for _, p := range ps[1:] {
+		if p < min {
+			min = p
+		}
+	}
+	return min
+}

@@ -1,0 +1,102 @@
+// Fixture: every sanctioned-window violation bufalias must catch —
+// pooled buffers escaping to fields, globals, channels, and goroutines,
+// leaks through helper calls (the interprocedural cases), use after
+// release, and an Into-style function that retains its destination.
+package kernelpool
+
+// kern mimics internal/kernel's bulk scratch.
+type kern struct {
+	bulkBuf []byte
+}
+
+func (k *kern) scratchBytes(n int) []byte { return k.bulkBuf[:n] }
+
+// fsT mimics internal/fs's block pool.
+type fsT struct {
+	blockPool [][]byte
+	readBuf   []byte
+}
+
+func (f *fsT) getPooledBlock() []byte {
+	if n := len(f.blockPool); n > 0 {
+		b := f.blockPool[n-1]
+		f.blockPool = f.blockPool[:n-1]
+		return b
+	}
+	return make([]byte, 512)
+}
+
+func (f *fsT) putPooledBlock(b []byte) {
+	if len(f.blockPool) < 64 {
+		f.blockPool = append(f.blockPool, b)
+	}
+}
+
+// readBlock hands out the shared read buffer: a transitive pool source.
+func (f *fsT) readBlock() []byte { return f.readBuf }
+
+type srv struct {
+	k    *kern
+	held []byte
+}
+
+var captured [][]byte
+
+// keepField stores a scratch alias in a field that outlives the window.
+func (s *srv) keepField() {
+	s.held = s.k.scratchBytes(8) // want bufalias "stored in s.held"
+}
+
+// keepGlobal appends a scratch alias to a package-level slice.
+func keepGlobal(k *kern) {
+	captured = append(captured, k.scratchBytes(4)) // want bufalias "stored in package-level captured"
+}
+
+// crossGoroutine hands a pooled block to a goroutine that will read it
+// after the pool reuses it.
+func crossGoroutine(f *fsT, sink func([]byte)) {
+	b := f.getPooledBlock()
+	go sink(b) // want bufalias "handed to a goroutine"
+}
+
+// crossChannel sends the shared read buffer to another goroutine.
+func crossChannel(f *fsT, ch chan []byte) {
+	ch <- f.readBlock() // want bufalias "sent on a channel"
+}
+
+// retain is a helper that stores its argument; passing it a pooled
+// buffer leaks through the call (seen via retain's summary).
+func retain(s *srv, b []byte) {
+	s.held = b
+}
+
+func leakThroughCall(s *srv, k *kern) {
+	retain(s, k.scratchBytes(16)) // want bufalias "passed to retain, which retains it"
+}
+
+// wrap returns a pooled alias; the leak is two calls from the pool.
+func wrap(k *kern) []byte { return k.scratchBytes(32) }
+
+func leakTransitive(s *srv, k *kern) {
+	s.held = wrap(k) // want bufalias "stored in s.held"
+}
+
+// useAfterPut reads a block after returning it to the pool.
+func useAfterPut(f *fsT) byte {
+	b := f.getPooledBlock()
+	b[0] = 1
+	f.putPooledBlock(b)
+	return b[0] // want bufalias "used after being released to the pool"
+}
+
+// cacheT mimics internal/cache; ReadInto is on the zero-copy contract
+// surface and must never retain dst.
+type cacheT struct {
+	data []byte
+	last []byte
+}
+
+func (c *cacheT) ReadInto(off int, dst []byte) { // want bufalias "ReadInto must not retain its destination buffer"
+	copy(dst, c.data[off:])
+	c.last = dst
+}

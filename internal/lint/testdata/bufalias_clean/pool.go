@@ -1,0 +1,104 @@
+// Fixture: the sanctioned uses bufalias must NOT flag — working on a
+// pooled buffer inside its window, copying the bytes out, propagating
+// the window by returning the alias, releasing a block exactly once,
+// an Into-style function that only fills its destination, and an
+// annotated custody transfer.
+package kernelpool
+
+type kern struct {
+	bulkBuf []byte
+}
+
+func (k *kern) scratchBytes(n int) []byte { return k.bulkBuf[:n] }
+
+type fsT struct {
+	blockPool [][]byte
+	pending   [][]byte
+}
+
+func (f *fsT) getPooledBlock() []byte {
+	if n := len(f.blockPool); n > 0 {
+		b := f.blockPool[n-1]
+		f.blockPool = f.blockPool[:n-1]
+		return b
+	}
+	return make([]byte, 512)
+}
+
+func (f *fsT) putPooledBlock(b []byte) {
+	if len(f.blockPool) < 64 {
+		f.blockPool = append(f.blockPool, b)
+	}
+}
+
+// sumInWindow uses the scratch strictly inside its window.
+func sumInWindow(k *kern) int {
+	b := k.scratchBytes(8)
+	total := 0
+	for _, v := range b {
+		total += int(v)
+	}
+	return total
+}
+
+type srv struct {
+	held []byte
+}
+
+// copyOut keeps bytes, not the alias: storing the copy is fine.
+func copyOut(s *srv, k *kern) {
+	b := k.scratchBytes(8)
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	s.held = cp
+}
+
+// wrap may return the alias: that propagates the window to the caller,
+// and the caller is tracked in turn.
+func wrap(k *kern) []byte { return k.scratchBytes(32) }
+
+// useWrapped consumes the propagated alias inside the window.
+func useWrapped(k *kern) byte {
+	return wrap(k)[0]
+}
+
+// fillOnly writes into its argument without retaining it, so callers
+// may hand it pooled buffers.
+func fillOnly(dst []byte) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+// releaseOnce uses a block, releases it, and never touches it again.
+func releaseOnce(f *fsT) {
+	b := f.getPooledBlock()
+	fillOnly(b)
+	f.putPooledBlock(b)
+}
+
+// rebindAfterPut releases a block and rebinds the name to fresh memory:
+// the released alias is gone, so later uses are of the new buffer.
+func rebindAfterPut(f *fsT) byte {
+	b := f.getPooledBlock()
+	f.putPooledBlock(b)
+	b = make([]byte, 1)
+	return b[0]
+}
+
+// queueOwned models the fs async-write queue: custody of the block
+// moves to pending until a drain releases it, annotated as sanctioned.
+func (f *fsT) queueOwned() {
+	cp := f.getPooledBlock()
+	//riolint:bufalias fixture custody transfer: pending owns cp until drained
+	f.pending = append(f.pending, cp)
+}
+
+type cacheT struct {
+	data []byte
+}
+
+// ReadInto fills dst and forgets it: the zero-copy contract holds.
+func (c *cacheT) ReadInto(off int, dst []byte) {
+	copy(dst, c.data[off:])
+}

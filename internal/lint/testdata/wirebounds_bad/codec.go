@@ -1,0 +1,68 @@
+// Fixture: the decode-path bounds mistakes wirebounds must catch — a
+// decoded length driving a slice with no checks at all, with only the
+// remaining-bytes half, sizing an allocation unbounded, and flowing
+// into a take-style reader without its protocol maximum (the
+// length-before-bounds-check bug class, reconstructed).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+var errTruncated = errors.New("truncated")
+
+const maxData = 1 << 20
+
+// decodeNoChecks slices with the raw decoded length: a truncated frame
+// panics, an adversarial one reads past the payload.
+func decodeNoChecks(buf []byte) []byte {
+	n := binary.BigEndian.Uint32(buf)
+	return buf[4 : 4+n] // want wirebounds "no bounds check at all"
+}
+
+// decodeNoMax checks the remaining bytes but accepts any declared size.
+func decodeNoMax(buf []byte) ([]byte, error) {
+	n := binary.BigEndian.Uint32(buf)
+	if uint32(len(buf)) < 4+n {
+		return nil, errTruncated
+	}
+	return buf[4 : 4+n], nil // want wirebounds "without a protocol-maximum bound"
+}
+
+// allocNoMax lets a 4-byte header demand a 4 GiB allocation.
+func allocNoMax(hdr []byte) []byte {
+	n := binary.BigEndian.Uint32(hdr)
+	return make([]byte, n) // want wirebounds "sizes an allocation without a protocol-maximum bound"
+}
+
+// cur is a take-style sticky-error reader: take bounds its argument
+// against the remaining buffer, but knows no protocol maximum.
+type cur struct {
+	buf []byte
+	err error
+}
+
+func (c *cur) take(n int) []byte {
+	if n < 0 || n > len(c.buf) {
+		c.err = errTruncated
+		return nil
+	}
+	b := c.buf[:n]
+	c.buf = c.buf[n:]
+	return b
+}
+
+func (c *cur) u32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// blobNoMax trusts a u32 length straight into take: bounded by the
+// remaining bytes, unbounded by the protocol.
+func (c *cur) blobNoMax() []byte {
+	return c.take(int(c.u32())) // want wirebounds "reaches take"
+}

@@ -1,0 +1,106 @@
+// Fixture: fully checked decodes wirebounds must NOT flag — lengths
+// compared against both the protocol maximum and the remaining bytes
+// before use, small self-bounded widths (u8/u16), loop counters that
+// never touch a slice or allocation, and an annotated decoder whose
+// blob carries no maximum by design.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+var (
+	errTruncated = errors.New("truncated")
+	errTooBig    = errors.New("too big")
+)
+
+const maxData = 1 << 20
+
+// decodeChecked is the canonical shape: maximum first, remaining bytes
+// second, then the slice.
+func decodeChecked(buf []byte) ([]byte, error) {
+	n := binary.BigEndian.Uint32(buf)
+	if n > maxData {
+		return nil, errTooBig
+	}
+	if uint32(len(buf)) < 4+n {
+		return nil, errTruncated
+	}
+	return buf[4 : 4+n], nil
+}
+
+// allocChecked bounds the size before allocating, against a caller-
+// supplied maximum (a parameter is a legitimate bound).
+func allocChecked(hdr []byte, max uint32) ([]byte, error) {
+	n := binary.BigEndian.Uint32(hdr)
+	if n > max {
+		return nil, errTooBig
+	}
+	return make([]byte, n), nil
+}
+
+type cur struct {
+	buf []byte
+	err error
+}
+
+func (c *cur) take(n int) []byte {
+	if n < 0 || n > len(c.buf) {
+		c.err = errTruncated
+		return nil
+	}
+	b := c.buf[:n]
+	c.buf = c.buf[n:]
+	return b
+}
+
+func (c *cur) u16() uint16 {
+	b := c.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (c *cur) u32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// str reads a u16-prefixed string: 16 bits cannot exceed any protocol
+// maximum worth having, so take's remaining-bytes check suffices.
+func (c *cur) str() string {
+	n := c.u16()
+	return string(c.take(int(n)))
+}
+
+// blobChecked pins the u32 length to the protocol maximum before take.
+func (c *cur) blobChecked() ([]byte, error) {
+	n := int(c.u32())
+	if n > maxData {
+		return nil, errTooBig
+	}
+	return c.take(n), nil
+}
+
+// countOnly decodes a record count used purely as a loop bound: no
+// slice, no allocation, nothing to flag.
+func countOnly(buf []byte) int {
+	n := binary.BigEndian.Uint32(buf)
+	total := 0
+	for i := uint32(0); i < n; i++ {
+		total++
+	}
+	return total
+}
+
+// fileRecord reads a whole-file record: its blob carries no protocol
+// maximum by design, and says so.
+func (c *cur) fileRecord() []byte {
+	//riolint:wirebounds fixture record length is bounded by the blob's remaining bytes by design
+	return c.take(int(c.u32()))
+}

@@ -9,9 +9,13 @@ go build ./...
 go vet ./...
 # riolint enforces the invariants vet can't see: deterministic iteration,
 # no host clock/randomness in sim packages, paired protection windows,
-# sim.Mix-only seed derivation. A finding fails the gate; fix it or
-# suppress with a reasoned //riolint: comment (see DESIGN.md).
-go run ./cmd/riolint ./...
+# sim.Mix-only seed derivation, pooled-buffer aliasing windows, the
+# fleet's exec→persist→replicate→ack ordering, and bounds-checked wire
+# decodes. A finding fails the gate; fix it or suppress with a reasoned
+# //riolint: comment (see DESIGN.md). The -json report (findings plus
+# per-analyzer wall time) lands in riolint.json, uploaded as a CI
+# artifact; on failure the findings are echoed to the log.
+go run ./cmd/riolint -json ./... > riolint.json || { cat riolint.json; exit 1; }
 go test ./...
 # The campaign scheduler fans runs across goroutines; guard it with the
 # race detector (this re-runs the real mini-campaigns under -race, so it
