@@ -2,7 +2,7 @@
 # vet, tests, and the race detector over the concurrent campaign
 # scheduler (scripts/check.sh is the single source of truth).
 
-.PHONY: check build lint test race bench bench-core crash-recovery crash-txn crash-fleet serve-bench
+.PHONY: check build lint test race bench bench-core crash-recovery crash-txn crash-fleet serve-bench scenarios
 
 check:
 	sh scripts/check.sh
@@ -71,6 +71,22 @@ crash-txn:
 # back byte-equal or a deposed primary serves a stale read.
 crash-fleet:
 	go run ./cmd/riocrash -fleet -runs 55 -seed 1996
+
+# Scenario suite smoke: run every checked-in scenario (scenarios/*.json)
+# through rioscn twice — once at 1 worker, once at 4 — and diff the
+# canonical JSON reports byte-for-byte. Proves the tentpole guarantee
+# (any campaign cell reproduces byte-identically at any worker count)
+# on every spec the repo ships, and exits nonzero if any scenario
+# breaches its zero gates (lost acked writes, torn commits, stale
+# reads). The -workers 4 reports land in scenario-reports/, uploaded as
+# a CI artifact.
+scenarios:
+	rm -rf scenario-reports scenario-reports-w1
+	go run ./cmd/rioscn -workers 1 -quiet -no-timing -json-dir scenario-reports-w1 scenarios >/dev/null
+	go run ./cmd/rioscn -workers 4 -quiet -json-dir scenario-reports scenarios
+	diff -r scenario-reports-w1 scenario-reports
+	rm -rf scenario-reports-w1
+	@echo "scenarios: reports byte-identical at -workers 1 and -workers 4"
 
 crash-recovery-golden:
 	mkdir -p testdata

@@ -26,6 +26,11 @@
 // Rio systems under every fault type. -runs then sets attempts per
 // cell (there is no crash quota).
 //
+// -scenario <file> runs one declarative scenario spec (see
+// internal/scenario and cmd/rioscn) instead of the built-in campaign:
+// the spec chooses workload, fault plan, crash schedule, and topology,
+// and the resulting report is byte-identical at any -workers value.
+//
 // -fleet switches to the fleet campaign: each run boots a replicated
 // fleet (internal/fleet), acks writes, injects one fleet-level fault —
 // machine kill, primary partition, backup loss, OS crash, or a
@@ -45,7 +50,42 @@ import (
 	"rio"
 	"rio/internal/crashtest"
 	"rio/internal/crashtest/fleetcampaign"
+	"rio/internal/scenario"
 )
+
+// scenarioMode parses and runs one scenario file, printing its
+// corruption and latency tables and gating on the zero columns.
+func scenarioMode(file string, workers int, quiet bool) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "riocrash:", err)
+		os.Exit(1)
+	}
+	spec, err := scenario.Parse(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "riocrash: %s: %v\n", file, err)
+		os.Exit(1)
+	}
+	r := &scenario.Runner{Workers: workers, Now: time.Now}
+	if !quiet {
+		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	res, err := r.Run(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "riocrash: %s: %v\n", file, err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Table())
+	if lt := res.LatencyTable(); lt != "" {
+		fmt.Println()
+		fmt.Print(lt)
+	}
+	if err := res.Gate(); err != nil {
+		fmt.Fprintln(os.Stderr, "riocrash: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("scenario passed: zero acked-write loss, zero torn commits, zero stale reads")
+}
 
 // fleetMode runs the fleet campaign and prints its report.
 func fleetMode(runs int, seed uint64, workers int, quiet bool) {
@@ -125,6 +165,7 @@ func main() {
 	diskFaults := flag.Bool("disk-faults", false, "inject storage faults and a second crash during recovery")
 	txnMode := flag.Bool("txn", false, "run the transactional campaign (torn-commit hunt) instead of memTest")
 	fleetFlag := flag.Bool("fleet", false, "run the fleet campaign (machine-loss survival) instead of memTest; -runs = total plans")
+	scenarioFile := flag.String("scenario", "", "run one declarative scenario spec file instead of the built-in campaign")
 	jsonPath := flag.String("json", "", "write the full report as JSON to this path")
 	quiet := flag.Bool("quiet", false, "suppress per-cell progress")
 	flag.Parse()
@@ -132,6 +173,14 @@ func main() {
 	if *txnMode && *fleetFlag {
 		fmt.Fprintln(os.Stderr, "riocrash: -txn and -fleet are mutually exclusive")
 		os.Exit(2)
+	}
+	if *scenarioFile != "" {
+		if *txnMode || *fleetFlag {
+			fmt.Fprintln(os.Stderr, "riocrash: -scenario is exclusive with -txn and -fleet (the spec picks the campaign)")
+			os.Exit(2)
+		}
+		scenarioMode(*scenarioFile, *workers, *quiet)
+		return
 	}
 	if *fleetFlag {
 		fleetMode(*runs, *seed, *workers, *quiet)

@@ -50,9 +50,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
 	"os"
-	"sort"
 	"sync"
 	"time"
 
@@ -61,6 +59,7 @@ import (
 	"rio/internal/server"
 	"rio/internal/sim"
 	"rio/internal/wire"
+	"rio/internal/workload"
 )
 
 type loadConfig struct {
@@ -269,7 +268,7 @@ func runLoad(cfg loadConfig) (*runResult, *server.Metrics, error) {
 	for i := range keys {
 		keys[i] = fmt.Sprintf("/bench-k%05d", i)
 	}
-	cdf := skewCDF(cfg.Keys, cfg.Skew)
+	cdf := workload.NewKeyCDF(cfg.Keys, cfg.Skew)
 	payload := make([]byte, cfg.Size)
 	for i := range payload {
 		payload[i] = byte(i)
@@ -399,13 +398,13 @@ func populate(cfg loadConfig, srv *server.Server, keys []string, payload []byte)
 // (RetryClient's stats are not synchronized) around the shared,
 // concurrency-safe transport.
 func worker(cfg loadConfig, cl server.Client, idx int, keys []string,
-	cdf []float64, payload []byte, deadline time.Time, out *runResult) error {
+	cdf workload.KeyCDF, payload []byte, deadline time.Time, out *runResult) error {
 	rc := &server.RetryClient{C: cl, Pol: server.DefaultRetryPolicy()}
 	rng := sim.NewRand(sim.Mix(cfg.Seed, uint64(idx), 0x10ad))
 
 	id := uint64(idx) << 32
 	for time.Now().Before(deadline) {
-		key := keys[pick(cdf, rng)]
+		key := keys[cdf.Pick(rng)]
 		id++
 		req := &wire.Request{ID: id, Shard: -1, Path: key}
 		isWrite := rng.Float64() < cfg.Writes
@@ -536,7 +535,7 @@ func runFleetLoad(cfg loadConfig, peers, replicas int) (*runResult, *fleetReport
 	for i := range keys {
 		keys[i] = fmt.Sprintf("/bench-k%05d", i)
 	}
-	cdf := skewCDF(cfg.Keys, cfg.Skew)
+	cdf := workload.NewKeyCDF(cfg.Keys, cfg.Skew)
 	payload := make([]byte, cfg.Size)
 	for i := range payload {
 		payload[i] = byte(i)
@@ -629,7 +628,7 @@ func runFleetLoad(cfg loadConfig, peers, replicas int) (*runResult, *fleetReport
 			rng := sim.NewRand(sim.Mix(cfg.Seed, uint64(c), 0xF1EE7))
 			id := uint64(c) << 32
 			for time.Now().Before(deadline) {
-				key := keys[pick(cdf, rng)]
+				key := keys[cdf.Pick(rng)]
 				id++
 				req := &wire.Request{ID: id, Shard: -1, Path: key}
 				isWrite := rng.Float64() < cfg.Writes
@@ -728,28 +727,4 @@ func runFleetLoad(cfg loadConfig, peers, replicas int) (*runResult, *fleetReport
 		Verified: verified, Lost: lost,
 	}
 	return merged, fr, nil
-}
-
-// skewCDF builds the cumulative distribution for a power-law key
-// popularity: weight(i) = 1/(i+1)^s. s=0 is uniform.
-func skewCDF(n int, s float64) []float64 {
-	cdf := make([]float64, n)
-	total := 0.0
-	for i := 0; i < n; i++ {
-		total += 1.0 / math.Pow(float64(i+1), s)
-		cdf[i] = total
-	}
-	for i := range cdf {
-		cdf[i] /= total
-	}
-	return cdf
-}
-
-// pick samples the CDF with one uniform draw.
-func pick(cdf []float64, rng *sim.Rand) int {
-	i := sort.SearchFloat64s(cdf, rng.Float64())
-	if i >= len(cdf) {
-		i = len(cdf) - 1 // guard the float rounding edge at cdf[n-1]
-	}
-	return i
 }

@@ -356,6 +356,36 @@ type Config struct {
 	Workers int // 0 = GOMAXPROCS
 	// Progress, when set, receives one line per folded run.
 	Progress func(string)
+
+	// Kinds, when non-empty, restricts the campaign to these fault
+	// kinds (plans cycle through the list by index). Empty means all
+	// NumKinds, exactly as PlanFor derives them — existing reports are
+	// unchanged.
+	Kinds []FaultKind
+	// Nodes/Shards/Replicas override the fleet topology when positive;
+	// zero keeps PlanFor's defaults (3/2/2).
+	Nodes    int
+	Shards   int
+	Replicas int
+}
+
+// planFor derives plan i under the config's kind set and topology
+// overrides. With a zero-value override set it is PlanFor exactly.
+func (cfg Config) planFor(i int) Plan {
+	p := PlanFor(cfg.Seed, i)
+	if len(cfg.Kinds) > 0 {
+		p.Kind = cfg.Kinds[i%len(cfg.Kinds)]
+	}
+	if cfg.Nodes > 0 {
+		p.Nodes = cfg.Nodes
+	}
+	if cfg.Shards > 0 {
+		p.Shards = cfg.Shards
+	}
+	if cfg.Replicas > 0 {
+		p.Replicas = cfg.Replicas
+	}
+	return p
 }
 
 // DefaultConfig covers all five fault kinds across a healthy sample of
@@ -498,7 +528,7 @@ func Run(cfg Config) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range ch {
-				results[i] = RunOne(PlanFor(cfg.Seed, i))
+				results[i] = RunOne(cfg.planFor(i))
 			}
 		}()
 	}

@@ -1,0 +1,190 @@
+package crashtest
+
+import (
+	"fmt"
+
+	"rio/internal/disk"
+	"rio/internal/fault"
+	"rio/internal/kernel"
+	"rio/internal/sim"
+	"rio/internal/txn"
+	"rio/internal/warmreboot"
+	"rio/internal/workload"
+)
+
+// WorkloadFactory builds a fresh workload instance for one crash run.
+// The seed is the run's workload stream (derived from the run seed
+// exactly as RunOne derives memTest's); writeThrough is true on the
+// disk-based write-through column, where the workload must fsync its
+// completed writes to be entitled to durability convictions.
+type WorkloadFactory func(seed uint64, writeThrough bool) workload.Workload
+
+// WorkloadResult is the outcome of one generic-workload crash run: the
+// RunOne observability fields plus the workload's typed verdict.
+type WorkloadResult struct {
+	System System
+	Fault  fault.Type
+	Seed   uint64
+
+	Crashed     bool
+	CrashKind   kernel.CrashKind
+	CrashReason string
+	OpsToCrash  int
+
+	// Verdict is the workload's own classification of the recovered
+	// tree. Torn/Lost convictions are downgraded to detected corruption
+	// when recovery did not certify the storage clean (the same rule the
+	// transactional campaign applies): damage the system itself flagged
+	// is a detected storage failure, not a silent consistency breach.
+	Verdict   workload.Verdict
+	Corrupted bool
+	// TornMasked / LostMasked count convictions downgraded by that
+	// rule, so the report still shows the raw signal.
+	TornMasked int
+	LostMasked int
+
+	StaticCorrupted     bool
+	ChecksumDetected    bool
+	ProtectionInvoked   bool
+	RecoveryInterrupted bool
+	RecoveryAborted     bool
+	Quarantined         int
+	Salvaged            int
+	VolumeLost          bool
+}
+
+// RunWorkloadOne is RunOne generalised over the workload library: boot
+// the chosen system, warm the workload up, inject the fault, run to
+// the crash, recover (cold+fsck or warm reboot, with the double-fault
+// disk plan when configured), and let the workload classify what
+// survived. The seed discipline is identical to RunOne — one root
+// stream forked in the same order — so a scenario cell is replayable
+// from (sys, fault, seed) alone.
+func RunWorkloadOne(sys System, ft fault.Type, cfg RunConfig, mk WorkloadFactory) (res WorkloadResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("crashtest: simulator panic (sys=%v fault=%v seed=%d): %v",
+				sys, ft, cfg.Seed, r)
+		}
+	}()
+	res = WorkloadResult{System: sys, Fault: ft, Seed: cfg.Seed}
+	root := sim.NewRand(cfg.Seed)
+	faultRng := root.Fork()
+	wlSeed := root.Uint64()
+
+	m, err := buildMachine(sys, cfg)
+	if err != nil {
+		return res, err
+	}
+	if err := setupStatic(m); err != nil {
+		return res, fmt.Errorf("crashtest: static setup: %w", err)
+	}
+
+	w := mk(wlSeed, sys == DiskWT)
+	if err := w.Setup(m.FS); err != nil {
+		return res, fmt.Errorf("crashtest: workload setup: %w", err)
+	}
+
+	for i := 0; i < cfg.WarmupOps; i++ {
+		if err := w.Step(m.FS); err != nil {
+			return res, fmt.Errorf("crashtest: warmup step %d: %w", i, err)
+		}
+	}
+
+	if err := fault.Inject(m, ft, cfg.FaultCount, faultRng); err != nil {
+		return res, err
+	}
+
+	for i := 0; i < cfg.MaxOps; i++ {
+		err := w.Step(m.FS)
+		if c := m.Crashed(); c != nil {
+			res.Crashed = true
+			res.CrashKind = c.Kind
+			res.CrashReason = c.Reason
+			res.OpsToCrash = i + 1
+			res.ProtectionInvoked = c.Kind == kernel.CrashProtection
+			break
+		}
+		if err != nil {
+			// Error without a kernel crash: the op failed but the system
+			// limps on; the workload state machine treats it as un-acked.
+			continue
+		}
+	}
+	if !res.Crashed {
+		return res, nil // discarded by the campaign
+	}
+
+	m.CrashFinish()
+
+	if cfg.DiskFaults {
+		plan := disk.DefaultFaultPlan(sim.Mix(cfg.Seed, diskFaultSalt))
+		m.Disk.SetFaultPlan(&plan)
+	}
+
+	switch sys {
+	case DiskWT:
+		if _, err := warmreboot.Cold(m, sim.Mix(cfg.Seed, coldBootSalt)); err != nil {
+			m.Disk.SetFaultPlan(nil)
+			res.Corrupted = true
+			res.Verdict.Corruptions = append(res.Verdict.Corruptions,
+				workload.Corruption{Path: "/", Detail: "volume unrecoverable: " + err.Error()})
+			return res, nil
+		}
+	default:
+		dump := m.Mem.Dump()
+		opts := warmreboot.DefaultOptions()
+		if cfg.DiskFaults {
+			opts.CrashAtStep = int(sim.Mix(cfg.Seed, recoveryCrashSalt) % recoveryCrashWindow)
+		}
+		rep, err := warmreboot.FromDumpOpts(m, dump, opts)
+		if err == warmreboot.ErrInterrupted {
+			res.RecoveryInterrupted = true
+			rep, err = warmreboot.FromDump(m, dump)
+		}
+		if err != nil {
+			m.Disk.SetFaultPlan(nil)
+			res.RecoveryAborted = true
+			res.Corrupted = true
+			res.Verdict.Corruptions = append(res.Verdict.Corruptions,
+				workload.Corruption{Path: "/", Detail: "warm reboot failed: " + err.Error()})
+			return res, nil
+		}
+		res.ChecksumDetected = rep.ChecksumMismatches > 0
+		res.Quarantined = rep.MetaFailed + rep.DataFailed
+		res.Salvaged = rep.Salvaged
+		if rep.VolumeLost {
+			m.Disk.SetFaultPlan(nil)
+			res.VolumeLost = true
+			res.Corrupted = true
+			res.Verdict.Corruptions = append(res.Verdict.Corruptions,
+				workload.Corruption{Path: "/", Detail: "volume lost: " + rep.Fsck.String()})
+			return res, nil
+		}
+	}
+	m.Disk.SetFaultPlan(nil)
+
+	res.Verdict = w.Check(m.FS)
+	res.StaticCorrupted = checkStatic(m)
+
+	// The recovery-clean rule: only a run whose recovery certified the
+	// storage intact can convict the stack of a silent Torn/Lost breach.
+	recoveryClean := !res.ChecksumDetected && res.Quarantined == 0 && res.Salvaged == 0
+	for _, c := range res.Verdict.Corruptions {
+		if c.Path == txn.Dir { // the TxnTest adapter reports quarantined records here
+			recoveryClean = false
+		}
+	}
+	if !recoveryClean {
+		res.TornMasked, res.LostMasked = res.Verdict.Torn, res.Verdict.Lost
+		res.Verdict.Torn, res.Verdict.Lost = 0, 0
+		if res.TornMasked > 0 || res.LostMasked > 0 {
+			res.Verdict.Corruptions = append(res.Verdict.Corruptions, workload.Corruption{
+				Path: "/", Detail: fmt.Sprintf(
+					"recovery reported damage: %d torn / %d lost downgraded to detected corruption",
+					res.TornMasked, res.LostMasked)})
+		}
+	}
+	res.Corrupted = len(res.Verdict.Corruptions) > 0 || res.StaticCorrupted
+	return res, nil
+}

@@ -312,7 +312,7 @@ var detPackages = map[string]bool{
 	"sim": true, "disk": true, "fs": true, "cache": true,
 	"kernel": true, "mmu": true, "machine": true, "warmreboot": true,
 	"ioretry": true, "crashtest": true, "fleetcampaign": true,
-	"registry": true, "workload": true, "fault": true,
+	"registry": true, "workload": true, "fault": true, "scenario": true,
 }
 
 // baseIdent unwraps selectors, indexing, stars, and parens down to the

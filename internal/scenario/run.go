@@ -1,0 +1,464 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"rio/internal/crashtest"
+	"rio/internal/crashtest/fleetcampaign"
+	"rio/internal/fault"
+	"rio/internal/kernel"
+	"rio/internal/server"
+	"rio/internal/sim"
+	"rio/internal/wire"
+	"rio/internal/workload"
+)
+
+// Salts namespacing the scenario engine's derived seed streams. Every
+// plan seed is sim.Mix(spec.Seed, salt, coordinates...) — no stream is
+// ever shared between plans, so plans parallelise freely.
+const (
+	crashPlanSalt  = 0x5CECA5F7
+	serverPlanSalt = 0x5CE5E44E
+	serverKeySalt  = 0xC0FFEE42
+	serverShard    = 0xC7A54D0
+	serverDataSalt = 0xDA7AB10B
+)
+
+// crashAttempts bounds fault-injection retries per crash plan: a plan
+// whose faults never take the system down within this many derived
+// seeds is scored discarded, as in the paper (about half their runs).
+const crashAttempts = 6
+
+// Runner executes scenarios. The zero value runs at GOMAXPROCS with no
+// clock: byte-identical reports, empty latency tables. cmd/rioscn
+// passes Now=time.Now to populate timing.
+type Runner struct {
+	// Workers caps plan-level parallelism; 0 = GOMAXPROCS.
+	Workers int
+	// Now, when non-nil, is the wall clock for latency accounting.
+	// Timing never enters the canonical JSON report. Determinism-
+	// critical code must not read wall time; the clock is injected
+	// here, at the edge, by non-deterministic callers only.
+	Now func() time.Time
+	// Progress, when set, receives one line per folded plan.
+	Progress func(string)
+}
+
+// Run compiles and executes one validated spec.
+func (r *Runner) Run(spec *Spec) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	switch spec.Kind {
+	case KindCrash:
+		return r.runCrash(spec)
+	case KindServer:
+		return r.runServer(spec)
+	case KindFleet:
+		return r.runFleet(spec)
+	}
+	return nil, fmt.Errorf("scenario: unknown kind %q", spec.Kind)
+}
+
+// elapsed returns a closure measuring wall time since now; zero
+// duration without a clock.
+func (r *Runner) elapsed() func() int64 {
+	if r.Now == nil {
+		return func() int64 { return 0 }
+	}
+	start := r.Now()
+	return func() int64 { return int64(r.Now().Sub(start)) }
+}
+
+// forEach runs fn(i) for i in [0,n) on the worker pool. fn writes only
+// its own slot.
+func (r *Runner) forEach(n int, fn func(i int)) {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// compileWorkload turns the workload spec into a per-run factory.
+func compileWorkload(w WorkloadSpec) crashtest.WorkloadFactory {
+	return func(seed uint64, writeThrough bool) workload.Workload {
+		switch w.Name {
+		case "txntest":
+			return workload.NewTxnTest(seed, w.Accounts)
+		case "metacache":
+			mc := workload.NewMetaCache(seed, w.Files, w.Skew)
+			mc.WriteThrough = writeThrough
+			return mc
+		case "mailspool":
+			ms := workload.NewMailSpool(seed, w.Queue)
+			ms.WriteThrough = writeThrough
+			return ms
+		case "hotkey":
+			hk := workload.NewHotKey(seed, w.Keys, w.Skew, w.EpochLen)
+			hk.WriteThrough = writeThrough
+			return hk
+		case "scan":
+			sc := workload.NewScan(seed, w.Segments, w.BatchesPerSeg)
+			sc.WriteThrough = writeThrough
+			return sc
+		default: // memtest (Validate guarantees the name set)
+			mt := workload.NewMemTest(seed, w.Bytes)
+			mt.WriteThrough = writeThrough
+			return mt
+		}
+	}
+}
+
+// --- crash kind ---
+
+// crashPlanOutcome is one plan's slot.
+type crashPlanOutcome struct {
+	cell      int
+	crashed   bool
+	res       crashtest.WorkloadResult
+	err       error
+	elapsedNs int64
+}
+
+func (r *Runner) runCrash(spec *Spec) (*Result, error) {
+	systems := make([]crashtest.System, len(spec.Topology.Systems))
+	for i, name := range spec.Topology.Systems {
+		systems[i], _ = systemByName(name) // Validate already resolved
+	}
+	var fts []fault.Type
+	if len(spec.Faults.Types) == 0 {
+		fts = append(fts, fault.AllTypes...)
+	} else {
+		for _, name := range spec.Faults.Types {
+			ft, _ := faultByName(name)
+			fts = append(fts, ft)
+		}
+	}
+
+	out := &Result{Name: spec.Name, Kind: spec.Kind, Workload: spec.Workload.Name,
+		Seed: spec.Seed, Runs: spec.Runs}
+	for _, sys := range systems {
+		for _, ft := range fts {
+			out.Cells = append(out.Cells, Cell{Label: sys.String() + "/" + ft.String()})
+		}
+	}
+	mk := compileWorkload(spec.Workload)
+
+	slots := make([]crashPlanOutcome, spec.Runs)
+	total := r.elapsed()
+	r.forEach(spec.Runs, func(i int) {
+		sysIdx := i % len(systems)
+		ftIdx := (i / len(systems)) % len(fts)
+		o := &slots[i]
+		o.cell = sysIdx*len(fts) + ftIdx
+		tick := r.elapsed()
+		// Fault-injection attempts: first seed that actually crashes is
+		// the scored run; a plan that never crashes is discarded.
+		for a := 0; a < crashAttempts; a++ {
+			cfg := crashtest.RunConfig{
+				Seed:         sim.Mix(spec.Seed, crashPlanSalt, uint64(i), uint64(a)),
+				WarmupOps:    spec.Schedule.WarmupOps,
+				MaxOps:       spec.Schedule.MaxOps,
+				FaultCount:   spec.Faults.Count,
+				MemTestBytes: spec.Workload.Bytes,
+				VMBudget:     400_000,
+				DiskFaults:   spec.Faults.DiskFaults,
+			}
+			res, err := crashtest.RunWorkloadOne(systems[sysIdx], fts[ftIdx], cfg, mk)
+			if err != nil {
+				o.err = err
+				break
+			}
+			if res.Crashed {
+				o.crashed = true
+				o.res = res
+				break
+			}
+		}
+		o.elapsedNs = tick()
+	})
+
+	// Fold in plan order.
+	for i := range slots {
+		o := &slots[i]
+		c := &out.Cells[o.cell]
+		c.Runs++
+		c.ElapsedNs += o.elapsedNs
+		switch {
+		case o.err != nil:
+			c.Errors++
+			c.LastError = o.err.Error()
+		case !o.crashed:
+			c.Discarded++
+		default:
+			c.Crashed++
+			foldWorkloadResult(c, &o.res)
+		}
+		if r.Progress != nil {
+			r.Progress(fmt.Sprintf("%s plan %03d %s: crashed=%v lost=%d torn=%d corruptions=%d",
+				spec.Name, i, out.Cells[o.cell].Label, o.crashed,
+				o.res.Verdict.Lost, o.res.Verdict.Torn, len(o.res.Verdict.Corruptions)))
+		}
+	}
+	out.finish()
+	out.ElapsedNs = total()
+	return out, nil
+}
+
+// foldWorkloadResult accumulates one scored crash run into its cell.
+func foldWorkloadResult(c *Cell, res *crashtest.WorkloadResult) {
+	c.Checked += res.Verdict.Checked
+	c.Corruptions += len(res.Verdict.Corruptions)
+	if res.Corrupted {
+		c.Corrupted++
+	}
+	c.Lost += res.Verdict.Lost
+	c.Torn += res.Verdict.Torn
+	c.TornMasked += res.TornMasked
+	c.LostMasked += res.LostMasked
+	if res.ChecksumDetected {
+		c.ChecksumDetected++
+	}
+	if res.ProtectionInvoked {
+		c.ProtectionInvoked++
+	}
+	c.Quarantined += res.Quarantined
+	c.Salvaged += res.Salvaged
+	if res.VolumeLost {
+		c.VolumeLost++
+	}
+	if res.RecoveryInterrupted {
+		c.RecoveryInterrupted++
+	}
+}
+
+// --- server kind ---
+
+// serverPlanOutcome is one crash-under-load run's slot.
+type serverPlanOutcome struct {
+	acked     int
+	unacked   int
+	lost      int
+	corrupt   int
+	checked   int
+	err       error
+	elapsedNs int64
+}
+
+func (r *Runner) runServer(spec *Spec) (*Result, error) {
+	out := &Result{Name: spec.Name, Kind: spec.Kind, Workload: spec.Workload.Name,
+		Seed: spec.Seed, Runs: spec.Runs,
+		Cells: []Cell{{Label: fmt.Sprintf("server/%d-shards/crash-under-load", spec.Topology.Shards)}}}
+
+	slots := make([]serverPlanOutcome, spec.Runs)
+	total := r.elapsed()
+	r.forEach(spec.Runs, func(i int) {
+		tick := r.elapsed()
+		slots[i] = runServerPlan(spec, sim.Mix(spec.Seed, serverPlanSalt, uint64(i)))
+		slots[i].elapsedNs = tick()
+	})
+
+	c := &out.Cells[0]
+	for i := range slots {
+		o := &slots[i]
+		c.Runs++
+		c.Crashed++ // every server plan crashes a shard by schedule
+		c.ElapsedNs += o.elapsedNs
+		if o.err != nil {
+			c.Errors++
+			c.LastError = o.err.Error()
+			continue
+		}
+		c.Acked += o.acked
+		c.Unacked += o.unacked
+		c.Lost += o.lost
+		c.Corruptions += o.corrupt
+		c.Checked += o.checked
+		if o.corrupt > 0 {
+			c.Corrupted++
+		}
+		if r.Progress != nil {
+			r.Progress(fmt.Sprintf("%s plan %03d: acked=%d unacked=%d lost=%d",
+				spec.Name, i, o.acked, o.unacked, o.lost))
+		}
+	}
+	out.finish()
+	out.ElapsedNs = total()
+	return out, nil
+}
+
+// serverPayload derives the bytes of write op `op` to key `key`. The
+// length is a function of the key alone: server writes land at offset
+// 0 without truncation, so a shorter rewrite of a hot key would leave
+// the old tail in place and the byte-equal read-back would wrongly
+// convict it. Content still varies per op, so version confusion is
+// caught.
+func serverPayload(seed uint64, key, op int) []byte {
+	n := 24 + int(sim.Mix(seed, serverDataSalt, uint64(key))%104)
+	return kernel.FillBytes(n, sim.Mix(seed, serverDataSalt+1, uint64(op))|1)
+}
+
+// runServerPlan is one deterministic crash-under-load run: a
+// single-threaded client drives a popularity-keyed write stream
+// straight into the server (no retry sleeps — a refused write is
+// scored unacked and the stream moves on), a schedule-fixed op crashes
+// one shard, a later one warm-reboots it, and every acked write must
+// read back byte-equal at the end.
+func runServerPlan(spec *Spec, seed uint64) (o serverPlanOutcome) {
+	defer func() {
+		if p := recover(); p != nil {
+			o.err = fmt.Errorf("server plan panic (seed=%d): %v", seed, p)
+		}
+	}()
+	s, err := server.New(server.Config{
+		Shards:   spec.Topology.Shards,
+		Seed:     seed,
+		MemoryMB: 4,
+		DiskMB:   8,
+	})
+	if err != nil {
+		o.err = err
+		return o
+	}
+	defer s.Close()
+
+	cdf := workload.NewKeyCDF(spec.Workload.Keys, spec.Workload.Skew)
+	rng := sim.NewRand(sim.Mix(seed, serverKeySalt))
+	crashShard := int32(sim.Mix(seed, serverShard) % uint64(spec.Topology.Shards))
+	rebootAt := spec.Schedule.CrashAt + spec.Schedule.OutageOps
+
+	// acked maps path -> op index of the last acknowledged write; the
+	// verify pass walks it in sorted path order.
+	acked := make(map[string]int)
+	for op := 0; op < spec.Schedule.MaxOps; op++ {
+		switch op {
+		case spec.Schedule.CrashAt:
+			if resp := s.Do(&wire.Request{Op: wire.OpCrash, Shard: crashShard}); resp.Status != wire.StatusOK {
+				o.err = fmt.Errorf("admin crash of shard %d: status %v", crashShard, resp.Status)
+				return o
+			}
+		case rebootAt:
+			if resp := s.Do(&wire.Request{Op: wire.OpWarmboot, Shard: crashShard}); resp.Status != wire.StatusOK {
+				o.err = fmt.Errorf("admin warmboot of shard %d: status %v", crashShard, resp.Status)
+				return o
+			}
+		}
+		key := cdf.Pick(rng)
+		path := fmt.Sprintf("/k%04d", key)
+		resp := s.Do(&wire.Request{Op: wire.OpWrite, Shard: -1, Path: path,
+			Data: serverPayload(seed, key, op)})
+		switch resp.Status {
+		case wire.StatusOK:
+			o.acked++
+			acked[path] = op
+		case wire.StatusAgain:
+			// The down shard refuses; it does not half-apply. The
+			// closed-loop client moves on — durability is owed only to
+			// acknowledged writes.
+			o.unacked++
+		default:
+			o.err = fmt.Errorf("write %s at op %d: status %v", path, op, resp.Status)
+			return o
+		}
+	}
+
+	// The durability gate: every acked write reads back byte-equal
+	// after the outage and warm reboot.
+	paths := make([]string, 0, len(acked))
+	for p := range acked {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		o.checked++
+		var key int
+		fmt.Sscanf(p, "/k%04d", &key)
+		want := serverPayload(seed, key, acked[p])
+		resp := s.Do(&wire.Request{Op: wire.OpRead, Shard: -1, Path: p})
+		if resp.Status != wire.StatusOK {
+			o.lost++
+			continue
+		}
+		if string(resp.Data) != string(want) {
+			o.corrupt++
+		}
+	}
+	return o
+}
+
+// --- fleet kind ---
+
+func (r *Runner) runFleet(spec *Spec) (*Result, error) {
+	var kinds []fleetcampaign.FaultKind
+	for _, name := range spec.Topology.FleetFaults {
+		k, _ := fleetFaultByName(name) // Validate already resolved
+		kinds = append(kinds, k)
+	}
+	cfg := fleetcampaign.Config{
+		Seed:     spec.Seed,
+		Runs:     spec.Runs,
+		Workers:  r.Workers,
+		Kinds:    kinds,
+		Nodes:    spec.Topology.Nodes,
+		Shards:   spec.Topology.Shards,
+		Replicas: spec.Topology.Replicas,
+	}
+	if r.Progress != nil {
+		cfg.Progress = func(line string) { r.Progress(spec.Name + " " + line) }
+	}
+	total := r.elapsed()
+	rep, err := fleetcampaign.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Name: spec.Name, Kind: spec.Kind, Seed: spec.Seed, Runs: spec.Runs}
+	for i := range rep.Cells {
+		fc := &rep.Cells[i]
+		if fc.Runs == 0 {
+			continue // kind not in this scenario's set
+		}
+		out.Cells = append(out.Cells, Cell{
+			Label:     "fleet/" + fleetcampaign.FaultKind(i).String(),
+			Runs:      fc.Runs,
+			Crashed:   fc.Runs, // every fleet plan injects its fault
+			Checked:   fc.Acked,
+			Acked:     fc.Acked,
+			Unacked:   fc.Unacked,
+			Lost:      fc.Lost,
+			Stale:     fc.Stale,
+			Errors:    fc.Errors,
+			LastError: fc.LastError,
+		})
+	}
+	out.finish()
+	out.ElapsedNs = total()
+	if len(out.Cells) > 0 {
+		// Fleet timing is campaign-level; attribute it to the first
+		// cell so per-cell tables still sum to the total.
+		out.Cells[0].ElapsedNs = out.ElapsedNs
+	}
+	return out, nil
+}

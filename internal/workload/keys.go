@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"rio/internal/sim"
+)
+
+// KeyCDF is the shared key-popularity distribution: a cumulative
+// distribution over n keys with power-law skew, weight(i) = 1/(i+1)^s.
+// s = 0 is uniform; s = 1 is approximately zipfian. It is the one
+// implementation behind rioload's -skew flag and the key-driven
+// workloads (hotkey, the server scenario), so the two cannot drift:
+// the same (n, skew, rng stream) picks the same key sequence
+// everywhere. Sampling consumes exactly one draw from the caller's
+// stream — callers seed those streams via sim.Mix, so key choice is a
+// pure function of the stream's coordinates.
+type KeyCDF []float64
+
+// NewKeyCDF builds the distribution for n keys at the given skew
+// exponent. n must be positive.
+func NewKeyCDF(n int, skew float64) KeyCDF {
+	if n <= 0 {
+		panic("workload: NewKeyCDF with non-positive n")
+	}
+	cdf := make(KeyCDF, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1.0 / math.Pow(float64(i+1), skew)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return cdf
+}
+
+// Pick samples one key index with a single uniform draw from rng.
+// Index 0 is the most popular key.
+func (c KeyCDF) Pick(rng *sim.Rand) int {
+	i := sort.SearchFloat64s(c, rng.Float64())
+	if i >= len(c) {
+		i = len(c) - 1 // guard the float rounding edge at cdf[n-1]
+	}
+	return i
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"fmt"
+
+	"rio/internal/fs"
+	"rio/internal/txn"
+)
+
+// Workload is the common contract every scenario-drivable workload
+// implements: Setup prepares its file tree, Step executes one operation
+// of the stream (deterministic in the workload's seed), and Check
+// classifies the recovered file system into a typed Verdict after a
+// crash plus recovery. A workload must be crash-aware: Step may return
+// mid-op when the kernel panics, and Check must mask exactly the one
+// in-flight operation while convicting everything else.
+type Workload interface {
+	Name() string
+	Setup(fsys *fs.FS) error
+	Step(fsys *fs.FS) error
+	Check(fsys *fs.FS) Verdict
+}
+
+// Verdict is the typed outcome of a workload's post-recovery check.
+// The three counters separate the failure modes the campaigns gate on:
+//
+//   - Corruptions: state that is detectably wrong — frames that fail
+//     their checksum, bytes that contradict the oracle, files that
+//     should not exist. The Table 1 corruption count.
+//   - Lost: acknowledged state that silently rolled back — an op the
+//     workload completed before the crash whose effect is gone. Rio's
+//     headline promise is that this stays zero.
+//   - Torn: a multi-step operation visible half-applied — a rename
+//     showing on both sides, accounts at mixed commit ids. The
+//     transaction layer's promise is that this stays zero.
+type Verdict struct {
+	Checked     int          `json:"checked"`
+	Lost        int          `json:"lost"`
+	Torn        int          `json:"torn"`
+	Corruptions []Corruption `json:"corruptions,omitempty"`
+}
+
+// Clean reports whether the verdict found nothing wrong.
+func (v Verdict) Clean() bool {
+	return v.Lost == 0 && v.Torn == 0 && len(v.Corruptions) == 0
+}
+
+// Merge folds another verdict into v.
+func (v *Verdict) Merge(o Verdict) {
+	v.Checked += o.Checked
+	v.Lost += o.Lost
+	v.Torn += o.Torn
+	v.Corruptions = append(v.Corruptions, o.Corruptions...)
+}
+
+// fnv64 is FNV-1a-64, the frame checksum shared by the framed
+// workloads (hotkey, mailspool, metacache, scan).
+func fnv64(b []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// --- MemTest as a Workload ---
+
+// Name implements Workload.
+func (mt *MemTest) Name() string { return "memtest" }
+
+// Setup implements Workload; memTest builds its tree lazily in Step.
+func (mt *MemTest) Setup(fsys *fs.FS) error { return nil }
+
+// Check implements Workload by wrapping Verify: memTest's oracle diff
+// reports detected corruption; a missing oracle file is corruption too
+// (Verify already masks the in-flight op).
+func (mt *MemTest) Check(fsys *fs.FS) Verdict {
+	return Verdict{
+		Checked:     len(mt.oracle) + len(mt.links),
+		Corruptions: mt.Verify(fsys),
+	}
+}
+
+// --- TxnTest as a Workload ---
+
+// Name implements Workload.
+func (tt *TxnTest) Name() string { return "txntest" }
+
+// Step implements Workload: one full commit cycle.
+func (tt *TxnTest) Step(fsys *fs.FS) error { return tt.Commit(fsys) }
+
+// Check implements Workload. The transaction layer's recovery is part
+// of the workload's own contract, so Check first rolls the log forward
+// (a published-but-unapplied record is pending state, not corruption)
+// and then classifies the accounts: mixed ids are a torn commit, a
+// consistent-but-pre-ack id is a lost acked commit. When the
+// roll-forward itself quarantined a record the storage was damaged in
+// a way recovery already detected, so mixed ids are downgraded to
+// detected corruption rather than a torn-commit conviction — the same
+// rule the transactional campaign applies.
+func (tt *TxnTest) Check(fsys *fs.FS) Verdict {
+	v := Verdict{Checked: tt.Accounts}
+	l := txn.NewLog(fsys)
+	st, err := l.RecoverOpts(txn.Options{
+		Crashed: func() bool { return fsys.K.Crashed() != nil },
+	})
+	if err != nil {
+		v.Corruptions = append(v.Corruptions,
+			Corruption{txn.Dir, "txn roll-forward failed: " + err.Error()})
+		return v
+	}
+	tv := tt.Verify(fsys)
+	v.Corruptions = append(v.Corruptions, tv.Failures...)
+	if st.Quarantined > 0 {
+		v.Corruptions = append(v.Corruptions, Corruption{txn.Dir,
+			fmt.Sprintf("%d txn records quarantined (storage damage)", st.Quarantined)})
+		return v
+	}
+	if tv.Mixed {
+		v.Torn++
+	}
+	if tv.LostAcked {
+		v.Lost++
+	}
+	return v
+}

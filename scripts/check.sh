@@ -46,6 +46,13 @@ go run ./cmd/riocrash -txn -runs 2 -seed 1996 -disk-faults -quiet
 # that probes for stale reads from a deposed primary); riocrash -fleet
 # exits nonzero if any acked write is lost or any stale read is served.
 go run ./cmd/riocrash -fleet -runs 5 -seed 1996 -quiet
+# Scenario suite smoke: every checked-in scenario runs at -workers 1
+# and -workers 4 and the canonical JSON reports must diff clean — the
+# scenario engine's byte-identical-at-any-worker-count guarantee,
+# enforced on real specs. rioscn exits nonzero if any scenario loses an
+# acked write, tears a commit, or serves a stale read. The -workers 4
+# reports land in scenario-reports/, uploaded as a CI artifact.
+make scenarios
 # Server smoke benchmark: rioload against riod's in-process transport,
 # with a 1-shard baseline — fails if the run errors; the report lands in
 # BENCH_server.json (uploaded as a CI artifact).
