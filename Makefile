@@ -53,11 +53,14 @@ crash-recovery:
 # in-process transport — 8 connections with 8 pipelined request streams
 # each for 10s against 4 shards, plus a 1-shard baseline at the same
 # load (the acceptance bar: 4 shards must beat 1, and batch draining
-# must actually coalesce: avg_batch > 1.5). Writes BENCH_server.json
-# (throughput, p50/p95/p99, per-shard batching).
+# must actually coalesce: avg_batch > 1.5). The trailing -tcp-probe
+# re-serves the same server over loopback TCP so the report also
+# carries the scatter-gather writer's frames-per-writev distribution.
+# Writes BENCH_server.json (throughput, p50/p95/p99, per-shard
+# batching, writev batch sizes).
 serve-bench:
 	go run ./cmd/rioload -net memory -shards 4 -clients 8 -pipeline 8 \
-		-duration 10s -compare 1 -out BENCH_server.json
+		-duration 10s -compare 1 -tcp-probe 2s -out BENCH_server.json
 
 # Transactional campaign: the torn-commit hunt. Every multi-file commit
 # must be all-or-nothing after crash + recovery; exits nonzero if any

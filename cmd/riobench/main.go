@@ -26,9 +26,13 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"rio"
+	"rio/internal/server"
+	"rio/internal/wire"
 )
 
 type benchConfig struct {
@@ -76,6 +80,7 @@ func main() {
 	baseline := flag.String("baseline", "", "previous BENCH_core.json to embed and compare against")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured loops")
 	diff := flag.Bool("diff", false, "compare two report files (riobench -diff OLD NEW) and exit")
+	gate := flag.String("gate-allocs", "", "comma list of op=max allocs/op budgets to enforce (e.g. served-read=1)")
 	flag.Parse()
 
 	if *diff {
@@ -83,7 +88,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "riobench: -diff needs exactly two report files")
 			os.Exit(2)
 		}
-		if err := printDiff(flag.Arg(0), flag.Arg(1)); err != nil {
+		cur, err := printDiff(flag.Arg(0), flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "riobench:", err)
+			os.Exit(1)
+		}
+		if err := gateAllocs(cur.Results, *gate); err != nil {
 			fmt.Fprintln(os.Stderr, "riobench:", err)
 			os.Exit(1)
 		}
@@ -110,6 +120,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "riobench:", err)
 		os.Exit(1)
 	}
+	served, err := runServed(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "riobench:", err)
+		os.Exit(1)
+	}
+	results = append(results, served...)
 	report.Results = results
 
 	if *baseline != "" {
@@ -122,6 +138,11 @@ func main() {
 	}
 
 	printReport(&report)
+
+	if err := gateAllocs(results, *gate); err != nil {
+		fmt.Fprintln(os.Stderr, "riobench:", err)
+		os.Exit(1)
+	}
 
 	if *out != "" {
 		data, err := json.MarshalIndent(&report, "", "  ")
@@ -303,6 +324,129 @@ func runAll(cfg benchConfig) ([]opResult, error) {
 	return results, nil
 }
 
+// benchHost measures fn over n iterations with host-side counters only
+// (no simulated clock — served ops cross a shard goroutine, so the op
+// cost is wall time plus whatever every goroutine allocated). A GC runs
+// first so the counters measure the loop, not setup garbage; a short
+// re-warm follows it, because the GC empties sync.Pools and the refill
+// allocations belong to the pools' steady state, not to the ops.
+func benchHost(name string, n int, fn func(i int) error) (opResult, error) {
+	runtime.GC()
+	for i := 0; i < 16; i++ {
+		if err := fn(i); err != nil {
+			return opResult{}, fmt.Errorf("%s warmup op %d: %w", name, i, err)
+		}
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return opResult{}, fmt.Errorf("%s op %d: %w", name, i, err)
+		}
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return opResult{
+		Name:        name,
+		Ops:         n,
+		NsPerOp:     float64(wall.Nanoseconds()) / float64(n),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(n),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+	}, nil
+}
+
+// runServed boots a one-shard in-process server and measures the served
+// hot paths end to end: the zero-copy frame read (DoFrame, data copied
+// once from the cache frame into the pooled wire frame) and the write
+// path through the shard queue. Host allocations are counted across
+// every goroutine — caller, shard, and pool bookkeeping together — so
+// served-read allocs/op is exactly the figure scripts/benchdiff.sh
+// gates at <= 1.
+func runServed(cfg benchConfig) ([]opResult, error) {
+	srv, err := server.New(server.Config{Shards: 1, Policy: rio.Policy(cfg.Policy), Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	payload := make([]byte, cfg.Size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	wreq := &wire.Request{ID: 1, Op: wire.OpWrite, Path: "/served/bench", Data: payload}
+	if r := srv.Do(wreq); r.Status != wire.StatusOK {
+		return nil, fmt.Errorf("served seed write: status %d: %s", r.Status, r.Msg)
+	}
+
+	rreq := &wire.Request{ID: 2, Op: wire.OpRead, Path: "/served/bench"}
+	for i := 0; i < 64; i++ { // warm the frame pool, reply channels, dcache
+		frame, resp := srv.DoFrame(rreq)
+		if resp.Status != wire.StatusOK {
+			return nil, fmt.Errorf("served warm read: status %d: %s", resp.Status, resp.Msg)
+		}
+		srv.ReleaseFrame(frame)
+	}
+
+	var results []opResult
+	r, err := benchHost("served-read", cfg.Iters, func(i int) error {
+		frame, resp := srv.DoFrame(rreq)
+		if resp.Status != wire.StatusOK {
+			return fmt.Errorf("status %d: %s", resp.Status, resp.Msg)
+		}
+		srv.ReleaseFrame(frame)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, r)
+
+	r, err = benchHost("served-write", cfg.Iters, func(i int) error {
+		if resp := srv.Do(wreq); resp.Status != wire.StatusOK {
+			return fmt.Errorf("status %d: %s", resp.Status, resp.Msg)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, r)
+	return results, nil
+}
+
+// gateAllocs enforces a comma list of op=max allocs/op budgets (e.g.
+// "served-read=1,write=1") against results. A named op missing from the
+// results is an error too — a silently skipped gate is no gate.
+func gateAllocs(results []opResult, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	byName := map[string]opResult{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	for _, clause := range strings.Split(spec, ",") {
+		name, maxStr, ok := strings.Cut(strings.TrimSpace(clause), "=")
+		if !ok {
+			return fmt.Errorf("bad -gate-allocs clause %q (want op=max)", clause)
+		}
+		max, err := strconv.ParseFloat(maxStr, 64)
+		if err != nil {
+			return fmt.Errorf("bad -gate-allocs budget %q: %v", maxStr, err)
+		}
+		r, found := byName[name]
+		if !found {
+			return fmt.Errorf("gate-allocs: op %q not in report", name)
+		}
+		if r.AllocsPerOp > max {
+			return fmt.Errorf("gate-allocs: %s allocates %.2f objects/op, budget %g", name, r.AllocsPerOp, max)
+		}
+		fmt.Printf("gate-allocs: %s %.2f allocs/op within budget %g\n", name, r.AllocsPerOp, max)
+	}
+	return nil
+}
+
 func compare(old, cur []opResult) *baselineBlock {
 	b := &baselineBlock{
 		Results: old,
@@ -353,15 +497,16 @@ func printReport(r *benchReport) {
 	}
 }
 
-// printDiff renders the delta between two report files.
-func printDiff(oldPath, newPath string) error {
+// printDiff renders the delta between two report files and returns the
+// NEW report so the caller can gate on it.
+func printDiff(oldPath, newPath string) (*benchReport, error) {
 	old, err := readReport(oldPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	cur, err := readReport(newPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	byName := map[string]opResult{}
 	for _, r := range old.Results {
@@ -391,7 +536,7 @@ func printDiff(oldPath, newPath string) error {
 			fmt.Printf("%-12s %14.0f %14s\n", o.Name, o.NsPerOp, "(removed)")
 		}
 	}
-	return nil
+	return cur, nil
 }
 
 // pct returns the relative change from old to new in percent.

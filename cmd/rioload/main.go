@@ -50,7 +50,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -83,6 +85,9 @@ type loadConfig struct {
 	CrashShard int           `json:"crash_shard,omitempty"`
 	CrashAt    time.Duration `json:"-"`
 	CrashDown  time.Duration `json:"-"`
+
+	TCPProbe    time.Duration `json:"-"`
+	TCPProbeSec float64       `json:"tcp_probe_sec,omitempty"`
 }
 
 type latencyJSON struct {
@@ -150,11 +155,27 @@ func main() {
 	flag.IntVar(&cfg.CrashShard, "crash-shard", -1, "crash this shard mid-run (-1 = no crash)")
 	flag.DurationVar(&cfg.CrashAt, "crash-at", 2*time.Second, "when to crash, measured from run start")
 	flag.DurationVar(&cfg.CrashDown, "crash-down", 500*time.Millisecond, "outage length before the warm reboot")
+	flag.DurationVar(&cfg.TCPProbe, "tcp-probe", 0, "memory mode: after the measured run, serve the same server over loopback TCP for this long with pipelined reads to sample the writev batch distribution (0 = off)")
 	fleetFlag := flag.Bool("fleet", false, "load an in-process replicated fleet; kill shard 0's primary at -crash-at, revive -crash-down later")
 	peers := flag.Int("peers", 3, "fleet mode: node count")
 	replicas := flag.Int("replicas", 2, "fleet mode: replicas per shard")
 	out := flag.String("out", "BENCH_server.json", "JSON report path (empty = skip)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured run")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rioload:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rioload:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if cfg.Writes < 0 || cfg.Writes > 1 {
 		fmt.Fprintln(os.Stderr, "rioload: -writes must be in [0,1]")
@@ -169,6 +190,7 @@ func main() {
 		os.Exit(2)
 	}
 
+	cfg.TCPProbeSec = cfg.TCPProbe.Seconds()
 	report := benchReport{Bench: "riod-load", Config: cfg, Duration: cfg.Duration.Seconds()}
 
 	if *fleetFlag {
@@ -352,7 +374,86 @@ func runLoad(cfg loadConfig) (*runResult, *server.Metrics, error) {
 		m := srv.Metrics()
 		metrics = &m
 	}
+	if srv != nil && cfg.TCPProbe > 0 {
+		// The probe runs after the metrics snapshot so the measured
+		// run's per-shard table stays pure; only the writev counters
+		// (which exist solely because of the probe's TCP traffic) are
+		// merged back in.
+		probeOps, err := tcpProbe(cfg, srv, keys)
+		if err != nil {
+			return nil, nil, fmt.Errorf("tcp probe: %w", err)
+		}
+		m2 := srv.Metrics()
+		metrics.Writev = m2.Writev
+		fmt.Printf("tcp probe: %d pipelined reads over loopback TCP in %v\n", probeOps, cfg.TCPProbe)
+	}
 	return merged, metrics, nil
+}
+
+// tcpProbe re-serves the in-process server over loopback TCP and drives
+// cfg.Clients pipelined connections of read-only load at it, so a
+// memory-mode benchmark run can still report the scatter-gather writer's
+// frames-per-writev distribution from real socket traffic.
+func tcpProbe(cfg loadConfig, srv *server.Server, keys []string) (uint64, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer ln.Close()
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+
+	cdf := workload.NewKeyCDF(len(keys), cfg.Skew)
+	deadline := time.Now().Add(cfg.TCPProbe)
+	var wg sync.WaitGroup
+	var opsMu sync.Mutex
+	var ops uint64
+	errs := make([]error, cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		mux, err := server.DialMux(addr)
+		if err != nil {
+			errs[c] = err
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer mux.Close()
+			var pwg sync.WaitGroup
+			for p := 0; p < cfg.Pipeline; p++ {
+				w := c*cfg.Pipeline + p
+				pwg.Add(1)
+				go func() {
+					defer pwg.Done()
+					rc := &server.RetryClient{C: mux, Pol: server.DefaultRetryPolicy()}
+					rng := sim.NewRand(sim.Mix(cfg.Seed, uint64(w), 0x7C9))
+					var n uint64
+					id := uint64(w)<<32 | 1<<31
+					for time.Now().Before(deadline) {
+						id++
+						resp, err := rc.Do(&wire.Request{ID: id, Op: wire.OpRead,
+							Shard: -1, Path: keys[cdf.Pick(rng)]})
+						if err != nil || resp.Status != wire.StatusOK {
+							errs[c] = fmt.Errorf("probe read: %v %+v", err, resp)
+							return
+						}
+						n++
+					}
+					opsMu.Lock()
+					ops += n
+					opsMu.Unlock()
+				}()
+			}
+			pwg.Wait()
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return ops, err
+		}
+	}
+	return ops, nil
 }
 
 // populate writes every key once, split across the client count.

@@ -30,6 +30,28 @@ func (s *System) Open(path string) (*File, error) {
 	return &File{f: f, sys: s}, nil
 }
 
+// Lookup resolves a path in one directory walk and returns its inode
+// number, size, and directory bit without allocating a handle. Paired
+// with ReadInoAt it forms the server's zero-copy read path.
+func (s *System) Lookup(path string) (ino uint32, size int64, isDir bool, err error) {
+	return s.m.FS.Lookup(path)
+}
+
+// ReadInoAt reads up to len(p) bytes at off from an inode returned by
+// Lookup, copying cache frames directly into p (one copy, no staging
+// bounce, no handle).
+func (s *System) ReadInoAt(ino uint32, p []byte, off int64) (int, error) {
+	return s.m.FS.ReadInoAt(ino, p, off)
+}
+
+// WriteInoAt writes p at off to an inode returned by Lookup, without
+// allocating a handle — the serving layer's write analogue of
+// ReadInoAt. Policy write-back behaves as a freshly opened handle
+// would.
+func (s *System) WriteInoAt(ino uint32, p []byte, off int64) (int, error) {
+	return s.m.FS.WriteInoAt(ino, p, off)
+}
+
 // Write appends at the file position.
 func (f *File) Write(p []byte) (int, error) { return f.f.Write(p) }
 

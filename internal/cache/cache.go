@@ -459,6 +459,25 @@ func (c *Cache) ReadInto(b *Buf, off int, dst []byte) error {
 	return nil
 }
 
+// ReadDirect copies len(dst) bytes at off out of the buffer's cache frame
+// straight into dst — the zero-staging serving path. Unlike ReadInto it
+// skips the kernel's staging bounce (one copy instead of two), the way a
+// NIC would DMA out of the protected frame; unlike ContentsAt it is a
+// real cache read: it refuses to serve from a crashed kernel, keeps LRU
+// parity with the staged path, and charges the simulator for the copy.
+func (c *Cache) ReadDirect(b *Buf, off int, dst []byte) error {
+	if off < 0 || off+len(dst) > BlockSize {
+		panic(fmt.Sprintf("cache: bad direct read [%d,+%d)", off, len(dst)))
+	}
+	if cr := c.K.Crashed(); cr != nil {
+		return cr
+	}
+	c.K.Mem.ReadAt(mem.FrameBase(b.Frame)+uint64(off), dst)
+	c.K.ChargeCopy(len(dst))
+	c.touch(b)
+	return nil
+}
+
 // Contents returns the raw page contents (trusted oracle/flush path: reads
 // physical memory directly, like a DMA engine would on write-back).
 func (c *Cache) Contents(b *Buf) []byte {

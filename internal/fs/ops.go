@@ -126,13 +126,26 @@ func (f *FS) resolveDepth(path string, depth int) (uint32, error) {
 	if depth > maxSymlinkDepth {
 		return 0, ErrSymlinkLoop
 	}
-	parts, err := splitPath(path)
-	if err != nil {
+	// The walk iterates components in place rather than splitting into a
+	// []string: resolve is on every served request's path, and the split
+	// was the read path's last unavoidable allocation. The validation
+	// prepass keeps splitPath's semantics — every component is checked
+	// before the first lookup runs.
+	p := strings.Trim(path, "/")
+	if p == "" {
+		return f.SB.RootIno, nil
+	}
+	if err := checkPathComponents(p); err != nil {
 		return 0, err
 	}
 	ino := f.SB.RootIno
-	for i, p := range parts {
-		ino, err = f.lookup(ino, p)
+	for start := 0; start < len(p); {
+		stop := len(p)
+		if i := strings.IndexByte(p[start:], '/'); i >= 0 {
+			stop = start + i
+		}
+		var err error
+		ino, err = f.lookup(ino, p[start:stop])
 		if err != nil {
 			return 0, err
 		}
@@ -144,15 +157,39 @@ func (f *FS) resolveDepth(path string, depth int) (uint32, error) {
 			target := n.Target
 			if !strings.HasPrefix(target, "/") {
 				// Relative target: resolve against the link's directory.
-				target = "/" + strings.Join(parts[:i], "/") + "/" + target
+				prefix := ""
+				if start > 0 {
+					prefix = p[:start-1]
+				}
+				target = "/" + prefix + "/" + target
 			}
-			if rest := strings.Join(parts[i+1:], "/"); rest != "" {
-				target = target + "/" + rest
-			}
+			// p[stop:] is "" for the last component, else "/rest".
+			target = target + p[stop:]
 			return f.resolveDepth(target, depth+1)
 		}
+		start = stop + 1
 	}
 	return ino, nil
+}
+
+// checkPathComponents applies splitPath's per-component validation to an
+// already-trimmed, non-empty path without allocating the component slice.
+func checkPathComponents(p string) error {
+	for start := 0; start < len(p); {
+		stop := len(p)
+		if i := strings.IndexByte(p[start:], '/'); i >= 0 {
+			stop = start + i
+		}
+		name := p[start:stop]
+		if name == "" || name == "." || name == ".." {
+			return fmt.Errorf("fs: unsupported path component %q", name)
+		}
+		if len(name) > MaxNameLen {
+			return ErrNameTooLong
+		}
+		start = stop + 1
+	}
+	return nil
 }
 
 // resolveParent returns the parent directory inode and the final name.
@@ -625,7 +662,35 @@ func (fl *File) WriteAt(data []byte, off int64) (int, error) {
 	f.beginOp()
 	defer f.endOp()
 
-	n, err := f.getInode(fl.Ino)
+	written, err := f.writeBlocks(fl.Ino, data, off)
+	if err != nil {
+		return written, err
+	}
+
+	// Policy-driven data write-back.
+	switch {
+	case f.Pol.dataWriteThrough():
+		if err := f.fsyncData(fl.Ino, true); err != nil {
+			return written, err
+		}
+	case f.Pol.asyncDataOnThreshold():
+		nonSeq := fl.lastEnd != 0 && off != fl.lastEnd
+		fl.pending += len(data)
+		if nonSeq || fl.pending >= f.Pol.AsyncDataThreshold {
+			f.asyncFlushData(fl.Ino)
+			fl.pending = 0
+		}
+	}
+	fl.lastEnd = off + int64(len(data))
+	return written, nil
+}
+
+// writeBlocks is the write core shared by the handle path (WriteAt) and
+// the handle-free serving path (WriteInoAt): fault in or allocate each
+// touched block, write through the cache, and extend the inode size.
+// The caller holds beginOp and has checked writability.
+func (f *FS) writeBlocks(ino uint32, data []byte, off int64) (int, error) {
+	n, err := f.getInode(ino)
 	if err != nil {
 		return 0, err
 	}
@@ -647,7 +712,7 @@ func (fl *File) WriteAt(data []byte, off int64) (int, error) {
 		if chunk > len(data)-written {
 			chunk = len(data) - written
 		}
-		buf := f.C.LookupData(fl.Ino, fb)
+		buf := f.C.LookupData(ino, fb)
 		if buf == nil {
 			db, err := f.bmap(&n, fb, true, &inodeDirty)
 			if err != nil {
@@ -666,7 +731,7 @@ func (fl *File) WriteAt(data []byte, off int64) (int, error) {
 				}
 				valid = int(end)
 			}
-			buf, err = f.C.InsertData(fl.Ino, fb, db, content, valid)
+			buf, err = f.C.InsertData(ino, fb, db, content, valid)
 			if err != nil {
 				return written, err
 			}
@@ -683,26 +748,43 @@ func (fl *File) WriteAt(data []byte, off int64) (int, error) {
 
 	if inodeDirty || newSize != n.Size {
 		n.Size = newSize
-		if err := f.putInode(fl.Ino, &n, false); err != nil {
+		if err := f.putInode(ino, &n, false); err != nil {
 			return written, err
 		}
 	}
+	return written, nil
+}
 
-	// Policy-driven data write-back.
+// WriteInoAt writes data at off to an inode returned by Lookup, without
+// constructing a handle. Policy write-back matches the serving layer's
+// old open-write-close sequence exactly: write-through policies sync
+// after the write, the async threshold compares against this write
+// alone (a fresh handle has no pending count), and sync-on-close
+// policies get the flush Close would have issued.
+func (f *FS) WriteInoAt(ino uint32, data []byte, off int64) (int, error) {
+	if err := f.writable(); err != nil {
+		return 0, err
+	}
+	f.beginOp()
+	defer f.endOp()
+
+	written, err := f.writeBlocks(ino, data, off)
+	if err != nil {
+		return written, err
+	}
 	switch {
 	case f.Pol.dataWriteThrough():
-		if err := f.fsyncData(fl.Ino, true); err != nil {
+		if err := f.fsyncData(ino, true); err != nil {
 			return written, err
 		}
 	case f.Pol.asyncDataOnThreshold():
-		nonSeq := fl.lastEnd != 0 && off != fl.lastEnd
-		fl.pending += len(data)
-		if nonSeq || fl.pending >= f.Pol.AsyncDataThreshold {
-			f.asyncFlushData(fl.Ino)
-			fl.pending = 0
+		if len(data) >= f.Pol.AsyncDataThreshold {
+			f.asyncFlushData(ino)
 		}
 	}
-	fl.lastEnd = off + int64(len(data))
+	if f.Pol.fsyncOnClose() {
+		return written, f.fsyncData(ino, true)
+	}
 	return written, nil
 }
 
@@ -721,8 +803,41 @@ func (fl *File) ReadAt(buf []byte, off int64) (int, error) {
 	}
 	f.beginOp()
 	defer f.endOp()
+	return f.readInoAt(fl.Ino, buf, off, false)
+}
 
-	n, err := f.getInode(fl.Ino)
+// Lookup resolves a path in one walk and returns the fields the serving
+// path needs — inode number, size, directory bit — without constructing
+// a handle. A follow-up ReadInoAt on the returned inode replaces the
+// Stat+Open+ReadAt+Close sequence (three resolutions, one allocation)
+// with a single resolution and none.
+func (f *FS) Lookup(path string) (ino uint32, size int64, isDir bool, err error) {
+	f.beginOp()
+	defer f.endOp()
+	ino, err = f.resolve(path)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	n, err := f.getInode(ino)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return ino, n.Size, n.Mode == ModeDir, nil
+}
+
+// ReadInoAt reads up to len(buf) bytes at off from an inode returned by
+// Lookup, copying cache frames directly into buf (Cache.ReadDirect's
+// one-copy path) instead of bouncing through the kernel staging area.
+func (f *FS) ReadInoAt(ino uint32, buf []byte, off int64) (int, error) {
+	f.beginOp()
+	defer f.endOp()
+	return f.readInoAt(ino, buf, off, true)
+}
+
+// readInoAt is the block loop shared by File.ReadAt and FS.ReadInoAt;
+// direct selects Cache.ReadDirect over the staged ReadInto.
+func (f *FS) readInoAt(ino uint32, buf []byte, off int64, direct bool) (int, error) {
+	n, err := f.getInode(ino)
 	if err != nil {
 		return 0, err
 	}
@@ -743,7 +858,7 @@ func (fl *File) ReadAt(buf []byte, off int64) (int, error) {
 		if int64(chunk) > want-int64(read) {
 			chunk = int(want - int64(read))
 		}
-		b := f.C.LookupData(fl.Ino, fb)
+		b := f.C.LookupData(ino, fb)
 		if b == nil {
 			db, err := f.bmap(&n, fb, false, &inodeDirty)
 			if err != nil {
@@ -760,12 +875,18 @@ func (fl *File) ReadAt(buf []byte, off int64) (int, error) {
 				}
 				valid = int(end)
 			}
-			b, err = f.C.InsertData(fl.Ino, fb, db, content, valid)
+			b, err = f.C.InsertData(ino, fb, db, content, valid)
 			if err != nil {
 				return read, err
 			}
 		}
-		if err := f.C.ReadInto(b, bo, buf[read:read+chunk]); err != nil {
+		dst := buf[read : read+chunk]
+		if direct {
+			err = f.C.ReadDirect(b, bo, dst)
+		} else {
+			err = f.C.ReadInto(b, bo, dst)
+		}
+		if err != nil {
 			return read, err
 		}
 		read += chunk

@@ -439,16 +439,31 @@ func (k *Kernel) Cksum(addr uint64, n int) (uint64, error) {
 	}
 	if k.FastPath {
 		k.SyntheticSteps += 14 + 9*uint64(n)
-		buf := k.scratchBytes(n)
-		if trap := k.MMU.ReadBytes(addr, buf); trap != nil {
-			return 0, k.crashFromException(&kvm.Exception{Kind: kvm.ExcTrap, Trap: trap})
-		}
-		return CksumBytes(buf), nil
+		return k.cksumGo(addr, n)
 	}
 	if err := k.Exec("cksum", addr, uint64(n)); err != nil {
 		return 0, err
 	}
 	return k.VM.Reg[0], nil
+}
+
+// cksumGo hashes [addr, addr+n) through the Go fast path. A range inside
+// one page — every block checksum, since buffers are frame-aligned — is
+// hashed in place through an MMU view; anything else stages through
+// scratch. Accounting is identical either way.
+func (k *Kernel) cksumGo(addr uint64, n int) (uint64, error) {
+	view, trap := k.MMU.ViewBytes(addr, n)
+	if trap == nil && view != nil {
+		return CksumBytes(view), nil
+	}
+	if trap == nil {
+		buf := k.scratchBytes(n)
+		trap = k.MMU.ReadBytes(addr, buf)
+		if trap == nil {
+			return CksumBytes(buf), nil
+		}
+	}
+	return 0, k.crashFromException(&kvm.Exception{Kind: kvm.ExcTrap, Trap: trap})
 }
 
 // CksumTrusted computes the kernel checksum through the Go path regardless
@@ -461,21 +476,97 @@ func (k *Kernel) CksumTrusted(addr uint64, n int) (uint64, error) {
 		return 0, ErrCrashed
 	}
 	k.SyntheticSteps += 14 + 9*uint64(n)
-	buf := k.scratchBytes(n)
-	if trap := k.MMU.ReadBytes(addr, buf); trap != nil {
-		return 0, k.crashFromException(&kvm.Exception{Kind: kvm.ExcTrap, Trap: trap})
-	}
-	return CksumBytes(buf), nil
+	return k.cksumGo(addr, n)
 }
 
-// CksumBytes is the reference implementation of the kernel checksum.
+// Powers of the checksum base, 31^1 .. 31^8 mod 2^64, for the unrolled
+// fast path below.
+const (
+	ckP1 = 31
+	ckP2 = ckP1 * 31
+	ckP3 = ckP2 * 31
+	ckP4 = ckP3 * 31
+	ckP5 = ckP4 * 31
+	ckP6 = ckP5 * 31
+	ckP7 = ckP6 * 31
+	ckP8 = ckP7 * 31
+)
+
+// Lane-combining powers for the 32-byte fold: 31^16, 31^24, 31^32 mod
+// 2^64. These exceed an untyped constant's range, so they are computed
+// with wrapping uint64 arithmetic (which is exactly the arithmetic the
+// hash is defined in).
+var ckP16, ckP24, ckP32 uint64
+
+func init() {
+	p8 := uint64(ckP8)
+	ckP16 = p8 * p8
+	ckP24 = ckP16 * p8
+	ckP32 = ckP24 * p8
+}
+
+// CksumBytes computes the kernel checksum of b. The hash is the classic
+// base-31 polynomial (h = h*31 + c per byte); because all arithmetic is
+// mod 2^64, the serial recurrence folds into wider strides with
+// precomputed powers of 31. The main loop takes 32 bytes per step: four
+// independent 8-byte dot products (pure ILP, no chain) combined as
+// h*31^32 + d0*31^24 + d1*31^16 + d2*31^8 + d3, so the loop-carried
+// dependency is one multiply per 32 bytes instead of one per byte. The
+// result is bit-identical to cksumBytesRef — registry checksums and
+// golden crash transcripts depend on that, and TestCksumBytesUnrolled
+// holds the two implementations together.
 func CksumBytes(b []byte) uint64 {
+	var h uint64
+	for len(b) >= 32 {
+		d0 := uint64(b[0])*ckP7 + uint64(b[1])*ckP6 +
+			uint64(b[2])*ckP5 + uint64(b[3])*ckP4 +
+			uint64(b[4])*ckP3 + uint64(b[5])*ckP2 +
+			uint64(b[6])*ckP1 + uint64(b[7])
+		d1 := uint64(b[8])*ckP7 + uint64(b[9])*ckP6 +
+			uint64(b[10])*ckP5 + uint64(b[11])*ckP4 +
+			uint64(b[12])*ckP3 + uint64(b[13])*ckP2 +
+			uint64(b[14])*ckP1 + uint64(b[15])
+		d2 := uint64(b[16])*ckP7 + uint64(b[17])*ckP6 +
+			uint64(b[18])*ckP5 + uint64(b[19])*ckP4 +
+			uint64(b[20])*ckP3 + uint64(b[21])*ckP2 +
+			uint64(b[22])*ckP1 + uint64(b[23])
+		d3 := uint64(b[24])*ckP7 + uint64(b[25])*ckP6 +
+			uint64(b[26])*ckP5 + uint64(b[27])*ckP4 +
+			uint64(b[28])*ckP3 + uint64(b[29])*ckP2 +
+			uint64(b[30])*ckP1 + uint64(b[31])
+		h = h*ckP32 + d0*ckP24 + d1*ckP16 + d2*ckP8 + d3
+		b = b[32:]
+	}
+	for len(b) >= 8 {
+		h = h*ckP8 +
+			uint64(b[0])*ckP7 + uint64(b[1])*ckP6 +
+			uint64(b[2])*ckP5 + uint64(b[3])*ckP4 +
+			uint64(b[4])*ckP3 + uint64(b[5])*ckP2 +
+			uint64(b[6])*ckP1 + uint64(b[7])
+		b = b[8:]
+	}
+	for _, c := range b {
+		h = h*31 + uint64(c)
+	}
+	return h
+}
+
+// cksumBytesRef is the reference byte-serial implementation, kept as the
+// oracle the unrolled CksumBytes is tested against (and as the shape the
+// interpreted kernel's cksum loop mirrors).
+func cksumBytesRef(b []byte) uint64 {
 	var h uint64
 	for _, c := range b {
 		h = h*31 + uint64(c)
 	}
 	return h
 }
+
+// ChargeCopy accounts one bulk copy of n bytes of simulated work without
+// executing it: the DMA-style charge the zero-copy serving path pays
+// when bytes move straight from a protected cache frame to the wire
+// buffer with no staging hop.
+func (k *Kernel) ChargeCopy(n int) { k.SyntheticSteps += stepsForCopy(n) }
 
 // Fill writes the xorshift pattern seeded by seed over [dst, dst+n).
 func (k *Kernel) Fill(dst uint64, n int, seed uint64) error {

@@ -53,12 +53,15 @@ var poolFields = map[string]bool{
 	"zeroBuf":   true, // kernel zero page
 	"readBuf":   true, // fs read-path block buffer
 	"blockPool": true, // fs recycled block buffers
+	"frameBufs": true, // server recycled wire-frame buffers (zero-copy reads)
 }
 
 // releaseFuncs return a pooled buffer to its pool: calling one is not an
 // escape, and the argument is dead afterwards.
 var releaseFuncs = map[string]bool{
 	"putPooledBlock": true,
+	"putFrameBuf":    true, // server frame pool release
+	"ReleaseFrame":   true, // exported wrapper over putFrameBuf
 }
 
 // intoContracts are the Into-style functions whose destination buffers
@@ -67,6 +70,8 @@ var intoContracts = map[string]bool{
 	"ReadInto":     true,
 	"StageOutInto": true,
 	"ContentsAt":   true,
+	"ReadDirect":   true, // cache frame -> caller buffer, one copy
+	"ReadInoAt":    true, // fs/rio direct-read entry over ReadDirect
 }
 
 func runBufalias(p *Pass) {

@@ -100,3 +100,50 @@ func (c *cacheT) ReadInto(off int, dst []byte) { // want bufalias "ReadInto must
 	copy(dst, c.data[off:])
 	c.last = dst
 }
+
+// framePoolT mimics internal/server's wire-frame pool for the zero-copy
+// read path.
+type framePoolT struct {
+	frameBufs [][]byte
+}
+
+func (p *framePoolT) get() []byte {
+	if n := len(p.frameBufs); n > 0 {
+		b := p.frameBufs[n-1]
+		p.frameBufs = p.frameBufs[:n-1]
+		return b
+	}
+	return make([]byte, 0, 4096)
+}
+
+func (p *framePoolT) putFrameBuf(b []byte) {
+	if len(p.frameBufs) < 64 {
+		p.frameBufs = append(p.frameBufs, b[:0])
+	}
+}
+
+// frameUseAfterRelease writes a response frame, releases it, then reads
+// the header back out of a buffer the pool may already have reissued.
+func frameUseAfterRelease(p *framePoolT) byte {
+	frame := p.get()
+	frame = append(frame, 0, 0, 0, 1)
+	p.putFrameBuf(frame)
+	return frame[0] // want bufalias "used after being released to the pool"
+}
+
+// frameKeptOnConn parks a pooled frame in a connection struct that
+// outlives the serve window.
+type connT struct {
+	lastFrame []byte
+}
+
+func (c *connT) frameKeptOnConn(p *framePoolT) {
+	c.lastFrame = p.get() // want bufalias "stored in c.lastFrame"
+}
+
+// ReadDirect is on the zero-copy contract surface: retaining dst breaks
+// every caller that passes a pooled response frame.
+func (c *cacheT) ReadDirect(off int, dst []byte) { // want bufalias "ReadDirect must not retain its destination buffer"
+	copy(dst, c.data[off:])
+	c.last = dst
+}

@@ -102,3 +102,45 @@ type cacheT struct {
 func (c *cacheT) ReadInto(off int, dst []byte) {
 	copy(dst, c.data[off:])
 }
+
+// framePoolT mimics internal/server's wire-frame pool.
+type framePoolT struct {
+	frameBufs [][]byte
+}
+
+func (p *framePoolT) get() []byte {
+	if n := len(p.frameBufs); n > 0 {
+		b := p.frameBufs[n-1]
+		p.frameBufs = p.frameBufs[:n-1]
+		return b
+	}
+	return make([]byte, 0, 4096)
+}
+
+func (p *framePoolT) putFrameBuf(b []byte) {
+	if len(p.frameBufs) < 64 {
+		p.frameBufs = append(p.frameBufs, b[:0])
+	}
+}
+
+// serveFrame is the sanctioned frame lifecycle: get, fill via the
+// zero-copy contract surface, return the alias (the window propagates
+// to the caller, who is tracked in turn).
+func serveFrame(p *framePoolT, c *cacheT) []byte {
+	frame := p.get()
+	frame = append(frame, make([]byte, 16)...)
+	c.ReadDirect(0, frame[4:12])
+	return frame
+}
+
+// releaseFrameOnce fills a frame, releases it exactly once, never
+// touches it again.
+func releaseFrameOnce(p *framePoolT, c *cacheT) {
+	frame := serveFrame(p, c)
+	p.putFrameBuf(frame)
+}
+
+// ReadDirect fills dst and forgets it: the zero-copy contract holds.
+func (c *cacheT) ReadDirect(off int, dst []byte) {
+	copy(dst, c.data[off:])
+}

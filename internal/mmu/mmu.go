@@ -348,6 +348,25 @@ func (u *MMU) ReadBytes(addr uint64, buf []byte) *Trap {
 	return nil
 }
 
+// ViewBytes returns a direct read-only view of [addr, addr+n) when the
+// range lies within a single page, with exactly the translation and
+// load accounting ReadBytes would perform for it. A range that spans
+// pages returns (nil, nil): virtually contiguous pages need not be
+// physically contiguous, so the caller falls back to a copy. Callers
+// must not write through or retain the view — it aliases the frame
+// itself (the checksum path reads it in place and drops it).
+func (u *MMU) ViewBytes(addr uint64, n int) ([]byte, *Trap) {
+	if n <= 0 || int(mem.PageSize-(addr&(mem.PageSize-1))) < n {
+		return nil, nil
+	}
+	phys, trap := u.Translate(addr, false)
+	if trap != nil {
+		return nil, trap
+	}
+	u.countLoad(addr)
+	return u.Mem.Slice(phys, n), nil
+}
+
 // WriteBytes copies buf to addr, page by page, with protection checks per
 // page.
 func (u *MMU) WriteBytes(addr uint64, buf []byte) *Trap {

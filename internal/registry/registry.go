@@ -142,6 +142,13 @@ type Registry struct {
 	free   []int
 	live   map[int]Entry // slot -> last written entry (in-core mirror)
 
+	// scratch is Mutate's working entry. Handing fn a pointer to a
+	// stack local would force the local to the heap (fn is opaque to
+	// escape analysis), and the write hot path mutates the registry
+	// twice per block; a registry is owned by one machine goroutine,
+	// so a single reusable entry is safe.
+	scratch Entry
+
 	// Protect: bracket registry stores with frame protection toggles.
 	Protect bool
 }
@@ -244,8 +251,9 @@ func (r *Registry) Mutate(slot int, fn func(*Entry)) error {
 	if !ok {
 		return fmt.Errorf("registry: mutate of free slot %d", slot)
 	}
-	fn(&e)
-	return r.Update(slot, e)
+	r.scratch = e
+	fn(&r.scratch)
+	return r.Update(slot, r.scratch)
 }
 
 // Free releases a slot, zeroing its bytes so it can never be mistaken for a

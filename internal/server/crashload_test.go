@@ -175,3 +175,105 @@ func TestCrashUnderLoadNoAckedWriteLost(t *testing.T) {
 	t.Logf("verified %d acked writes (%d on crashed shard %d); %d retries, %d exhausted, healthy-shard ops during outage %v",
 		checked, onCrashedShard, crashShard, retried, exhausted, duringOutage)
 }
+
+// TestFrameReadRacesCrashNeverTorn is the changing-window check for the
+// zero-copy read path: served frame reads hammer files on a shard that
+// is being crashed and warm-rebooted in a loop. Every read must come
+// back either StatusAgain (the shard was down, no frame) or as a
+// complete wire frame whose payload is byte-exact — each file is filled
+// with its own constant byte, so a buffer torn mid-serialization (half
+// one file, half stale pool contents, or a frame released while the
+// writer still held it) cannot decode to a uniform payload of the right
+// length. A multi-block file rides along to cross block boundaries
+// within one reserved data region.
+func TestFrameReadRacesCrashNeverTorn(t *testing.T) {
+	const (
+		crashShard = 1
+		readers    = 4
+		files      = 4
+		fileSize   = 8192        // one full cache block
+		bigSize    = 3*8192 + 17 // spans blocks, ragged tail
+		cycles     = 8
+	)
+	s := newTestServer(t, Config{Shards: 2, Seed: 2024, QueueDepth: 64})
+
+	paths := make([]string, files+1)
+	fills := make([]byte, files+1)
+	sizes := make([]int, files+1)
+	for i := 0; i < files; i++ {
+		paths[i] = pathOnShard(t, s, crashShard, fmt.Sprintf("zc%d", i))
+		fills[i] = byte(0x41 + i)
+		sizes[i] = fileSize
+	}
+	paths[files] = pathOnShard(t, s, crashShard, "zcbig")
+	fills[files] = 0x7A
+	sizes[files] = bigSize
+	for i, p := range paths {
+		if r := s.Do(&wire.Request{ID: uint64(i), Op: wire.OpWrite, Path: p,
+			Data: bytes.Repeat([]byte{fills[i]}, sizes[i])}); r.Status != wire.StatusOK {
+			t.Fatalf("seed %s: %+v", p, r)
+		}
+	}
+
+	var stop atomic.Bool
+	var okReads, againReads atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				fi := (w + i) % len(paths)
+				frame, resp := s.DoFrame(&wire.Request{ID: uint64(w)<<32 | uint64(i),
+					Op: wire.OpRead, Path: paths[fi]})
+				switch resp.Status {
+				case wire.StatusOK:
+					dec, err := wire.DecodeResponse(frame[4:])
+					if err != nil {
+						t.Errorf("reader %d: frame undecodable: %v", w, err)
+					} else if len(dec.Data) != sizes[fi] {
+						t.Errorf("reader %d: %s returned %d bytes, want %d",
+							w, paths[fi], len(dec.Data), sizes[fi])
+					} else {
+						for off, b := range dec.Data {
+							if b != fills[fi] {
+								t.Errorf("reader %d: %s torn at offset %d: byte %#x, want %#x",
+									w, paths[fi], off, b, fills[fi])
+								break
+							}
+						}
+					}
+					okReads.Add(1)
+					s.ReleaseFrame(frame)
+				case wire.StatusAgain:
+					againReads.Add(1) // shard down: no frame, by contract
+				default:
+					t.Errorf("reader %d: %s: %+v", w, paths[fi], resp)
+				}
+			}
+		}(w)
+	}
+
+	// Crash/warmboot the shard in a loop while the readers run.
+	for c := 0; c < cycles; c++ {
+		if r := s.Do(&wire.Request{ID: 9100, Op: wire.OpCrash, Shard: crashShard}); r.Status != wire.StatusOK {
+			t.Fatalf("cycle %d crash: %+v", c, r)
+		}
+		time.Sleep(2 * time.Millisecond)
+		if r := s.Do(&wire.Request{ID: 9101, Op: wire.OpWarmboot, Shard: crashShard}); r.Status != wire.StatusOK {
+			t.Fatalf("cycle %d warmboot: %+v", c, r)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if okReads.Load() == 0 {
+		t.Fatal("no frame read ever succeeded; the race never exercised the zero-copy path")
+	}
+	if againReads.Load() == 0 {
+		t.Fatal("no frame read ever hit the outage; the crash window missed the load")
+	}
+	t.Logf("%d byte-exact frame reads, %d StatusAgain across %d crash/warmboot cycles",
+		okReads.Load(), againReads.Load(), cycles)
+}

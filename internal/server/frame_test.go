@@ -1,0 +1,236 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"testing"
+
+	"rio/internal/wire"
+)
+
+// TestDoFrameRoundTrip: a frame-path read returns one complete,
+// decodable wire frame whose payload is byte-identical to what the
+// plain path returns, with resp.Data left nil (the payload lives only
+// in the frame). Non-read ops and failed reads come back frameless,
+// exactly as Do would answer them.
+func TestDoFrameRoundTrip(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2, Seed: 11})
+	payload := bytes.Repeat([]byte{0xAB, 0x5A, 0x01}, 3000)
+	if r := s.Do(&wire.Request{ID: 1, Op: wire.OpWrite, Path: "/ff/data", Data: payload}); r.Status != wire.StatusOK {
+		t.Fatalf("write: %+v", r)
+	}
+
+	frame, resp := s.DoFrame(&wire.Request{ID: 2, Op: wire.OpRead, Path: "/ff/data"})
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("frame read: %+v", resp)
+	}
+	if frame == nil {
+		t.Fatal("successful frame read returned no frame")
+	}
+	if resp.Data != nil {
+		t.Fatalf("frame read also carried %d bytes of resp.Data", len(resp.Data))
+	}
+	if n := binary.BigEndian.Uint32(frame[:4]); int(n) != len(frame)-4 {
+		t.Fatalf("frame prefix %d, payload %d", n, len(frame)-4)
+	}
+	dec, err := wire.DecodeResponse(frame[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.ID != 2 || dec.Status != wire.StatusOK || dec.Size != int64(len(payload)) {
+		t.Fatalf("decoded header: %+v", dec)
+	}
+	if !bytes.Equal(dec.Data, payload) {
+		t.Fatal("frame payload differs from written data")
+	}
+	s.ReleaseFrame(frame)
+
+	// Ranged read: offset+len honoured through the frame path.
+	frame, resp = s.DoFrame(&wire.Request{ID: 3, Op: wire.OpRead, Path: "/ff/data", Offset: 100, Len: 37})
+	if resp.Status != wire.StatusOK || frame == nil {
+		t.Fatalf("ranged frame read: %+v", resp)
+	}
+	dec, err = wire.DecodeResponse(frame[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.Data, payload[100:137]) {
+		t.Fatal("ranged frame payload mismatch")
+	}
+	s.ReleaseFrame(frame)
+
+	// Failures and non-reads are frameless.
+	if f, r := s.DoFrame(&wire.Request{ID: 4, Op: wire.OpRead, Path: "/ff/missing"}); f != nil || r.Status != wire.StatusNotFound {
+		t.Fatalf("missing-file frame read: frame=%v resp=%+v", f != nil, r)
+	}
+	if f, r := s.DoFrame(&wire.Request{ID: 5, Op: wire.OpStat, Path: "/ff/data"}); f != nil || r.Status != wire.StatusOK {
+		t.Fatalf("stat via DoFrame: frame=%v resp=%+v", f != nil, r)
+	}
+}
+
+// TestServedReadAllocs pins the zero-copy read path's allocation
+// budget: a steady-state DoFrame of a block-sized file must allocate
+// at most 1 object per op (the wire.Response header) across client and
+// shard goroutines combined. This is the regression guard for the
+// whole chain — pooled frame buffers, pooled reply channels, the
+// shard's reusable serve scratch, and the split-free path resolver.
+func TestServedReadAllocs(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1, Seed: 13})
+	if r := s.Do(&wire.Request{ID: 1, Op: wire.OpWrite, Path: "/a/blk", Data: bytes.Repeat([]byte{7}, 8192)}); r.Status != wire.StatusOK {
+		t.Fatalf("write: %+v", r)
+	}
+	req := &wire.Request{ID: 2, Op: wire.OpRead, Path: "/a/blk"}
+	read := func() {
+		frame, resp := s.DoFrame(req)
+		if resp.Status != wire.StatusOK || frame == nil {
+			t.Fatalf("frame read: %+v", resp)
+		}
+		s.ReleaseFrame(frame)
+	}
+	for i := 0; i < 64; i++ {
+		read() // warm the pools and the dcache
+	}
+	if allocs := testing.AllocsPerRun(200, read); allocs > 1 {
+		t.Fatalf("served frame read allocates %.1f objects/op, want <= 1", allocs)
+	}
+}
+
+// TestWriterEncodeReuse is the regression test for the discarded-growth
+// bug in the old TCP writer: it encoded with AppendResponse(buf[:0], r)
+// and threw the grown copy away, so every response beyond the seed
+// capacity allocated afresh forever. encodeBatch returns its growth to
+// the caller; once warm, encoding a batch of block-sized responses must
+// not allocate at all, and the same backing array must be reused.
+func TestWriterEncodeReuse(t *testing.T) {
+	batch := make([]reply, 8)
+	for i := range batch {
+		batch[i] = reply{resp: &wire.Response{ID: uint64(i), Status: wire.StatusOK,
+			Data: bytes.Repeat([]byte{byte(i)}, 8192)}}
+	}
+	var encBuf []byte
+	var spans []int
+	var iov net.Buffers
+	encBuf, spans = encodeBatch(encBuf, spans, batch) // growth run
+	warm := &encBuf[:1][0]
+	if allocs := testing.AllocsPerRun(100, func() {
+		encBuf, spans = encodeBatch(encBuf, spans, batch)
+		iov = buildIov(iov, encBuf, spans, batch)
+	}); allocs != 0 {
+		t.Fatalf("warm encode of 8x8KB batch allocates %.1f objects, want 0", allocs)
+	}
+	if &encBuf[:1][0] != warm {
+		t.Fatal("encode buffer was reallocated on a warm run")
+	}
+}
+
+// TestBuildIovCoalesces checks the vector layout: runs of encoded
+// responses collapse to one entry, zero-copy frames interleave in batch
+// order, and the concatenation of all entries is exactly the frames the
+// client must see, in order.
+func TestBuildIovCoalesces(t *testing.T) {
+	mk := func(id uint64, data []byte) *wire.Response {
+		return &wire.Response{ID: id, Status: wire.StatusOK, Data: data}
+	}
+	frameFor := func(r *wire.Response) []byte { return wire.AppendResponseFrame(nil, r) }
+
+	// enc, enc, FRAME, enc, FRAME, FRAME, enc
+	batch := []reply{
+		{resp: mk(0, []byte("aa"))},
+		{resp: mk(1, nil)},
+		{frame: frameFor(mk(2, []byte("frame-2"))), resp: &wire.Response{ID: 2, Status: wire.StatusOK}},
+		{resp: mk(3, []byte("ccc"))},
+		{frame: frameFor(mk(4, nil)), resp: &wire.Response{ID: 4, Status: wire.StatusOK}},
+		{frame: frameFor(mk(5, []byte("frame-5"))), resp: &wire.Response{ID: 5, Status: wire.StatusOK}},
+		{resp: mk(6, []byte("d"))},
+	}
+	encBuf, spans := encodeBatch(nil, nil, batch)
+	iov := buildIov(nil, encBuf, spans, batch)
+	if len(iov) != 6 { // run(0,1), frame2, run(3), frame4, frame5, run(6)
+		t.Fatalf("iov has %d entries, want 6", len(iov))
+	}
+
+	var stream []byte
+	for _, b := range iov {
+		stream = append(stream, b...)
+	}
+	for i := uint64(0); i < 7; i++ {
+		if len(stream) < 4 {
+			t.Fatalf("stream truncated before response %d", i)
+		}
+		n := binary.BigEndian.Uint32(stream[:4])
+		dec, err := wire.DecodeResponse(stream[4 : 4+n])
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if dec.ID != i {
+			t.Fatalf("response %d decoded with ID %d: ordering broken", i, dec.ID)
+		}
+		stream = stream[4+n:]
+	}
+	if len(stream) != 0 {
+		t.Fatalf("%d trailing bytes after batch", len(stream))
+	}
+}
+
+// TestWritevCoalescing drives a pipelined burst over real TCP and
+// checks the server-side writev accounting: with many requests in
+// flight on one connection, responses must leave in multi-frame
+// vectored writes (avg frames/call > 1), and every byte must still
+// round-trip correctly.
+func TestWritevCoalescing(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2, Seed: 17})
+	addr := listenAndServe(t, s)
+
+	for i := 0; i < 8; i++ {
+		p := fmt.Sprintf("/wv/f%d", i)
+		if r := s.Do(&wire.Request{ID: 1, Op: wire.OpWrite, Path: p,
+			Data: bytes.Repeat([]byte{byte(i)}, 2048)}); r.Status != wire.StatusOK {
+			t.Fatalf("seed write %d: %+v", i, r)
+		}
+	}
+
+	mux, err := DialMux(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mux.Close()
+
+	const rounds = 50
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			p := fmt.Sprintf("/wv/f%d", w)
+			wantByte := byte(w)
+			for r := 0; r < rounds; r++ {
+				resp, err := mux.Do(&wire.Request{ID: uint64(w*rounds + r), Op: wire.OpRead, Path: p})
+				if err != nil {
+					errs <- fmt.Errorf("worker %d round %d: %v", w, r, err)
+					return
+				}
+				if resp.Status != wire.StatusOK || len(resp.Data) != 2048 || resp.Data[0] != wantByte {
+					errs <- fmt.Errorf("worker %d round %d: %+v", w, r, resp)
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m := s.Metrics()
+	if m.Writev == nil || m.Writev.Calls == 0 {
+		t.Fatal("no writev accounting after TCP traffic")
+	}
+	if m.Writev.Frames != 8*rounds {
+		t.Fatalf("writev carried %d frames, want %d", m.Writev.Frames, 8*rounds)
+	}
+	if m.Writev.AvgFrames <= 1.0 {
+		t.Fatalf("avg %.2f frames per writev under 8-way pipelining, want > 1", m.Writev.AvgFrames)
+	}
+}

@@ -110,6 +110,8 @@ type ShardMetrics struct {
 	AvgBatch  float64 `json:"avg_batch"` // mean requests per drain
 	MaxBatch  int     `json:"max_batch"` // largest drain observed
 	QueueLen  int     `json:"queue_len"` // queued requests at snapshot time
+	AvgQueue  float64 `json:"avg_queue"` // mean queue depth observed at drain wakeup
+	Yields    uint64  `json:"yields"`    // coalescing yields taken (adaptive drain)
 	Down      bool    `json:"down"`      // crashed, awaiting warmboot
 	Crashes   uint64  `json:"crashes"`   // admin crash ops honoured
 	Warmboots uint64  `json:"warmboots"` // warm reboots completed
@@ -123,6 +125,18 @@ type ShardMetrics struct {
 	LatOverflow uint64  `json:"lat_overflow"` // observations past the histogram range (quantiles are lower bounds)
 }
 
+// WritevMetrics describes how well the TCP writers coalesced response
+// frames into vectored writes: total writev calls, total frames
+// carried, and a distribution over frames-per-call (buckets 1, 2, 3-4,
+// 5-8, 9-16, 17+). AvgFrames > 1 means pipelined responses really are
+// leaving in batches rather than one syscall each.
+type WritevMetrics struct {
+	Calls     uint64    `json:"calls"`
+	Frames    uint64    `json:"frames"`
+	AvgFrames float64   `json:"avg_frames"`
+	Dist      [6]uint64 `json:"dist"`
+}
+
 // Metrics is a whole-server snapshot: per-shard rows plus aggregate
 // totals and merged-latency quantiles.
 type Metrics struct {
@@ -133,6 +147,7 @@ type Metrics struct {
 	P50us    float64        `json:"p50_us"`
 	P95us    float64        `json:"p95_us"`
 	P99us    float64        `json:"p99_us"`
+	Writev   *WritevMetrics `json:"writev,omitempty"` // TCP response batching, when serving over TCP
 }
 
 // Table renders the snapshot as an aligned text table.
@@ -151,5 +166,9 @@ func (m Metrics) Table() string {
 	}
 	fmt.Fprintf(&b, "%-6s %10d %8s %8s %8s %12d %9s %6.1f %9.0f %9.0f %9.0f\n",
 		"total", m.Ops, "", "", "", m.Bytes, "", m.AvgBatch, m.P50us, m.P95us, m.P99us)
+	if w := m.Writev; w != nil {
+		fmt.Fprintf(&b, "writev %d calls, %d frames, %.2f frames/call; dist 1:%d 2:%d 3-4:%d 5-8:%d 9-16:%d 17+:%d\n",
+			w.Calls, w.Frames, w.AvgFrames, w.Dist[0], w.Dist[1], w.Dist[2], w.Dist[3], w.Dist[4], w.Dist[5])
+	}
 	return b.String()
 }

@@ -97,11 +97,14 @@ func (c Config) withDefaults() Config {
 }
 
 // task carries one request through a shard queue. The response channel
-// is buffered so the shard goroutine never blocks on a reply.
+// is buffered so the shard goroutine never blocks on a reply. wantFrame
+// asks for the zero-copy read path: an OpRead answered as a serialized
+// pooled wire frame instead of a Data slice.
 type task struct {
-	req  *wire.Request
-	resp chan *wire.Response
-	enq  time.Time
+	req       *wire.Request
+	resp      chan reply
+	enq       time.Time
+	wantFrame bool
 }
 
 // shard owns one rio.System. Only the shard goroutine touches sys,
@@ -125,6 +128,11 @@ type shard struct {
 	// serve rolls it forward first. Shard goroutine only.
 	logDirty bool
 
+	// pool is the server's shared frame-buffer pool; results is the
+	// shard's reusable serve scratch (shard goroutine only).
+	pool    *framePool
+	results []done
+
 	mu         sync.Mutex
 	down       bool
 	ops        uint64
@@ -135,11 +143,25 @@ type shard struct {
 	batches    uint64
 	batchSum   uint64
 	maxBatch   int
+	depthSum   uint64
+	yields     uint64
 	crashes    uint64
 	warmboots  uint64
 	txnCommits uint64
 	txnAborts  uint64
 	lat        Histogram
+}
+
+// done pairs one task with its computed response through serve()'s
+// phases. Package-level rather than local to serve so each shard can
+// keep a reusable results scratch across batches instead of allocating
+// one per drain cycle.
+type done struct {
+	t       task
+	resp    *wire.Response
+	frame   []byte // pooled wire frame carrying resp's payload, or nil
+	dataLen int    // payload bytes inside frame (frame != nil only)
+	commit  int    // index into sealed, or -1
 }
 
 // openTxn is one in-flight transaction's staged ops. Shard goroutine
@@ -162,10 +184,42 @@ const (
 type Server struct {
 	cfg    Config
 	shards []*shard
+	pool   framePool // recycled wire-frame buffers (zero-copy read path)
 
 	mu     sync.RWMutex // guards closed and the enqueue-vs-close race
 	closed bool
 	wg     sync.WaitGroup
+
+	// writev accounting, fed by the TCP writers: how many response
+	// frames each flush coalesced into one vectored write.
+	wvMu     sync.Mutex
+	wvCalls  uint64
+	wvFrames uint64
+	wvDist   [6]uint64 // 1, 2, 3-4, 5-8, 9-16, 17+ frames per writev
+}
+
+// recordWritev notes one vectored write that flushed frames response
+// frames.
+func (s *Server) recordWritev(frames int) {
+	bucket := 0
+	switch {
+	case frames <= 1:
+	case frames == 2:
+		bucket = 1
+	case frames <= 4:
+		bucket = 2
+	case frames <= 8:
+		bucket = 3
+	case frames <= 16:
+		bucket = 4
+	default:
+		bucket = 5
+	}
+	s.wvMu.Lock()
+	s.wvCalls++
+	s.wvFrames += uint64(frames)
+	s.wvDist[bucket]++
+	s.wvMu.Unlock()
 }
 
 // New boots cfg.Shards independent machines and starts their shard
@@ -184,7 +238,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{cfg: cfg}
 	s.shards = make([]*shard, cfg.Shards)
 	for i, sys := range systems {
-		sh := &shard{id: i, sys: sys, ch: make(chan task, cfg.QueueDepth)}
+		sh := &shard{id: i, sys: sys, ch: make(chan task, cfg.QueueDepth), pool: &s.pool}
 		s.shards[i] = sh
 		s.wg.Add(1)
 		go func() {
@@ -221,31 +275,7 @@ func (s *Server) ShardOf(path string) int {
 // is full or the shard is down, wire.StatusClosed once the server is
 // draining or stopped.
 func (s *Server) Do(req *wire.Request) *wire.Response {
-	sh, errResp := s.route(req)
-	if errResp != nil {
-		return errResp
-	}
-	t := task{req: req, resp: make(chan *wire.Response, 1), enq: time.Now()}
-
-	// The read lock pins the closed flag across the enqueue so Close
-	// cannot close a shard channel between our check and our send.
-	s.mu.RLock()
-	if s.closed {
-		s.mu.RUnlock()
-		return &wire.Response{ID: req.ID, Status: wire.StatusClosed, Msg: "server closed"}
-	}
-	select {
-	case sh.ch <- t:
-		s.mu.RUnlock()
-	default:
-		s.mu.RUnlock()
-		sh.mu.Lock()
-		sh.rejected++
-		sh.mu.Unlock()
-		return &wire.Response{ID: req.ID, Status: wire.StatusAgain,
-			Msg: fmt.Sprintf("shard %d queue full", sh.id)}
-	}
-	return <-t.resp
+	return s.do(req, false).resp
 }
 
 // route validates the request and picks its shard.
@@ -420,8 +450,8 @@ func (s *Server) waitDrain() {
 				if !ok {
 					break
 				}
-				t.resp <- &wire.Response{ID: t.req.ID, Status: wire.StatusTimeout,
-					Msg: fmt.Sprintf("shard %d drain timed out after %v; request unserved", sh.id, s.cfg.DrainTimeout)}
+				t.resp <- reply{resp: &wire.Response{ID: t.req.ID, Status: wire.StatusTimeout,
+					Msg: fmt.Sprintf("shard %d drain timed out after %v; request unserved", sh.id, s.cfg.DrainTimeout)}}
 			}
 		}
 	}
@@ -437,7 +467,7 @@ func (s *Server) Metrics() Metrics {
 		row := ShardMetrics{
 			Shard: sh.id, Ops: sh.ops, Errors: sh.errors, Retried: sh.retried,
 			Rejected: sh.rejected, Bytes: sh.bytes, Batches: sh.batches,
-			MaxBatch: sh.maxBatch, QueueLen: len(sh.ch), Down: sh.down,
+			MaxBatch: sh.maxBatch, QueueLen: len(sh.ch), Yields: sh.yields, Down: sh.down,
 			Crashes: sh.crashes, Warmboots: sh.warmboots,
 			TxnCommits: sh.txnCommits, TxnAborts: sh.txnAborts,
 			P50us: sh.lat.Quantile(0.50), P95us: sh.lat.Quantile(0.95),
@@ -445,6 +475,7 @@ func (s *Server) Metrics() Metrics {
 		}
 		if sh.batches > 0 {
 			row.AvgBatch = float64(sh.batchSum) / float64(sh.batches)
+			row.AvgQueue = float64(sh.depthSum) / float64(sh.batches)
 		}
 		batches += sh.batches
 		batchSum += sh.batchSum
@@ -460,13 +491,29 @@ func (s *Server) Metrics() Metrics {
 	m.P50us = merged.Quantile(0.50)
 	m.P95us = merged.Quantile(0.95)
 	m.P99us = merged.Quantile(0.99)
+	s.wvMu.Lock()
+	if s.wvCalls > 0 {
+		m.Writev = &WritevMetrics{Calls: s.wvCalls, Frames: s.wvFrames,
+			AvgFrames: float64(s.wvFrames) / float64(s.wvCalls), Dist: s.wvDist}
+	}
+	s.wvMu.Unlock()
 	return m
 }
 
 // run is the shard goroutine: drain a batch, serve it, repeat, until
 // the channel closes — then serve what remains and exit. The batch
-// size is recorded so the metrics show how much coalescing the queue
-// actually achieves under load.
+// size and the queue depth observed at each wakeup are recorded so the
+// metrics show how much coalescing the queue actually achieves under
+// load.
+//
+// The drain is adaptive on that depth. A wakeup that finds more work
+// already queued is mid-burst: one scheduler pass before draining lets
+// the producers racing this wakeup land too, so the burst is served as
+// a single batch — one group commit, one metrics pass — instead of K
+// park/unpark handoffs. A wakeup that finds the queue empty is a lone
+// request from a caller who is (transitively) blocked on the answer;
+// serving it immediately is strictly better than yielding on the off
+// chance a second request materializes.
 func (sh *shard) run(cfg Config) {
 	batch := make([]task, 0, cfg.MaxBatch)
 	for {
@@ -477,12 +524,18 @@ func (sh *shard) run(cfg Config) {
 		if !ok {
 			return
 		}
-		// One scheduler pass before draining lets producers racing this
-		// wakeup land in the queue, so a pipelined burst is served as
-		// one batch instead of K park/unpark handoffs. Under a single
-		// synchronous client the runqueue is empty and the yield is a
-		// few nanoseconds.
-		runtime.Gosched()
+		depth := len(sh.ch)
+		yielded := false
+		if depth > 0 && depth < cfg.MaxBatch {
+			runtime.Gosched()
+			yielded = true
+		}
+		sh.mu.Lock()
+		sh.depthSum += uint64(depth)
+		if yielded {
+			sh.yields++
+		}
+		sh.mu.Unlock()
 		batch = append(batch[:0], t)
 	drain:
 		for len(batch) < cfg.MaxBatch {
@@ -514,12 +567,7 @@ func (sh *shard) run(cfg Config) {
 // before its record was durable would be a torn-commit window — and
 // the commitorder analyzer (internal/lint) checks it statically.
 func (sh *shard) serve(batch []task) {
-	type done struct {
-		t      task
-		resp   *wire.Response
-		commit int // index into sealed, or -1
-	}
-	results := make([]done, 0, len(batch))
+	results := sh.results[:0]
 	var sealed []txn.Record
 
 	// Stage: transaction control ops mutate only shard-local staging
@@ -529,7 +577,7 @@ func (sh *shard) serve(batch []task) {
 	// transaction stays open) rather than poisoning the whole publish.
 	groupBytes := 0
 	for _, t := range batch {
-		d := done{t: t, commit: -1}
+		d := done{t: t, commit: -1, dataLen: -1}
 		if isTxnOp(t.req) {
 			var rec *txn.Record
 			d.resp, rec = sh.stage(t.req, groupBytes)
@@ -587,7 +635,11 @@ func (sh *shard) serve(batch []task) {
 				resolved++
 			}
 		default:
-			d.resp = sh.handle(d.t.req)
+			if d.t.wantFrame && d.t.req.Op == wire.OpRead {
+				d.frame, d.resp, d.dataLen = sh.handleReadFrame(d.t.req)
+			} else {
+				d.resp = sh.handle(d.t.req)
+			}
 		}
 	}
 
@@ -610,9 +662,14 @@ func (sh *shard) serve(batch []task) {
 	if len(batch) > sh.maxBatch {
 		sh.maxBatch = len(batch)
 	}
-	for _, d := range results {
+	for i := range results {
+		d := &results[i]
+		dataBytes := len(d.resp.Data)
+		if d.dataLen > 0 {
+			dataBytes = d.dataLen
+		}
 		sh.ops++
-		sh.bytes += uint64(len(d.t.req.Data) + len(d.resp.Data))
+		sh.bytes += uint64(len(d.t.req.Data) + dataBytes)
 		switch {
 		case d.resp.Status == wire.StatusOK:
 			switch d.t.req.Op {
@@ -634,9 +691,16 @@ func (sh *shard) serve(batch []task) {
 		if d.commit >= 0 {
 			sh.ackCommit(d.t, d.resp)
 		} else {
-			d.t.resp <- d.resp
+			d.t.resp <- reply{resp: d.resp, frame: d.frame}
 		}
 	}
+	// Clear the scratch before reuse: a retained frame pointer here
+	// would alias a buffer the receiver has already released back to
+	// the pool.
+	for i := range results {
+		results[i] = done{}
+	}
+	sh.results = results
 }
 
 // ackCommit delivers a commit's response to its waiting client. It
@@ -644,7 +708,7 @@ func (sh *shard) serve(batch []task) {
 // that touches commit records, the first ackCommit must come after the
 // first Publish and the first Apply — never ack-before-publish.
 func (sh *shard) ackCommit(t task, resp *wire.Response) {
-	t.resp <- resp
+	t.resp <- reply{resp: resp}
 }
 
 // isTxnOp reports whether req is handled by the staging path rather
@@ -978,66 +1042,78 @@ func Exec(sys *rio.System, req *wire.Request) *wire.Response {
 		}
 
 	case wire.OpRead:
-		st, err := sys.Stat(req.Path)
+		// Lookup+ReadInoAt instead of Stat+Open+ReadAt+Close: one path
+		// resolution instead of three, no handle allocation, and the
+		// read copies cache frames directly into buf (Cache.ReadDirect)
+		// rather than bouncing through the kernel staging area.
+		ino, size, isDir, err := sys.Lookup(req.Path)
 		if err != nil {
 			return fail(err)
 		}
-		if st.IsDir {
+		if isDir {
 			return fail(rio.ErrIsDir)
 		}
 		if req.Offset < 0 {
 			resp.Status, resp.Msg = wire.StatusInvalid, "negative read offset"
 			return resp
 		}
-		resp.Size = st.Size
+		resp.Size = size
 		want := int64(req.Len)
 		if want == 0 || want > wire.MaxData {
 			want = wire.MaxData
 		}
-		if remain := st.Size - req.Offset; remain < want {
+		if remain := size - req.Offset; remain < want {
 			want = remain
 		}
 		if want <= 0 {
 			return resp
 		}
-		f, err := sys.Open(req.Path)
-		if err != nil {
-			return fail(err)
-		}
 		buf := make([]byte, want)
-		n, err := f.ReadAt(buf, req.Offset)
-		cerr := f.Close()
+		n, err := sys.ReadInoAt(ino, buf, req.Offset)
 		if err != nil {
 			return fail(err)
-		}
-		if cerr != nil {
-			return fail(cerr)
 		}
 		resp.Data = buf[:n]
 
 	case wire.OpWrite:
-		f, err := sys.Open(req.Path)
-		if rio.IsNotExist(err) {
-			f, err = execCreate(sys, req.Path)
-		}
-		if err != nil {
-			return fail(err)
-		}
-		off := req.Offset
-		if off < 0 {
-			if off, err = f.Size(); err != nil {
-				f.Close()
+		ino, size, isDir, err := sys.Lookup(req.Path)
+		switch {
+		case err == nil:
+			// Hot path: the file exists, so the write needs no handle —
+			// Lookup resolved the inode and (for appends) the size in
+			// one walk.
+			if isDir {
+				return fail(rio.ErrIsDir)
+			}
+			off := req.Offset
+			if off < 0 {
+				off = size
+			}
+			n, werr := sys.WriteInoAt(ino, req.Data, off)
+			resp.Size = int64(n)
+			if werr != nil {
+				return fail(werr)
+			}
+		case rio.IsNotExist(err):
+			f, err := execCreate(sys, req.Path)
+			if err != nil {
 				return fail(err)
 			}
-		}
-		n, err := f.WriteAt(req.Data, off)
-		cerr := f.Close()
-		resp.Size = int64(n)
-		if err != nil {
+			off := req.Offset
+			if off < 0 {
+				off = 0 // a just-created file is empty
+			}
+			n, werr := f.WriteAt(req.Data, off)
+			cerr := f.Close()
+			resp.Size = int64(n)
+			if werr != nil {
+				return fail(werr)
+			}
+			if cerr != nil {
+				return fail(cerr)
+			}
+		default:
 			return fail(err)
-		}
-		if cerr != nil {
-			return fail(cerr)
 		}
 
 	case wire.OpMkdir:

@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -73,26 +74,14 @@ func (s *Server) serveConn(conn net.Conn) {
 
 	// The writer owns the socket's write side. A write failure or
 	// deadline closes the connection (unblocking the reader) but keeps
-	// draining the channel so dispatchers never block on a dead peer.
-	out := make(chan *wire.Response, connInflight)
+	// draining the channel — releasing any pooled frames — so
+	// dispatchers never block on a dead peer.
+	out := make(chan reply, connInflight)
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
 	go func() {
 		defer writerWG.Done()
-		buf := make([]byte, 0, 4096)
-		broken := false
-		for resp := range out {
-			if broken {
-				continue
-			}
-			if write > 0 {
-				conn.SetWriteDeadline(time.Now().Add(write))
-			}
-			if err := wire.WriteFrame(conn, wire.AppendResponse(buf[:0], resp)); err != nil {
-				broken = true
-				conn.Close()
-			}
-		}
+		s.connWriter(conn, out, write)
 	}()
 
 	inflight := make(chan struct{}, connInflight)
@@ -109,18 +98,137 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			// The ID is unknowable from a frame that did not decode;
 			// answer ID 0 so the peer sees why, then drop the stream.
-			out <- &wire.Response{Status: wire.StatusInvalid, Msg: "bad request frame: " + err.Error()}
+			out <- reply{resp: &wire.Response{Status: wire.StatusInvalid, Msg: "bad request frame: " + err.Error()}}
 			break
 		}
 		inflight <- struct{}{}
 		dispatchWG.Add(1)
 		go func() {
 			defer dispatchWG.Done()
-			out <- s.Do(req)
+			out <- s.do(req, true)
 			<-inflight
 		}()
 	}
 	dispatchWG.Wait()
 	close(out)
 	writerWG.Wait()
+}
+
+// connWriter drains one connection's reply channel onto the socket.
+// Each wakeup collects every reply already queued and flushes them as
+// ONE vectored write (net.Buffers, i.e. writev): zero-copy read frames
+// go into the vector as-is — the pooled buffer filled from cache frames
+// is handed to the kernel untouched — and all other responses are
+// serialized back-to-back into a persistent encode buffer whose
+// contiguous runs each contribute a single vector entry. A pipelined
+// burst of K responses therefore costs one syscall, not K, and the
+// encode buffer's growth is kept across iterations (the old per-frame
+// writer grew a throwaway copy on every response larger than its seed).
+func (s *Server) connWriter(conn net.Conn, out <-chan reply, write time.Duration) {
+	var (
+		batch  []reply
+		encBuf []byte // persistent arena for non-frame responses
+		spans  []int  // encBuf offset after each batch entry (parallel to batch)
+		iov    net.Buffers
+	)
+	broken := false
+	for first := range out {
+		// One scheduler pass before draining: the dispatchers holding
+		// the rest of a served batch are runnable but have not yet
+		// forwarded their replies; letting them run turns K wakeups
+		// into one vectored write.
+		runtime.Gosched()
+		batch = append(batch[:0], first)
+	drain:
+		for len(batch) < connInflight {
+			select {
+			case r, ok := <-out:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, r)
+			default:
+				break drain
+			}
+		}
+		if broken {
+			// The peer is gone; keep consuming so dispatchers finish,
+			// and return their frames to the pool.
+			s.releaseBatch(batch)
+			continue
+		}
+
+		encBuf, spans = encodeBatch(encBuf, spans, batch)
+		iov = buildIov(iov, encBuf, spans, batch)
+		if write > 0 {
+			conn.SetWriteDeadline(time.Now().Add(write))
+		}
+		// WriteTo consumes the header it is called on (that is how it
+		// resumes partial writes), so hand it a copy and keep iov as
+		// the reusable scratch.
+		toWrite := iov
+		if _, err := toWrite.WriteTo(conn); err != nil {
+			broken = true
+			conn.Close()
+		} else {
+			s.recordWritev(len(batch))
+		}
+		s.releaseBatch(batch)
+		// Drop the frame references before the next batch: the pool may
+		// hand those buffers to another connection at any moment.
+		for i := range iov {
+			iov[i] = nil
+		}
+	}
+}
+
+// releaseBatch returns every pooled frame in batch to the pool.
+func (s *Server) releaseBatch(batch []reply) {
+	for _, r := range batch {
+		s.ReleaseFrame(r.frame)
+	}
+}
+
+// encodeBatch serializes every non-frame reply in batch into encBuf,
+// back to back, recording in spans the encBuf offset after each batch
+// entry (frame entries contribute nothing, so their span repeats the
+// previous offset). Both slices are the caller's reusable scratch:
+// growth is returned and kept, which is the fix for the old per-frame
+// writer whose grown encode buffer was a discarded copy — every
+// response larger than the 4KB seed allocated afresh, forever.
+func encodeBatch(encBuf []byte, spans []int, batch []reply) ([]byte, []int) {
+	encBuf = encBuf[:0]
+	spans = spans[:0]
+	for _, r := range batch {
+		if r.frame == nil {
+			encBuf = wire.AppendResponseFrame(encBuf, r.resp)
+		}
+		spans = append(spans, len(encBuf))
+	}
+	return encBuf, spans
+}
+
+// buildIov appends the batch's vector entries to iov (reset first), in
+// batch order. Consecutive encoded responses are contiguous in encBuf
+// by construction, so each run of them is a single vector entry;
+// zero-copy frames interleave as their own entries. Entries must be
+// sliced only after encodeBatch finishes, since an append there may
+// move encBuf — which is why this is a second pass.
+func buildIov(iov net.Buffers, encBuf []byte, spans []int, batch []reply) net.Buffers {
+	iov = iov[:0]
+	runStart := 0
+	for i, r := range batch {
+		if r.frame == nil {
+			continue // tail of the current encoded run
+		}
+		if spans[i] > runStart {
+			iov = append(iov, encBuf[runStart:spans[i]])
+			runStart = spans[i]
+		}
+		iov = append(iov, r.frame)
+	}
+	if len(encBuf) > runStart {
+		iov = append(iov, encBuf[runStart:])
+	}
+	return iov
 }

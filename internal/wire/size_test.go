@@ -1,0 +1,139 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// TestRequestSizeExact pins RequestSize to the encoder for every defined
+// op, with every variable-length field populated at assorted lengths: a
+// cold AppendRequest presized by RequestSize must never grow.
+func TestRequestSizeExact(t *testing.T) {
+	for op := OpInvalid + 1; op < opMax; op++ {
+		for _, shape := range []*Request{
+			{ID: 1, Op: op, Shard: -1},
+			{ID: 2, Op: op, Shard: 3, Offset: -1, Len: 8192, Txn: 7 << 32, Path: "/a"},
+			{ID: 3, Op: op, Shard: -1, Path: "/deep/path/of/moderate/length", Path2: "/elsewhere",
+				Data: bytes.Repeat([]byte{0xA5}, 3000)},
+			{ID: 4, Op: op, Shard: -1, Path: string(bytes.Repeat([]byte{'p'}, MaxPath)),
+				Path2: string(bytes.Repeat([]byte{'q'}, MaxPath)), Data: make([]byte, MaxData)},
+		} {
+			enc := AppendRequest(nil, shape)
+			if got, want := RequestSize(shape), len(enc); got != want {
+				t.Fatalf("op %v: RequestSize %d, encoded %d bytes", op, got, want)
+			}
+		}
+	}
+}
+
+// TestResponseSizeExact does the same for every defined status.
+func TestResponseSizeExact(t *testing.T) {
+	for st := StatusOK; st < statusMax; st++ {
+		for _, shape := range []*Response{
+			{ID: 1, Status: st},
+			{ID: 2, Status: st, Flags: FlagDir, Size: 1 << 40, Msg: "typed detail"},
+			{ID: 3, Status: st, Data: bytes.Repeat([]byte{7}, 8192)},
+			{ID: 4, Status: st, Data: make([]byte, MaxData),
+				Msg: string(bytes.Repeat([]byte{'m'}, MaxMsg))},
+		} {
+			enc := AppendResponse(nil, shape)
+			if got, want := ResponseSize(shape), len(enc); got != want {
+				t.Fatalf("status %v: ResponseSize %d, encoded %d bytes", st, got, want)
+			}
+		}
+	}
+}
+
+// TestAppendGrowsOnce: an append into a buffer with no spare capacity
+// reallocates exactly once (grow reserves the exact need up front), and
+// an append into a presized buffer does not reallocate at all.
+func TestAppendGrowsOnce(t *testing.T) {
+	r := &Response{ID: 9, Status: StatusOK, Data: make([]byte, 300000)}
+	presized := make([]byte, 0, ResponseSize(r))
+	out := AppendResponse(presized, r)
+	if &out[0] != &presized[:1][0] {
+		t.Fatal("presized append reallocated")
+	}
+	req := &Request{ID: 9, Op: OpWrite, Shard: -1, Path: "/k", Data: make([]byte, 300000)}
+	preq := make([]byte, 0, RequestSize(req))
+	rout := AppendRequest(preq, req)
+	if &rout[0] != &preq[:1][0] {
+		t.Fatal("presized request append reallocated")
+	}
+}
+
+// TestAppendResponseFrame: the framed encoding is the length prefix plus
+// exactly the AppendResponse bytes, and packing several frames into one
+// buffer keeps each decodable in sequence.
+func TestAppendResponseFrame(t *testing.T) {
+	rs := []*Response{
+		{ID: 1, Status: StatusOK, Size: 7, Data: []byte("payload")},
+		{ID: 2, Status: StatusNotFound, Msg: "gone"},
+		{ID: 3, Status: StatusOK},
+	}
+	var buf []byte
+	for _, r := range rs {
+		buf = AppendResponseFrame(buf, r)
+	}
+	for _, want := range rs {
+		n := binary.BigEndian.Uint32(buf[:4])
+		if int(n) != ResponseSize(want) {
+			t.Fatalf("frame length %d, want %d", n, ResponseSize(want))
+		}
+		got, err := DecodeResponse(buf[4 : 4+n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Data == nil {
+			want.Data = got.Data
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("packed frame decode:\n got %+v\nwant %+v", got, want)
+		}
+		buf = buf[4+n:]
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d trailing bytes after packed frames", len(buf))
+	}
+}
+
+// TestReserveResponseFrame: a frame whose data region is reserved first
+// and filled afterwards decodes identically to the ordinary encoding of
+// the same response with that data.
+func TestReserveResponseFrame(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xC3, 0x11}, 4100)
+	r := &Response{ID: 77, Status: StatusOK, Size: 12345}
+	buf, off := ReserveResponseFrame(nil, r, len(payload))
+	copy(buf[off:off+len(payload)], payload)
+
+	n := binary.BigEndian.Uint32(buf[:4])
+	if int(n) != len(buf)-4 {
+		t.Fatalf("frame declares %d payload bytes, buffer holds %d", n, len(buf)-4)
+	}
+	got, err := DecodeResponse(buf[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Response{ID: 77, Status: StatusOK, Size: 12345, Data: payload}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reserved frame decode:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Equivalence with the one-shot encoder, byte for byte.
+	direct := AppendResponseFrame(nil, want)
+	if !bytes.Equal(buf, direct) {
+		t.Fatal("reserved-then-filled frame differs from AppendResponseFrame encoding")
+	}
+
+	// A zero-length reservation is a complete, decodable frame as-is.
+	zbuf, zoff := ReserveResponseFrame(nil, &Response{ID: 5, Status: StatusAgain, Msg: "retry"}, 0)
+	if zoff != len(zbuf)-2-len("retry") {
+		t.Fatalf("zero reserve offset %d in %d-byte frame", zoff, len(zbuf))
+	}
+	zgot, err := DecodeResponse(zbuf[4:])
+	if err != nil || zgot.Status != StatusAgain || zgot.Msg != "retry" {
+		t.Fatalf("zero-reserve decode: %+v, %v", zgot, err)
+	}
+}

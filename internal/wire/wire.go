@@ -188,8 +188,39 @@ var (
 	ErrFrame     = errors.New("wire: frame exceeds maximum size")
 )
 
+// Fixed header bytes of each message type (everything except the three
+// variable-length fields and their length prefixes).
+const (
+	requestFixed  = 8 + 1 + 4 + 8 + 4 + 8 // ID, Op, Shard, Offset, Len, Txn
+	responseFixed = 8 + 1 + 1 + 8         // ID, Status, Flags, Size
+)
+
+// RequestSize returns the exact encoded size of r, so encoders can
+// reserve capacity once instead of growing through append.
+func RequestSize(r *Request) int {
+	return requestFixed + 2 + len(r.Path) + 2 + len(r.Path2) + 4 + len(r.Data)
+}
+
+// ResponseSize returns the exact encoded size of r.
+func ResponseSize(r *Response) int {
+	return responseFixed + 4 + len(r.Data) + 2 + len(r.Msg)
+}
+
+// grow returns dst with room for at least n more bytes, reallocating at
+// most once (append's doubling can reallocate twice for a cold buffer
+// growing past a megabyte payload).
+func grow(dst []byte, n int) []byte {
+	if cap(dst)-len(dst) >= n {
+		return dst
+	}
+	out := make([]byte, len(dst), len(dst)+n)
+	copy(out, dst)
+	return out
+}
+
 // AppendRequest appends r's encoding to dst and returns the result.
 func AppendRequest(dst []byte, r *Request) []byte {
+	dst = grow(dst, RequestSize(r))
 	dst = binary.BigEndian.AppendUint64(dst, r.ID)
 	dst = append(dst, byte(r.Op))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Shard))
@@ -230,12 +261,49 @@ func DecodeRequest(buf []byte) (*Request, error) {
 
 // AppendResponse appends r's encoding to dst and returns the result.
 func AppendResponse(dst []byte, r *Response) []byte {
+	dst = grow(dst, ResponseSize(r))
 	dst = binary.BigEndian.AppendUint64(dst, r.ID)
 	dst = append(dst, byte(r.Status), r.Flags)
 	dst = binary.BigEndian.AppendUint64(dst, uint64(r.Size))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Data)))
 	dst = append(dst, r.Data...)
 	return appendString16(dst, r.Msg)
+}
+
+// AppendResponseFrame appends a complete wire frame — u32 length prefix
+// plus r's encoding — to dst, growing dst at most once. The batching
+// writer uses it to pack many responses into one buffer for a single
+// scatter-gather write.
+func AppendResponseFrame(dst []byte, r *Response) []byte {
+	size := ResponseSize(r)
+	dst = grow(dst, 4+size)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(size))
+	return AppendResponse(dst, r)
+}
+
+// ReserveResponseFrame appends a response frame for r whose data region
+// is left unwritten: the frame declares dataLen data bytes (r.Data must
+// be empty — its bytes do not exist yet) and the returned offset names
+// the region dst[off:off+dataLen] the caller fills afterwards. Because
+// Data precedes Msg in the encoding, the rest of the frame is already
+// complete, so a read can serialize straight from a cache frame into
+// the wire buffer with no intermediate copy. dataLen must be within
+// MaxData (enforced: this is the serving path's own frame assembly, and
+// an oversized region would build an undecodable frame).
+func ReserveResponseFrame(dst []byte, r *Response, dataLen int) (buf []byte, off int) {
+	if dataLen < 0 || dataLen > MaxData {
+		panic(fmt.Sprintf("wire: reserve %d data bytes outside [0, MaxData]", dataLen))
+	}
+	size := responseFixed + 4 + dataLen + 2 + len(r.Msg)
+	dst = grow(dst, 4+size)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(size))
+	dst = binary.BigEndian.AppendUint64(dst, r.ID)
+	dst = append(dst, byte(r.Status), r.Flags)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(r.Size))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(dataLen))
+	off = len(dst)
+	dst = dst[:off+dataLen]
+	return appendString16(dst, r.Msg), off
 }
 
 // DecodeResponse decodes exactly one response from buf.

@@ -7,8 +7,10 @@
 #                                            at git HEAD
 #
 # Wraps `riobench -diff`, which prints per-op ns/op, allocs/op, and
-# sim-µs/op deltas. Exit status is riobench's (0 unless a report is
-# unreadable); judging whether a regression matters is the reader's job.
+# sim-µs/op deltas. The serve-path allocation budget is a hard gate: the
+# run fails if the NEW report's served-read exceeds 1 alloc/op (the
+# zero-copy read path's whole contract). Everything else is a diff for
+# the reader to judge.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -43,4 +45,4 @@ case $# in
 	;;
 esac
 
-go run ./cmd/riobench -diff "$old" "$new"
+go run ./cmd/riobench -diff -gate-allocs served-read=1 "$old" "$new"
